@@ -1,0 +1,86 @@
+// Reproduces Fig 2: single-GPU operation counts and training rates for
+// the Tiramisu and DeepLabv3+ networks on V100 (Summit) and P100
+// (Piz Daint), FP32 and FP16.
+//
+// The absolute operation counts depend on architecture details the paper
+// does not fully specify; this bench prints our reconstruction's counts
+// and roofline-derived rates next to the paper's measured values. The
+// structural results — DeepLab/Tiramisu cost ratio, FP32 achieving a much
+// higher fraction of peak than FP16, FP16 still faster in samples/s —
+// reproduce (see EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "netsim/roofline.hpp"
+
+namespace exaclim {
+namespace {
+
+struct PaperRow {
+  double tf_per_sample;
+  double rate;
+  double tf_per_sec;
+  int peak_pct;
+};
+
+void PrintRow(const char* network, const char* gpu, const char* precision,
+              const SingleGpuPerformance& ours, const PaperRow& paper) {
+  std::printf(
+      "%-11s %-5s %-4s | %8.3f %7.2f %8.2f %5.1f%% | %8.3f %7.2f %8.2f "
+      "%4d%%\n",
+      network, gpu, precision, ours.tf_per_sample, ours.samples_per_sec,
+      ours.tf_per_sec, ours.fraction_of_peak * 100,
+      paper.tf_per_sample, paper.rate, paper.tf_per_sec, paper.peak_pct);
+}
+
+}  // namespace
+
+int Main() {
+  const MachineModel summit = MachineModel::Summit();
+  const MachineModel piz_daint = MachineModel::PizDaint();
+
+  const ArchSpec tiramisu16 = PaperTiramisuSpec(16);
+  Tiramisu::Config t4 = Tiramisu::Config::Modified();
+  t4.in_channels = 4;
+  const ArchSpec tiramisu4 = BuildTiramisuSpec(t4, 768, 1152);
+  const ArchSpec deeplab = PaperDeepLabSpec(16);
+
+  std::printf("Fig 2 — single-GPU performance (this repo | paper)\n");
+  std::printf(
+      "network     gpu   prec |  TF/smp  smp/s     TF/s  %%peak |  TF/smp"
+      "  smp/s     TF/s %%peak\n");
+  std::printf(
+      "-----------------------+---------------------------------+--------"
+      "----------------------\n");
+
+  PrintRow("DeepLabv3+", "V100", "FP16",
+           AnalyzeSingleGpu(deeplab, summit, Precision::kFP16, 2),
+           {14.41, 2.67, 38.45, 31});
+  PrintRow("DeepLabv3+", "V100", "FP32",
+           AnalyzeSingleGpu(deeplab, summit, Precision::kFP32, 1),
+           {14.41, 0.87, 12.53, 80});
+  PrintRow("Tiramisu", "V100", "FP16",
+           AnalyzeSingleGpu(tiramisu16, summit, Precision::kFP16, 2),
+           {4.188, 5.00, 20.93, 17});
+  PrintRow("Tiramisu", "V100", "FP32",
+           AnalyzeSingleGpu(tiramisu16, summit, Precision::kFP32, 1),
+           {4.188, 1.91, 8.00, 51});
+  PrintRow("Tiramisu*", "P100", "FP32",
+           AnalyzeSingleGpu(tiramisu4, piz_daint, Precision::kFP32, 1),
+           {3.703, 1.20, 4.44, 48});
+  std::printf(
+      "(* 4 of 16 input channels, as in the paper's Piz Daint runs)\n\n");
+
+  const double ratio_ours =
+      AnalyzeTraining(deeplab, Precision::kFP32, 1).ConvFlopsPerSample() /
+      AnalyzeTraining(tiramisu16, Precision::kFP32, 1).ConvFlopsPerSample();
+  std::printf("DeepLab/Tiramisu op-count ratio: ours %.2fx, paper %.2fx\n",
+              ratio_ours, 14.41 / 4.188);
+  std::printf("Parameter counts: Tiramisu %.2fM, DeepLabv3+ %.2fM\n",
+              tiramisu16.TotalParams() / 1e6, deeplab.TotalParams() / 1e6);
+  return 0;
+}
+
+}  // namespace exaclim
+
+int main() { return exaclim::Main(); }

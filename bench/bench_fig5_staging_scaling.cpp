@@ -1,0 +1,61 @@
+// Reproduces Fig 5: dependence of Piz Daint weak scaling on input data
+// location — node-local tmpfs staging vs reading straight from the
+// shared Lustre filesystem (112 GB/s effective), which saturates near
+// 2048 GPUs where the network demands ~110 GB/s of input.
+
+#include <cstdio>
+#include <vector>
+
+#include "netsim/scale.hpp"
+
+namespace exaclim {
+
+int Main() {
+  ScaleOptions base;
+  base.machine = MachineModel::PizDaint();
+  Tiramisu::Config cfg = Tiramisu::Config::Modified();
+  cfg.in_channels = 4;
+  base.spec = BuildTiramisuSpec(cfg, 768, 1152);
+  base.precision = Precision::kFP32;
+  base.local_batch = 1;
+  base.hybrid_allreduce = false;
+  base.anchor_samples_per_sec = 1.20;
+  base.anchor_tf_per_sample = 3.703;
+
+  ScaleOptions local = base;
+  ScaleOptions global = base;
+  global.staged_input = false;
+  ScaleSimulator local_sim(local);
+  ScaleSimulator global_sim(global);
+
+  std::printf(
+      "Fig 5 — Piz Daint weak scaling vs input location (P100, FP32)\n");
+  std::printf("  %6s %16s %17s %9s %11s\n", "GPUs", "local im/s",
+              "global-fs im/s", "penalty", "fs demand");
+  for (const int g :
+       std::vector<int>{64, 128, 256, 512, 768, 1024, 1536, 2048}) {
+    const ScalePoint l = local_sim.Simulate(g);
+    const ScalePoint gl = global_sim.Simulate(g);
+    const double demand_gb =
+        g * 1.0 * 16 * 768 * 1152 * 4.0 / l.step_seconds / 1e9;
+    std::printf("  %6d %16.1f %17.1f %8.1f%% %8.1f GB/s\n", g,
+                l.images_per_sec, gl.images_per_sec,
+                (1.0 - gl.images_per_sec / l.images_per_sec) * 100.0,
+                demand_gb);
+  }
+  const double eff_local = local_sim.Simulate(2048).efficiency;
+  const double eff_global = global_sim.Simulate(2048).efficiency;
+  std::printf(
+      "\nAt 2048 GPUs: staged %.1f%% vs global-fs %.1f%% parallel "
+      "efficiency (paper: 83.4%% vs 75.8%%, a 9.5%% penalty).\n"
+      "The network demands ~%.0f GB/s against the filesystem's 112 GB/s\n"
+      "limit (paper: \"nearly 110 GB/s\"), so the paper did not scale\n"
+      "global-fs runs past 2048 GPUs — nor does this model.\n",
+      eff_local * 100.0, eff_global * 100.0,
+      2048 * 1.2 * 16 * 768 * 1152 * 4.0 * eff_local / 1e9);
+  return 0;
+}
+
+}  // namespace exaclim
+
+int main() { return exaclim::Main(); }

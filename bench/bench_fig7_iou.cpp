@@ -1,0 +1,165 @@
+// Reproduces Fig 7 / Sec VII-D: segmentation quality. Trains downscaled
+// Tiramisu and modified-DeepLabv3+ networks to (partial) convergence on
+// the synthetic climate data and reports per-class and mean IoU on the
+// validation split, plus an ASCII rendering of predicted vs heuristic
+// masks for one validation sample.
+//
+// Paper results: Tiramisu 59% IoU, modified DeepLabv3+ 73% IoU; the TC
+// class tends to overprediction because a TC false negative costs ~37x
+// a false positive under the weighted loss.
+//
+// Reproduction note (also in EXPERIMENTS.md): both networks land in the
+// paper's IoU band (~60-80% mean IoU, far above the 33% all-background
+// collapse), but the paper's ORDERING (DeepLab > Tiramisu) does not
+// reproduce at this CPU downscale — on 48x48 synthetic fields the
+// heuristic labels are nearly local functions of the inputs, so the
+// shallow full-resolution Tiramisu fits them more easily than the
+// output-stride-8 encoder-decoder, whose context-aggregation advantage
+// only pays off at the full 1152x768 resolution of the real data.
+
+#include <cstdio>
+#include <vector>
+
+#include "train/trainer.hpp"
+
+namespace exaclim {
+namespace {
+
+struct EvalResult {
+  double iou_bg, iou_ar, iou_tc, mean_iou, accuracy;
+};
+
+EvalResult TrainAndEvaluate(const ClimateDataset& dataset,
+                            TrainerOptions::Arch arch, int steps,
+                            float lr, RankTrainer** out_trainer = nullptr) {
+  static std::vector<std::unique_ptr<RankTrainer>> keep_alive;
+  TrainerOptions o;
+  o.arch = arch;
+  o.tiramisu = Tiramisu::Config::Downscaled(4);
+  // A widened downscaled DeepLab (the base preset underfits this task).
+  o.deeplab = DeepLabV3Plus::Config::Downscaled(4);
+  o.deeplab.encoder.stem_features = 12;
+  o.deeplab.encoder.stage_widths = {12, 24, 48, 96};
+  o.deeplab.aspp_channels = 24;
+  o.deeplab.decoder_skip_channels = 12;
+  o.deeplab.decoder_channels = {24, 16, 12};
+  o.learning_rate = lr;
+  o.local_batch = 2;
+
+  const auto freq = dataset.MeasureFrequencies(16);
+  auto trainer = std::make_unique<RankTrainer>(
+      o, MakeClassWeights(freq, WeightingScheme::kInverseSqrt), 0);
+  Rng rng(777);
+  for (int s = 0; s < steps; ++s) {
+    std::vector<std::int64_t> idx(2);
+    for (auto& i : idx) {
+      i = rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1);
+    }
+    (void)trainer->StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+  }
+  const ConfusionMatrix cm =
+      trainer->Evaluate(dataset, DatasetSplit::kValidation, 8);
+  EvalResult r{cm.IoU(kBackground), cm.IoU(kAtmosphericRiver),
+               cm.IoU(kTropicalCyclone), cm.MeanIoU(), cm.PixelAccuracy()};
+  if (out_trainer != nullptr) {
+    *out_trainer = trainer.get();
+    keep_alive.push_back(std::move(trainer));
+  }
+  return r;
+}
+
+char MaskChar(std::uint8_t c) {
+  switch (c) {
+    case kAtmosphericRiver: return 'a';
+    case kTropicalCyclone: return 'T';
+    default: return '.';
+  }
+}
+
+void RenderMasks(RankTrainer& trainer, const ClimateDataset& dataset) {
+  // Pick the validation sample with the most event pixels to display.
+  std::int64_t best = 0, best_events = -1;
+  for (std::int64_t i = 0; i < dataset.size(DatasetSplit::kValidation);
+       ++i) {
+    const auto s = dataset.GetSample(DatasetSplit::kValidation, i);
+    std::int64_t events = 0;
+    for (const auto l : s.labels) events += l != kBackground;
+    if (events > best_events) {
+      best_events = events;
+      best = i;
+    }
+  }
+  const Batch batch = dataset.MakeBatch(DatasetSplit::kValidation,
+                                        std::vector<std::int64_t>{best});
+  const Tensor logits = trainer.model().Forward(batch.fields, false);
+  const auto pred = PredictClasses(logits);
+  const std::int64_t h = dataset.height(), w = dataset.width();
+  std::printf(
+      "\nValidation sample — heuristic labels (left) vs prediction "
+      "(right); a = AR, T = TC\n");
+  for (std::int64_t y = 0; y < h; y += 2) {  // subsample rows for width
+    std::string left, right;
+    for (std::int64_t x = 0; x < w; x += 1) {
+      left += MaskChar(batch.labels[static_cast<std::size_t>(y * w + x)]);
+      right += MaskChar(pred[static_cast<std::size_t>(y * w + x)]);
+    }
+    std::printf("%s | %s\n", left.c_str(), right.c_str());
+  }
+}
+
+}  // namespace
+
+int Main() {
+  ClimateDataset::Options data;
+  data.num_samples = 80;
+  data.generator.height = 48;
+  data.generator.width = 48;
+  data.channels = {kTMQ, kU850, kV850, kPSL};
+  const ClimateDataset dataset(data);
+
+  std::printf("Fig 7 / Sec VII-D — segmentation quality (validation split)\n");
+  std::printf("%-12s %8s %8s %8s %9s %9s   %s\n", "network", "IoU(BG)",
+              "IoU(AR)", "IoU(TC)", "mean IoU", "accuracy", "paper mIoU");
+
+  RankTrainer* deeplab_trainer = nullptr;
+  const EvalResult tiramisu =
+      TrainAndEvaluate(dataset, TrainerOptions::Arch::kTiramisu, 220, 2e-3f);
+  std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %8.1f%% %8.1f%%   59%%\n",
+              "Tiramisu", tiramisu.iou_bg * 100, tiramisu.iou_ar * 100,
+              tiramisu.iou_tc * 100, tiramisu.mean_iou * 100,
+              tiramisu.accuracy * 100);
+  // The deeper encoder-decoder needs more optimisation steps on the
+  // downscaled problem (the paper trained both to full convergence).
+  const EvalResult deeplab = TrainAndEvaluate(
+      dataset, TrainerOptions::Arch::kDeepLab, 700, 3e-3f,
+      &deeplab_trainer);
+  std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %8.1f%% %8.1f%%   73%%\n",
+              "DeepLabv3+", deeplab.iou_bg * 100, deeplab.iou_ar * 100,
+              deeplab.iou_tc * 100, deeplab.mean_iou * 100,
+              deeplab.accuracy * 100);
+
+  // Degenerate baseline for context (Sec V-B1).
+  ConfusionMatrix degenerate(kNumClimateClasses);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    const auto sample = dataset.GetSample(DatasetSplit::kValidation, i);
+    const std::vector<std::uint8_t> all_bg(sample.labels.size(),
+                                           kBackground);
+    degenerate.Add(all_bg, sample.labels);
+  }
+  std::printf("%-12s %7.1f%% %7.1f%% %7.1f%% %8.1f%% %8.1f%%   (collapse)\n",
+              "all-BG", degenerate.IoU(0) * 100, degenerate.IoU(1) * 100,
+              degenerate.IoU(2) * 100, degenerate.MeanIoU() * 100,
+              degenerate.PixelAccuracy() * 100);
+
+  std::printf(
+      "\nNote: the paper's ordering (DeepLabv3+ 73%% > Tiramisu 59%%) is a\n"
+      "full-resolution phenomenon; at this downscale the shallow\n"
+      "full-resolution Tiramisu fits the near-local heuristic labels more\n"
+      "easily (see the header comment and EXPERIMENTS.md).\n");
+  if (deeplab_trainer != nullptr) RenderMasks(*deeplab_trainer, dataset);
+  return 0;
+}
+
+}  // namespace exaclim
+
+int main() { return exaclim::Main(); }

@@ -1,0 +1,132 @@
+// Reproduces the Sec V-A2 input-pipeline findings on real NCF files:
+//  * with the HDF5-style process-global lock, adding reader workers buys
+//    nothing — reads serialise (the pathology that forced the paper from
+//    threads to multiprocessing);
+//  * without the lock (separate library instances / processes), worker
+//    parallelism scales the production rate;
+//  * a prefetch queue decouples the consumer: as long as production rate
+//    exceeds consumption rate, the "GPU" never waits.
+
+#include <chrono>
+#include <mutex>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "data/climate.hpp"
+#include "io/ncf.hpp"
+#include "io/pipeline.hpp"
+#include "io/sample_io.hpp"
+
+namespace exaclim {
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double RunPipeline(const std::vector<fs::path>& paths, int workers,
+                   bool global_lock, int repeats) {
+  const std::int64_t total =
+      static_cast<std::int64_t>(paths.size()) * repeats;
+  const auto start = Clock::now();
+  InputPipeline pipeline(
+      [&](std::int64_t index) {
+        const auto& path = paths[static_cast<std::size_t>(index) %
+                                 paths.size()];
+        // Under the HDF5-style lock, read AND decode serialise (the
+        // library holds its global lock across the whole operation).
+        std::unique_lock<std::mutex> lock;
+        if (global_lock) lock = std::unique_lock(NcfGlobalLock());
+        const ClimateSample s = ReadSampleFile(path, /*use_global_lock=*/false);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        Batch b;
+        b.fields = s.fields.Reshaped(TensorShape::NCHW(
+            1, kNumClimateChannels, s.height, s.width));
+        b.labels = s.labels;
+        return b;
+      },
+      total, {.workers = workers, .prefetch_depth = 8});
+  std::int64_t count = 0;
+  while (pipeline.Next()) ++count;
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(count) / seconds;
+}
+
+}  // namespace
+
+int Main() {
+  const fs::path dir =
+      fs::temp_directory_path() / "exaclim_bench_pipeline";
+  fs::create_directories(dir);
+  ClimateGenerator gen({.height = 48, .width = 64});
+  std::vector<fs::path> paths;
+  for (int i = 0; i < 8; ++i) {
+    ClimateSample s = gen.Generate(1, i);
+    s.labels = s.truth;
+    paths.push_back(dir / ("sample" + std::to_string(i) + ".ncf"));
+    WriteSampleFile(paths.back(), s);
+  }
+
+  std::printf(
+      "Sec V-A2 — input pipeline throughput (real NCF files, 2 ms decode "
+      "per sample)\n");
+  std::printf("  %7s %22s %22s\n", "workers", "HDF5-style lock [smp/s]",
+              "lock-free [smp/s]");
+  double locked_1 = 0, locked_4 = 0, free_1 = 0, free_4 = 0;
+  for (const int workers : {1, 2, 4}) {
+    const double locked = RunPipeline(paths, workers, true, 6);
+    const double lock_free = RunPipeline(paths, workers, false, 6);
+    std::printf("  %7d %22.1f %22.1f\n", workers, locked, lock_free);
+    if (workers == 1) {
+      locked_1 = locked;
+      free_1 = lock_free;
+    }
+    if (workers == 4) {
+      locked_4 = locked;
+      free_4 = lock_free;
+    }
+  }
+  std::printf(
+      "\n  lock-held scaling 1->4 workers: %.2fx (serialised, as the "
+      "paper saw with HDF5)\n"
+      "  lock-free scaling 1->4 workers: %.2fx (the multiprocessing "
+      "fix)\n",
+      locked_4 / locked_1, free_4 / free_1);
+
+  // Prefetch-depth effect: a deep queue absorbs producer variability.
+  std::printf("\n  prefetch depth sweep (4 lock-free workers):\n");
+  for (const int depth : {1, 2, 8}) {
+    const auto start = Clock::now();
+    InputPipeline pipeline(
+        [&](std::int64_t index) {
+          const ClimateSample s = ReadSampleFile(
+              paths[static_cast<std::size_t>(index) % paths.size()]);
+          // Variable production latency.
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(index % 3 == 0 ? 6 : 1));
+          Batch b;
+          b.fields = s.fields.Reshaped(TensorShape::NCHW(
+              1, kNumClimateChannels, s.height, s.width));
+          b.labels = s.labels;
+          return b;
+        },
+        48, {.workers = 4, .prefetch_depth = depth});
+    std::int64_t count = 0;
+    while (pipeline.Next()) {
+      ++count;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));  // "GPU"
+    }
+    const double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    std::printf("    depth %d: %.1f samples/s\n", depth, count / seconds);
+  }
+
+  fs::remove_all(dir);
+  return 0;
+}
+
+}  // namespace exaclim
+
+int main() { return exaclim::Main(); }

@@ -1,0 +1,83 @@
+// Microbenchmarks of the convolution layer variants (plain, strided,
+// atrous, transposed) and the FP16 emulation overhead.
+
+#include <benchmark/benchmark.h>
+
+#include "nn/conv.hpp"
+
+namespace exaclim {
+namespace {
+
+Tensor Input(std::int64_t c, std::int64_t h, std::int64_t w) {
+  Rng rng(1);
+  return Tensor::Uniform(TensorShape::NCHW(1, c, h, w), rng, -1, 1);
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv("c", {.in_c = 32, .out_c = 32}, rng);
+  const Tensor x = Input(32, 48, 48);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.Raw());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  Conv2d conv("c", {.in_c = 32, .out_c = 32}, rng);
+  const Tensor x = Input(32, 48, 48);
+  const Tensor y = conv.Forward(x, true);
+  Rng grng(4);
+  const Tensor g = Tensor::Uniform(y.shape(), grng, -1, 1);
+  for (auto _ : state) {
+    (void)conv.Forward(x, true);
+    Tensor gx = conv.Backward(g);
+    benchmark::DoNotOptimize(gx.Raw());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_Conv2dAtrous(benchmark::State& state) {
+  const auto d = static_cast<std::int64_t>(state.range(0));
+  Rng rng(5);
+  Conv2d conv("c",
+              {.in_c = 32, .out_c = 32, .kernel = 3, .pad = d, .dilation = d},
+              rng);
+  const Tensor x = Input(32, 48, 48);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.Raw());
+  }
+}
+BENCHMARK(BM_Conv2dAtrous)->Arg(1)->Arg(4)->Arg(12);
+
+void BM_ConvTranspose2d(benchmark::State& state) {
+  Rng rng(6);
+  ConvTranspose2d deconv(
+      "d", {.in_c = 32, .out_c = 32, .kernel = 3, .stride = 2, .pad = 1,
+            .out_pad = 1},
+      rng);
+  const Tensor x = Input(32, 24, 24);
+  for (auto _ : state) {
+    Tensor y = deconv.Forward(x, false);
+    benchmark::DoNotOptimize(y.Raw());
+  }
+}
+BENCHMARK(BM_ConvTranspose2d);
+
+void BM_Conv2dForwardFP16Emulation(benchmark::State& state) {
+  Rng rng(7);
+  Conv2d conv("c", {.in_c = 32, .out_c = 32}, rng);
+  conv.SetPrecision(Precision::kFP16);
+  const Tensor x = Input(32, 48, 48);
+  for (auto _ : state) {
+    Tensor y = conv.Forward(x, false);
+    benchmark::DoNotOptimize(y.Raw());
+  }
+}
+BENCHMARK(BM_Conv2dForwardFP16Emulation);
+
+}  // namespace
+}  // namespace exaclim

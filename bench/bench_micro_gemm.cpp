@@ -1,0 +1,69 @@
+// Microbenchmarks of the GEMM kernel that backs im2col convolution —
+// the CPU stand-in for the cuDNN implicit-GEMM kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/gemm.hpp"
+
+namespace exaclim {
+namespace {
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<std::int64_t>(state.range(0));
+  Rng rng(1);
+  std::vector<float> a(static_cast<std::size_t>(n * n));
+  std::vector<float> b(static_cast<std::size_t>(n * n));
+  std::vector<float> c(static_cast<std::size_t>(n * n));
+  for (auto& v : a) v = rng.Uniform(-1, 1);
+  for (auto& v : b) v = rng.Uniform(-1, 1);
+  for (auto _ : state) {
+    Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmSquare)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_GemmConvShaped(benchmark::State& state) {
+  // The im2col shape of a 3x3 conv, 64->64 channels on a 48x48 image:
+  // C[64, 2304] = W[64, 576] * col[576, 2304].
+  const std::int64_t m = 64, k = 576, n = 2304;
+  Rng rng(2);
+  std::vector<float> a(static_cast<std::size_t>(m * k));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * n));
+  for (auto& v : a) v = rng.Uniform(-1, 1);
+  for (auto& v : b) v = rng.Uniform(-1, 1);
+  for (auto _ : state) {
+    Gemm(false, false, m, n, k, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * m * n * k * static_cast<double>(state.iterations()) / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmConvShaped);
+
+void BM_GemmTransposed(benchmark::State& state) {
+  // Weight-gradient shape: gW[m,k] = gy[m,n] * col[k,n]^T.
+  const std::int64_t m = 64, n = 2304, k = 576;
+  Rng rng(3);
+  std::vector<float> a(static_cast<std::size_t>(m * n));
+  std::vector<float> b(static_cast<std::size_t>(k * n));
+  std::vector<float> c(static_cast<std::size_t>(m * k));
+  for (auto& v : a) v = rng.Uniform(-1, 1);
+  for (auto& v : b) v = rng.Uniform(-1, 1);
+  for (auto _ : state) {
+    Gemm(false, true, m, k, n, 1.0f, a.data(), b.data(), 0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposed);
+
+}  // namespace
+}  // namespace exaclim

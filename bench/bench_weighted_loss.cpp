@@ -1,0 +1,158 @@
+// Reproduces the Sec V-B1 weighted-loss results with real training runs:
+//  * unweighted loss: the network collapses to the all-background
+//    predictor (~98% pixel accuracy, zero minority-class IoU);
+//  * inverse-frequency weights: degraded FP16 training quality, and at
+//    the paper's exact class imbalance (TC weight ~1000) the per-pixel
+//    weighted losses on confidently-wrong TC pixels overflow binary16
+//    (demonstrated directly at the end of the output);
+//  * inverse-sqrt-frequency weights (the paper's fix): stable in FP16
+//    and the network learns the minority classes.
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "train/trainer.hpp"
+
+namespace exaclim {
+namespace {
+
+struct Outcome {
+  double final_accuracy;
+  double mean_iou;
+  double ar_iou;
+  double tc_iou;
+  std::int64_t skipped;
+  std::int64_t overflow_losses;
+};
+
+Outcome Run(const ClimateDataset& dataset, WeightingScheme scheme,
+            Precision precision, int steps) {
+  TrainerOptions o;
+  o.arch = TrainerOptions::Arch::kTiramisu;
+  o.tiramisu = Tiramisu::Config::Downscaled(4);
+  o.learning_rate = 2e-3f;
+  o.local_batch = 2;
+  o.precision = precision;
+  o.weighting = scheme;
+  o.loss_scaler.initial_scale = 1024.0f;
+
+  const auto freq = dataset.MeasureFrequencies(16);
+  RankTrainer trainer(o, MakeClassWeights(freq, scheme), 0);
+
+  // Track FP16 per-pixel loss overflow directly through the loss
+  // function as well.
+  std::int64_t overflow = 0, skipped = 0;
+  double accuracy = 0.0;
+  Rng rng(321);
+  for (int s = 0; s < steps; ++s) {
+    std::vector<std::int64_t> idx(2);
+    for (auto& i : idx) {
+      i = rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1);
+    }
+    const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, idx);
+    if (precision == Precision::kFP16) {
+      SegmentationLossOptions lo;
+      lo.class_weights = MakeClassWeights(freq, scheme);
+      lo.precision = Precision::kFP16;
+      const Tensor logits = trainer.model().Forward(batch.fields, false);
+      overflow +=
+          WeightedSoftmaxCrossEntropy(logits, batch.labels, lo)
+              .nonfinite_loss_count;
+    }
+    const auto r = trainer.StepLocal(batch);
+    accuracy = r.pixel_accuracy;
+    if (!r.update_applied) ++skipped;
+  }
+  const auto cm = trainer.Evaluate(dataset, DatasetSplit::kValidation, 6);
+  return {accuracy, cm.MeanIoU(), cm.IoU(kAtmosphericRiver),
+          cm.IoU(kTropicalCyclone), skipped, overflow};
+}
+
+}  // namespace
+
+int Main() {
+  ClimateDataset::Options d;
+  d.num_samples = 60;
+  d.generator.height = 48;
+  d.generator.width = 64;
+  // Eventful configuration so the rare TC class actually appears in the
+  // training batches (on the paper's 1152x768 grid every snapshot holds
+  // multiple events; a 48x64 crop needs a higher event rate for that).
+  d.generator.mean_cyclones = 2.5;
+  d.generator.mean_rivers = 2.0;
+  d.channels = {kTMQ, kU850, kV850, kPSL};
+  const ClimateDataset dataset(d);
+  const auto freq = dataset.MeasureFrequencies(16);
+  std::printf(
+      "Sec V-B1 — loss weighting (measured class frequencies: BG %.3f, "
+      "AR %.3f, TC %.4f;\n paper: 0.982 / 0.017 / <0.001)\n\n",
+      freq[0], freq[1], freq[2]);
+
+  const int steps = 120;
+  std::printf("%-26s %5s | %9s %8s %8s %8s %8s %9s\n", "weighting", "prec",
+              "final acc", "mIoU", "IoU(AR)", "IoU(TC)", "skipped",
+              "fp16 ovfl");
+
+  struct Case {
+    WeightingScheme scheme;
+    Precision precision;
+  };
+  for (const Case c : {Case{WeightingScheme::kNone, Precision::kFP32},
+                       Case{WeightingScheme::kInverseSqrt, Precision::kFP32},
+                       Case{WeightingScheme::kInverse, Precision::kFP16},
+                       Case{WeightingScheme::kInverseSqrt,
+                            Precision::kFP16}}) {
+    const Outcome r = Run(dataset, c.scheme, c.precision, steps);
+    std::printf("%-26s %5s | %8.1f%% %7.1f%% %7.1f%% %7.1f%% %8lld %9lld\n",
+                ToString(c.scheme), ToString(c.precision),
+                r.final_accuracy * 100, r.mean_iou * 100, r.ar_iou * 100,
+                r.tc_iou * 100, static_cast<long long>(r.skipped),
+                static_cast<long long>(r.overflow_losses));
+  }
+
+  std::printf(
+      "\nPaper findings to match: unweighted collapses toward the "
+      "background\npredictor on the rare class; inverse weights degrade "
+      "FP16 training;\ninverse-sqrt trains stably in FP16 and learns "
+      "AR/TC.\n");
+
+  // Direct overflow demonstration at the paper's exact class imbalance
+  // (0.982/0.017/0.001 -> inverse TC weight 1000): per-pixel weighted
+  // losses on confidently-wrong TC pixels exceed the binary16 maximum
+  // (65504), while inverse-sqrt weights stay 2 orders of magnitude below.
+  {
+    const std::array<double, 3> paper_freq{0.982, 0.017, 0.001};
+    const std::int64_t pixels = 256;
+    Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 1, pixels));
+    std::vector<std::uint8_t> labels(static_cast<std::size_t>(pixels), 0);
+    for (std::int64_t p = 0; p < 8; ++p) {
+      labels[static_cast<std::size_t>(p)] = kTropicalCyclone;
+      logits[static_cast<std::size_t>(p)] = 40.0f;               // BG sure
+      logits[static_cast<std::size_t>(2 * pixels + p)] = -40.0f;  // TC no
+    }
+    for (const auto scheme :
+         {WeightingScheme::kInverse, WeightingScheme::kInverseSqrt}) {
+      SegmentationLossOptions lo;
+      lo.precision = Precision::kFP16;
+      lo.class_weights = MakeClassWeights(paper_freq, scheme);
+      const auto r = WeightedSoftmaxCrossEntropy(logits, labels, lo);
+      std::printf(
+          "  paper imbalance, %-26s: %lld of 8 confidently-wrong TC "
+          "pixels overflow binary16 (max per-pixel loss ~%.0f)\n",
+          ToString(scheme), static_cast<long long>(r.nonfinite_loss_count),
+          lo.class_weights[2] * 80.0);
+    }
+  }
+  std::printf(
+      "Weight magnitudes: inverse TC weight = %.0f, inverse-sqrt = %.1f "
+      "(a %.0fx dynamic-range reduction).\n",
+      1.0 / freq[2], 1.0 / std::sqrt(freq[2]),
+      (1.0 / freq[2]) / (1.0 / std::sqrt(freq[2])));
+  return 0;
+}
+
+}  // namespace exaclim
+
+int main() { return exaclim::Main(); }

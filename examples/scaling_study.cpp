@@ -1,0 +1,104 @@
+// Scaling-study walkthrough: drive the at-scale performance model the
+// way the paper's Sec VII-B experiments were run — sweep GPU counts on
+// Summit and Piz Daint, compare control planes, all-reduce transports,
+// gradient lag and precisions, and decompose where each step's time
+// goes.
+//
+//   ./build/examples/example_scaling_study
+
+#include <cstdio>
+
+#include "netsim/scale.hpp"
+
+int main() {
+  using namespace exaclim;
+
+  // DeepLabv3+ on Summit, anchored at the paper's measured single-GPU
+  // rates (Fig 2).
+  ScaleOptions base;
+  base.machine = MachineModel::Summit();
+  base.spec = PaperDeepLabSpec(16);
+  base.precision = Precision::kFP16;
+  base.local_batch = 2;
+  base.lag = 1;
+  base.anchor_samples_per_sec = 2.67;
+  base.anchor_tf_per_sample = 14.41;
+
+  std::printf("=== DeepLabv3+ FP16 on Summit (lag 1, hybrid, hierarchical) "
+              "===\n");
+  std::printf("%8s %12s %10s %8s | step decomposition [ms]\n", "GPUs",
+              "images/s", "PF/s", "eff");
+  ScaleSimulator sim(base);
+  for (const int gpus : {6, 96, 1536, 6144, 27360}) {
+    const ScalePoint p = sim.Simulate(gpus);
+    std::printf(
+        "%8d %12.0f %10.1f %7.1f%% | compute %.0f, comm %.1f, ctrl %.2f, "
+        "straggler %.1f\n",
+        gpus, p.images_per_sec, p.pflops_sustained, p.efficiency * 100,
+        p.compute_seconds * 1e3, p.exposed_comm_seconds * 1e3,
+        p.control_seconds * 1e3, p.straggler_seconds * 1e3);
+  }
+
+  std::printf("\n=== what breaks without the paper's innovations (27360 "
+              "GPUs) ===\n");
+  struct Variant {
+    const char* name;
+    bool hier;
+    bool hybrid;
+    int lag;
+  };
+  for (const Variant v : {Variant{"all innovations", true, true, 1},
+                          {"flat control plane", false, true, 1},
+                          {"flat ring all-reduce", true, false, 1},
+                          {"no gradient lag", true, true, 0},
+                          {"none of them", false, false, 0}}) {
+    ScaleOptions o = base;
+    o.hierarchical_control = v.hier;
+    o.hybrid_allreduce = v.hybrid;
+    o.lag = v.lag;
+    const ScalePoint p = ScaleSimulator(o).Simulate(27360);
+    std::printf("  %-22s %9.0f images/s  %6.1f PF/s  %5.1f%% efficiency\n",
+                v.name, p.images_per_sec, p.pflops_sustained,
+                p.efficiency * 100);
+  }
+
+  std::printf("\n=== Piz Daint full machine (Tiramisu FP32, 4 channels) "
+              "===\n");
+  ScaleOptions daint;
+  daint.machine = MachineModel::PizDaint();
+  Tiramisu::Config cfg = Tiramisu::Config::Modified();
+  cfg.in_channels = 4;
+  daint.spec = BuildTiramisuSpec(cfg, 768, 1152);
+  daint.precision = Precision::kFP32;
+  daint.hybrid_allreduce = false;
+  daint.anchor_samples_per_sec = 1.20;
+  daint.anchor_tf_per_sample = 3.703;
+  ScaleSimulator daint_sim(daint);
+  for (const int gpus : {256, 1024, 2048, 5300}) {
+    const ScalePoint p = daint_sim.Simulate(gpus);
+    std::printf("  %5d GPUs: %8.0f images/s, %5.2f PF/s, %5.1f%% "
+                "efficiency\n",
+                gpus, p.images_per_sec, p.pflops_sustained,
+                p.efficiency * 100);
+  }
+
+  // Sec III-A: strong scaling (fixed global batch) for when large-batch
+  // hyperparameters cannot be found — efficiency collapses once the
+  // per-GPU batch shrinks, which is why the paper weak-scales.
+  std::printf("\n=== strong scaling, global batch 8192 (DeepLabv3+ FP16) "
+              "===\n");
+  for (const int gpus : {512, 1024, 2048, 4096}) {
+    const ScalePoint p = sim.SimulateStrongScaling(gpus, 8192);
+    std::printf(
+        "  %5d GPUs (batch/GPU %4d): %8.0f images/s, %5.1f%% efficiency\n",
+        gpus, 8192 / gpus, p.images_per_sec, p.efficiency * 100);
+  }
+  std::printf("  (weak scaling at 4096 GPUs for comparison: %5.1f%%)\n",
+              sim.Simulate(4096).efficiency * 100);
+
+  std::printf(
+      "\nFull-Summit FP16 headline: %.2f EF/s peak-step estimate "
+      "(paper: 1.13 EF/s)\n",
+      sim.Simulate(27360).pflops_sustained * 1.13 / 1e3);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Data-plane walkthrough (Secs V-A1 and V-A2): serialise climate samples
+// into NCF container files, stage them across simulated nodes with the
+// distributed stager (disjoint filesystem reads + point-to-point
+// redistribution), then feed training through the prefetching input
+// pipeline — the same path the paper's runs took from GPFS to GPU.
+//
+//   ./build/examples/example_staging_pipeline
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "io/pipeline.hpp"
+#include "io/sample_io.hpp"
+#include "io/staging.hpp"
+#include "train/trainer.hpp"
+
+int main() {
+  using namespace exaclim;
+  namespace fs = std::filesystem;
+
+  // ---- 1. "Simulation output": NCF files on the global filesystem.
+  const fs::path dir = fs::temp_directory_path() / "exaclim_staging_demo";
+  fs::create_directories(dir);
+  const int num_files = 24;
+  ClimateGenerator gen({.height = 32, .width = 48});
+  HeuristicLabeler labeler;
+  MockGlobalFs global_fs;
+  std::printf("writing %d NCF snapshot files...\n", num_files);
+  for (int f = 0; f < num_files; ++f) {
+    ClimateSample sample = gen.Generate(7, f);
+    labeler.LabelInPlace(sample);
+    const fs::path path = dir / ("snap" + std::to_string(f) + ".ncf");
+    WriteSampleFile(path, sample);
+    // Register the serialised bytes with the instrumented global FS.
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::byte> bytes(
+        static_cast<std::size_t>(fs::file_size(path)));
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    global_fs.Put(f, std::move(bytes));
+  }
+
+  // ---- 2. Distributed staging over 6 simulated nodes, each wanting a
+  // random half of the catalogue (the Sec V-A1 resampling).
+  const int ranks = 6;
+  std::vector<std::set<int>> needs(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    Rng rng(40 + r);
+    while (static_cast<int>(needs[static_cast<std::size_t>(r)].size()) <
+           num_files / 2) {
+      needs[static_cast<std::size_t>(r)].insert(
+          static_cast<int>(rng.Int(0, num_files - 1)));
+    }
+  }
+  std::vector<std::map<int, std::vector<std::byte>>> staged(ranks);
+  SimWorld world(ranks);
+  world.Run([&](Communicator& comm) {
+    staged[static_cast<std::size_t>(comm.rank())] = StageDataset(
+        comm, global_fs, needs[static_cast<std::size_t>(comm.rank())],
+        num_files);
+  });
+  std::printf(
+      "staged %d files/node across %d nodes: %lld filesystem reads "
+      "(exactly one per file), %.0f KB over the interconnect\n",
+      num_files / 2, ranks, static_cast<long long>(global_fs.total_reads()),
+      world.total_bytes() / 1024.0);
+
+  // Model view at machine scale for context.
+  const StagingModel model;
+  std::printf(
+      "at Summit scale the same algorithm stages 1024 nodes in %.1f min "
+      "(naive: %.0f min)\n",
+      model.DistributedStageSeconds(1024, 8) / 60.0,
+      model.NaiveStageSeconds(1024, 8) / 60.0);
+
+  // ---- 3. Input pipeline over the locally staged bytes of rank 0:
+  // parse NCF images from memory via temp files (the node-local SSD).
+  const fs::path local = dir / "node0_ssd";
+  fs::create_directories(local);
+  std::vector<fs::path> local_paths;
+  for (const auto& [id, bytes] : staged[0]) {
+    const fs::path p = local / ("staged" + std::to_string(id) + ".ncf");
+    std::ofstream out(p, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    local_paths.push_back(p);
+  }
+  InputPipeline pipeline(
+      [&](std::int64_t index) {
+        const ClimateSample s = ReadSampleFile(
+            local_paths[static_cast<std::size_t>(index) %
+                        local_paths.size()]);
+        Batch b;
+        b.fields = s.fields.Reshaped(TensorShape::NCHW(
+            1, kNumClimateChannels, s.height, s.width));
+        b.labels = s.labels;
+        return b;
+      },
+      36, {.workers = 3, .prefetch_depth = 4});
+
+  // ---- 4. Consume the pipeline with a real training loop.
+  TrainerOptions opts;
+  opts.arch = TrainerOptions::Arch::kTiramisu;
+  opts.tiramisu = Tiramisu::Config::Downscaled(16);
+  opts.learning_rate = 2e-3f;
+  const std::array<double, 3> freq{0.975, 0.022, 0.003};
+  RankTrainer trainer(opts,
+                      MakeClassWeights(freq, WeightingScheme::kInverseSqrt),
+                      0);
+  int steps = 0;
+  double loss = 0;
+  while (auto batch = pipeline.Next()) {
+    loss = trainer.StepLocal(*batch).loss;
+    ++steps;
+  }
+  std::printf(
+      "trained %d steps straight off the staged pipeline; final loss "
+      "%.4f\n",
+      steps, loss);
+
+  fs::remove_all(dir);
+  std::printf("done.\n");
+  return 0;
+}

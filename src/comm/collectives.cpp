@@ -1,0 +1,213 @@
+#include "comm/collectives.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace {
+
+void AddInto(std::span<float> acc, std::span<const float> other) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+}  // namespace
+
+void Barrier(Communicator& comm, int tag) {
+  const int n = comm.size();
+  const char token = 1;
+  for (int k = 1; k < n; k <<= 1) {
+    const int dst = (comm.rank() + k) % n;
+    const int src = (comm.rank() - k % n + n) % n;
+    comm.SendValue(dst, tag, token);
+    (void)comm.RecvValue<char>(src, tag);
+  }
+}
+
+void Broadcast(Communicator& comm, int root, std::span<float> data,
+               int tag) {
+  const int n = comm.size();
+  if (n == 1) return;
+  // Virtual rank with root at 0; binomial tree over virtual ranks.
+  const int vrank = (comm.rank() - root + n) % n;
+  // Receive from parent (highest set bit), unless root.
+  if (vrank != 0) {
+    int mask = 1;
+    while (mask <= vrank) mask <<= 1;
+    mask >>= 1;
+    const int vparent = vrank - mask;
+    const int parent = (vparent + root) % n;
+    comm.RecvT(parent, tag, data);
+  }
+  // Forward to children.
+  int mask = 1;
+  while (mask <= vrank) mask <<= 1;
+  for (; mask < n; mask <<= 1) {
+    const int vchild = vrank + mask;
+    if (vchild >= n) break;
+    const int child = (vchild + root) % n;
+    comm.SendT(child, tag, std::span<const float>(data.data(), data.size()));
+  }
+}
+
+void Reduce(Communicator& comm, int root, std::span<float> data, int tag) {
+  const int n = comm.size();
+  if (n == 1) return;
+  const int vrank = (comm.rank() - root + n) % n;
+  std::vector<float> incoming(data.size());
+  // Binomial tree: in round k, virtual ranks with bit k set send to
+  // (vrank - 2^k); receivers accumulate.
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vrank & mask) {
+      const int vdst = vrank - mask;
+      const int dst = (vdst + root) % n;
+      comm.SendT(dst, tag,
+                 std::span<const float>(data.data(), data.size()));
+      return;  // this rank is done after sending
+    }
+    const int vsrc = vrank + mask;
+    if (vsrc < n) {
+      const int src = (vsrc + root) % n;
+      comm.RecvT(src, tag, std::span<float>(incoming));
+      AddInto(data, incoming);
+    }
+  }
+}
+
+std::vector<ShardExtent> ComputeShards(std::size_t n, int parts) {
+  EXACLIM_CHECK(parts >= 1, "shard parts must be >= 1");
+  std::vector<ShardExtent> shards(static_cast<std::size_t>(parts));
+  const std::size_t base = n / static_cast<std::size_t>(parts);
+  const std::size_t extra = n % static_cast<std::size_t>(parts);
+  std::size_t offset = 0;
+  for (int i = 0; i < parts; ++i) {
+    const std::size_t count =
+        base + (static_cast<std::size_t>(i) < extra ? 1 : 0);
+    shards[static_cast<std::size_t>(i)] = {offset, count};
+    offset += count;
+  }
+  return shards;
+}
+
+void ReduceScatterRing(Communicator& comm, std::span<float> data, int tag) {
+  const int n = comm.size();
+  if (n == 1) return;
+  const auto shards = ComputeShards(data.size(), n);
+  const int rank = comm.rank();
+  const int next = (rank + 1) % n;
+  const int prev = (rank - 1 + n) % n;
+  std::vector<float> incoming(data.size());
+
+  // Round k: send shard (rank - k), receive and accumulate shard
+  // (rank - k - 1). After n-1 rounds rank r holds the full sum of shard
+  // (r+1) mod n.
+  for (int k = 0; k < n - 1; ++k) {
+    const int send_shard = ((rank - k) % n + n) % n;
+    const int recv_shard = ((rank - k - 1) % n + n) % n;
+    const auto& s = shards[static_cast<std::size_t>(send_shard)];
+    const auto& r = shards[static_cast<std::size_t>(recv_shard)];
+    comm.SendT(next, tag + k,
+               std::span<const float>(data.data() + s.offset, s.count));
+    comm.RecvT(prev, tag + k,
+               std::span<float>(incoming.data(), r.count));
+    AddInto(std::span<float>(data.data() + r.offset, r.count),
+            std::span<const float>(incoming.data(), r.count));
+  }
+}
+
+void AllgatherRing(Communicator& comm, std::span<float> data, int tag) {
+  const int n = comm.size();
+  if (n == 1) return;
+  const auto shards = ComputeShards(data.size(), n);
+  const int rank = comm.rank();
+  const int next = (rank + 1) % n;
+  const int prev = (rank - 1 + n) % n;
+
+  // Round k: send shard (rank + 1 - k), receive shard (rank - k).
+  for (int k = 0; k < n - 1; ++k) {
+    const int send_shard = ((rank + 1 - k) % n + n) % n;
+    const int recv_shard = ((rank - k) % n + n) % n;
+    const auto& s = shards[static_cast<std::size_t>(send_shard)];
+    const auto& r = shards[static_cast<std::size_t>(recv_shard)];
+    comm.SendT(next, tag + k,
+               std::span<const float>(data.data() + s.offset, s.count));
+    comm.RecvT(prev, tag + k,
+               std::span<float>(data.data() + r.offset, r.count));
+  }
+}
+
+const char* ToString(AllreduceAlgo algo) {
+  switch (algo) {
+    case AllreduceAlgo::kRing: return "ring";
+    case AllreduceAlgo::kTree: return "tree";
+    case AllreduceAlgo::kRecursiveDoubling: return "recursive-doubling";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void AllreduceRecursiveDoubling(Communicator& comm, std::span<float> data,
+                                int tag) {
+  const int n = comm.size();
+  std::vector<float> incoming(data.size());
+  int round = 0;
+  for (int mask = 1; mask < n; mask <<= 1, ++round) {
+    const int partner = comm.rank() ^ mask;
+    comm.SendT(partner, tag + round,
+               std::span<const float>(data.data(), data.size()));
+    comm.RecvT(partner, tag + round, std::span<float>(incoming));
+    AddInto(data, incoming);
+  }
+}
+
+}  // namespace
+
+void Allreduce(Communicator& comm, std::span<float> data, AllreduceAlgo algo,
+               int tag) {
+  switch (algo) {
+    case AllreduceAlgo::kRing:
+      // For tiny payloads relative to rank count the ring degenerates;
+      // still correct, and netsim models the latency cost.
+      ReduceScatterRing(comm, data, tag);
+      AllgatherRing(comm, data, tag + comm.size());
+      return;
+    case AllreduceAlgo::kTree:
+      Reduce(comm, 0, data, tag);
+      Broadcast(comm, 0, data, tag + 1);
+      return;
+    case AllreduceAlgo::kRecursiveDoubling:
+      if (IsPowerOfTwo(comm.size())) {
+        AllreduceRecursiveDoubling(comm, data, tag);
+      } else {
+        Reduce(comm, 0, data, tag);
+        Broadcast(comm, 0, data, tag + 1);
+      }
+      return;
+  }
+}
+
+void Gather(Communicator& comm, int root, std::span<const float> data,
+            std::span<float> out, int tag) {
+  const int n = comm.size();
+  if (comm.rank() == root) {
+    EXACLIM_CHECK(out.size() == data.size() * static_cast<std::size_t>(n),
+                  "gather output buffer size mismatch");
+    std::copy(data.begin(), data.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(
+                                data.size() * static_cast<std::size_t>(root)));
+    for (int r = 0; r < n; ++r) {
+      if (r == root) continue;
+      comm.RecvT(r, tag,
+                 std::span<float>(out.data() + data.size() *
+                                                   static_cast<std::size_t>(r),
+                                  data.size()));
+    }
+  } else {
+    comm.SendT(root, tag, data);
+  }
+}
+
+}  // namespace exaclim

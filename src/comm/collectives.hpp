@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/world.hpp"
+
+namespace exaclim {
+
+/// Collective algorithms implemented over point-to-point messaging —
+/// the building blocks the paper's hybrid all-reduce composes (Sec
+/// V-A3). All reductions are float sums with deterministic combining
+/// order (independent of thread timing), so data-parallel replicas stay
+/// bit-identical.
+///
+/// Each call takes a `tag` namespace; sequential collectives on the same
+/// communicator may reuse a tag, concurrent ones must not.
+
+/// Dissemination barrier: ceil(log2 n) rounds.
+void Barrier(Communicator& comm, int tag = 1000);
+
+/// Binomial-tree broadcast from root.
+void Broadcast(Communicator& comm, int root, std::span<float> data,
+               int tag = 1100);
+
+/// Binomial-tree sum-reduction to root (other ranks' buffers untouched).
+void Reduce(Communicator& comm, int root, std::span<float> data,
+            int tag = 1200);
+
+/// Ring reduce-scatter: on return, rank r owns the fully reduced shard
+/// (r+1) mod n (the classic systolic-ring layout, matched by
+/// AllgatherRing). Shards partition [0, n) as evenly as possible via
+/// ComputeShards. This is the NCCL-style pattern of Sec V-A3.
+struct ShardExtent {
+  std::size_t offset;
+  std::size_t count;
+};
+std::vector<ShardExtent> ComputeShards(std::size_t n, int parts);
+void ReduceScatterRing(Communicator& comm, std::span<float> data,
+                       int tag = 1300);
+
+/// Ring allgather of the per-rank shards produced by ReduceScatterRing.
+void AllgatherRing(Communicator& comm, std::span<float> data,
+                   int tag = 1400);
+
+enum class AllreduceAlgo {
+  kRing,               // reduce-scatter + allgather (bandwidth-optimal)
+  kTree,               // reduce to root + broadcast (latency-friendly)
+  kRecursiveDoubling,  // power-of-two butterfly (MPI-style)
+};
+
+const char* ToString(AllreduceAlgo algo);
+
+/// In-place sum all-reduce with the chosen algorithm. Recursive doubling
+/// falls back to tree for non-power-of-two sizes.
+void Allreduce(Communicator& comm, std::span<float> data,
+               AllreduceAlgo algo = AllreduceAlgo::kRing, int tag = 1500);
+
+/// Gathers `data` from every rank to root (concatenated rank-major).
+void Gather(Communicator& comm, int root, std::span<const float> data,
+            std::span<float> out, int tag = 1600);
+
+}  // namespace exaclim

@@ -1,0 +1,136 @@
+#include "comm/world.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+// ------------------------------------------------------- Communicator ---
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::Send(int dst, int tag, std::span<const std::byte> data) {
+  EXACLIM_CHECK(dst >= 0 && dst < world_->size(),
+                "send to invalid rank " << dst);
+  SimWorld::Message message;
+  message.src = rank_;
+  message.tag = tag;
+  message.payload.assign(data.begin(), data.end());
+  ++messages_sent_;
+  bytes_sent_ += static_cast<std::int64_t>(data.size());
+  world_->Deliver(dst, std::move(message));
+}
+
+int Communicator::Recv(int src, int tag, std::span<std::byte> data) {
+  SimWorld::Message message = world_->Take(rank_, src, tag);
+  EXACLIM_CHECK(message.payload.size() == data.size(),
+                "recv size mismatch: got " << message.payload.size()
+                                           << " expected " << data.size()
+                                           << " (tag " << tag << ")");
+  std::copy(message.payload.begin(), message.payload.end(), data.begin());
+  ++messages_received_;
+  return message.src;
+}
+
+std::vector<std::byte> Communicator::RecvAny(int src, int tag,
+                                             int* actual_src) {
+  SimWorld::Message message = world_->Take(rank_, src, tag);
+  if (actual_src != nullptr) *actual_src = message.src;
+  ++messages_received_;
+  return std::move(message.payload);
+}
+
+// ------------------------------------------------------------ SimWorld --
+
+SimWorld::SimWorld(int size) : size_(size) {
+  EXACLIM_CHECK(size_ >= 1, "world size must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+SimWorld::~SimWorld() = default;
+
+void SimWorld::Deliver(int dst, Message message) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  {
+    std::lock_guard lock(box.mutex);
+    box.messages.push_back(std::move(message));
+  }
+  box.cv.notify_all();
+}
+
+SimWorld::Message SimWorld::Take(int dst, int src, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  std::unique_lock lock(box.mutex);
+  for (;;) {
+    for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
+      if ((src == kAnySource || it->src == src) && it->tag == tag) {
+        Message message = std::move(*it);
+        box.messages.erase(it);
+        return message;
+      }
+    }
+    if (box.poisoned) {
+      throw Error("rank " + std::to_string(dst) +
+                  ": world poisoned while waiting for message (src=" +
+                  std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
+    }
+    box.cv.wait(lock);
+  }
+}
+
+void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
+  // Reset poison/counters from any previous run.
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box->mutex);
+    box->poisoned = false;
+  }
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) comms.emplace_back(*this, r);
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(comms[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Poison every mailbox so peers blocked in Recv abort instead of
+        // deadlocking on a rank that died.
+        for (auto& box : mailboxes_) {
+          {
+            std::lock_guard lock(box->mutex);
+            box->poisoned = true;
+          }
+          box->cv.notify_all();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  for (const Communicator& c : comms) {
+    total_messages_ += c.messages_sent();
+    total_bytes_ += c.bytes_sent();
+  }
+  // Drain any leftover messages (e.g. from an aborted run).
+  for (auto& box : mailboxes_) {
+    std::lock_guard lock(box->mutex);
+    box->messages.clear();
+  }
+  for (auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace exaclim

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace exaclim {
+
+/// Matches any source rank in Recv (like MPI_ANY_SOURCE).
+inline constexpr int kAnySource = -1;
+
+class SimWorld;
+
+/// Per-rank handle into a SimWorld: blocking tagged point-to-point
+/// messaging, plus counters used by the control-plane experiments. All
+/// collectives (comm/collectives.hpp) are built on these primitives, the
+/// same way MPI collectives are built on sends — so the hierarchical
+/// Horovod algorithms in hvd/ genuinely execute their message patterns.
+class Communicator {
+ public:
+  Communicator(SimWorld& world, int rank) : world_(&world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered send: enqueues and returns immediately (MPI_Bsend-like).
+  void Send(int dst, int tag, std::span<const std::byte> data);
+  /// Blocking receive of a message matching (src, tag); src may be
+  /// kAnySource. Returns the actual source rank; the payload must fit.
+  int Recv(int src, int tag, std::span<std::byte> data);
+  /// Receives a message of unknown size (returns payload; sets src).
+  std::vector<std::byte> RecvAny(int src, int tag, int* actual_src = nullptr);
+
+  // Typed convenience wrappers.
+  template <typename T>
+  void SendT(int dst, int tag, std::span<const T> data) {
+    Send(dst, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  int RecvT(int src, int tag, std::span<T> data) {
+    return Recv(src, tag, std::as_writable_bytes(data));
+  }
+  template <typename T>
+  void SendValue(int dst, int tag, const T& value) {
+    SendT(dst, tag, std::span<const T>(&value, 1));
+  }
+  template <typename T>
+  T RecvValue(int src, int tag, int* actual_src = nullptr) {
+    T value{};
+    const int s = RecvT(src, tag, std::span<T>(&value, 1));
+    if (actual_src != nullptr) *actual_src = s;
+    return value;
+  }
+
+  std::int64_t messages_sent() const { return messages_sent_; }
+  std::int64_t bytes_sent() const { return bytes_sent_; }
+  std::int64_t messages_received() const { return messages_received_; }
+  void ResetCounters() {
+    messages_sent_ = bytes_sent_ = messages_received_ = 0;
+  }
+
+ private:
+  SimWorld* world_;
+  int rank_;
+  std::int64_t messages_sent_ = 0;
+  std::int64_t bytes_sent_ = 0;
+  std::int64_t messages_received_ = 0;
+};
+
+/// An in-process "machine": `size` ranks, each a thread, exchanging
+/// messages through per-destination mailboxes. The stand-in for MPI on
+/// this substrate — collective *algorithms* run for real; only transport
+/// time is left to netsim's analytic model.
+class SimWorld {
+ public:
+  explicit SimWorld(int size);
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  int size() const { return size_; }
+
+  /// Runs fn on every rank concurrently (one thread per rank) and joins.
+  /// The first exception thrown by any rank is rethrown here after all
+  /// ranks finish or the world is poisoned.
+  void Run(const std::function<void(Communicator&)>& fn);
+
+  /// Total messages/bytes across all ranks in the last Run.
+  std::int64_t total_messages() const { return total_messages_; }
+  std::int64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  friend class Communicator;
+
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+    bool poisoned = false;
+  };
+
+  void Deliver(int dst, Message message);
+  Message Take(int dst, int src, int tag);
+
+  int size_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::int64_t total_messages_ = 0;
+  std::int64_t total_bytes_ = 0;
+};
+
+/// Maps flat ranks onto a (node, local rank) topology — Summit runs 6
+/// ranks per node (one per GPU), Piz Daint 1 (Sec V-A3).
+struct Topology {
+  int ranks_per_node = 1;
+
+  int NodeOf(int rank) const { return rank / ranks_per_node; }
+  int LocalRank(int rank) const { return rank % ranks_per_node; }
+  int GlobalRank(int node, int local) const {
+    return node * ranks_per_node + local;
+  }
+  int NumNodes(int world_size) const {
+    return (world_size + ranks_per_node - 1) / ranks_per_node;
+  }
+};
+
+}  // namespace exaclim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace exaclim {
+
+/// Error type thrown by all EXACLIM_CHECK failures. Carries the failing
+/// expression, source location and a formatted message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* expr, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: (" << expr << ") ";
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] void raise() const { throw Error(stream_.str()); }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace exaclim
+
+/// Precondition/invariant check: throws exaclim::Error with context on
+/// failure. Usable in both library and test code; always enabled.
+#define EXACLIM_CHECK(expr, msg)                                            \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::exaclim::detail::CheckMessageBuilder builder(#expr, __FILE__,       \
+                                                     __LINE__);             \
+      builder << msg; /* NOLINT */                                          \
+      builder.raise();                                                      \
+    }                                                                       \
+  } while (false)

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace exaclim {
+
+/// Software IEEE 754 binary16 ("half") value.
+///
+/// Summit's Tensor Cores operate on FP16 inputs; on this substrate we
+/// emulate the storage format exactly (round-to-nearest-even conversion,
+/// denormals, infinities, NaN) so that the paper's mixed-precision
+/// numerical-stability findings (Sec V-B1) reproduce faithfully. Arithmetic
+/// is performed by converting through float, matching the FP16-in/FP32-out
+/// accumulate behaviour of the Tensor Core FMA path.
+class Half {
+ public:
+  constexpr Half() = default;
+
+  /// Converts from float with round-to-nearest-even, overflowing to +/-inf.
+  explicit Half(float value) : bits_(FromFloat(value)) {}
+
+  /// Reinterprets raw binary16 bits.
+  static constexpr Half FromBits(std::uint16_t bits) {
+    Half h;
+    h.bits_ = bits;
+    return h;
+  }
+
+  /// Converts to float exactly (every binary16 value is representable).
+  float ToFloat() const { return ToFloatImpl(bits_); }
+  explicit operator float() const { return ToFloat(); }
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  bool IsNan() const {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) != 0;
+  }
+  bool IsInf() const {
+    return (bits_ & 0x7c00u) == 0x7c00u && (bits_ & 0x03ffu) == 0;
+  }
+  bool IsFinite() const { return (bits_ & 0x7c00u) != 0x7c00u; }
+
+  /// Largest finite binary16 value (65504).
+  static constexpr Half Max() { return FromBits(0x7bffu); }
+  /// Smallest positive normal binary16 value (2^-14).
+  static constexpr Half MinNormal() { return FromBits(0x0400u); }
+  /// Smallest positive subnormal binary16 value (2^-24).
+  static constexpr Half MinSubnormal() { return FromBits(0x0001u); }
+
+  friend bool operator==(Half a, Half b) {
+    if (a.IsNan() || b.IsNan()) return false;
+    // +0 == -0.
+    if (((a.bits_ | b.bits_) & 0x7fffu) == 0) return true;
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(Half a, Half b) { return !(a == b); }
+  friend bool operator<(Half a, Half b) { return a.ToFloat() < b.ToFloat(); }
+
+  friend Half operator+(Half a, Half b) {
+    return Half(a.ToFloat() + b.ToFloat());
+  }
+  friend Half operator-(Half a, Half b) {
+    return Half(a.ToFloat() - b.ToFloat());
+  }
+  friend Half operator*(Half a, Half b) {
+    return Half(a.ToFloat() * b.ToFloat());
+  }
+  friend Half operator/(Half a, Half b) {
+    return Half(a.ToFloat() / b.ToFloat());
+  }
+  friend Half operator-(Half a) { return FromBits(a.bits_ ^ 0x8000u); }
+
+  Half& operator+=(Half other) { return *this = *this + other; }
+  Half& operator-=(Half other) { return *this = *this - other; }
+  Half& operator*=(Half other) { return *this = *this * other; }
+  Half& operator/=(Half other) { return *this = *this / other; }
+
+ private:
+  static std::uint16_t FromFloat(float value);
+  static float ToFloatImpl(std::uint16_t bits);
+
+  std::uint16_t bits_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Half h);
+
+/// Relative unit roundoff of binary16 (2^-11); useful for test tolerances.
+inline constexpr float kHalfEpsilonRel = 1.0f / 2048.0f;
+
+}  // namespace exaclim

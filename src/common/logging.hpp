@@ -1,0 +1,40 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace exaclim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Thread-safe sink to stderr, prefixed with level and a monotonic
+/// timestamp. Kept intentionally minimal — experiments print their own
+/// tables to stdout; logging is for diagnostics only.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace exaclim
+
+#define EXACLIM_LOG(level) ::exaclim::detail::LogLine(::exaclim::LogLevel::level)

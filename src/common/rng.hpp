@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace exaclim {
+
+/// Deterministic seeded RNG used everywhere randomness is needed (weight
+/// init, data synthesis, sampling). Wrapping mt19937_64 keeps every
+/// experiment reproducible across runs and rank counts; per-rank streams
+/// are derived by Fork() with a distinct stream id.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derives an independent deterministic stream (e.g. one per rank).
+  Rng Fork(std::uint64_t stream) const {
+    // SplitMix64-style mixing of (seed, stream) into a new seed.
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  float Uniform(float lo = 0.0f, float hi = 1.0f) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  double UniformDouble(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  float Normal(float mean = 0.0f, float stddev = 1.0f) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  std::size_t Index(std::size_t n) {
+    return static_cast<std::size_t>(Int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace exaclim {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in ParallelFor, so spawn one fewer.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t total = end - begin;
+  const std::size_t max_blocks = workers_.size() + 1;
+  const std::size_t blocks =
+      std::max<std::size_t>(1, std::min(max_blocks, total / std::max<std::size_t>(1, grain)));
+  if (blocks == 1) {
+    fn(begin, end);
+    return;
+  }
+
+  const std::size_t chunk = (total + blocks - 1) / blocks;
+  std::atomic<std::size_t> remaining{blocks - 1};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t b = 1; b < blocks; ++b) {
+    const std::size_t lo = begin + b * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    {
+      std::lock_guard lock(mutex_);
+      tasks_.push([&, lo, hi] {
+        fn(lo, hi);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard done_lock(done_mutex);
+          done_cv.notify_one();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The caller runs the first block itself, then waits out the rest.
+  fn(begin, std::min(end, begin + chunk));
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t grain) {
+  ThreadPool::Global().ParallelFor(begin, end, fn, grain);
+}
+
+}  // namespace exaclim

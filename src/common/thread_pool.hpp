@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace exaclim {
+
+/// Fixed-size worker pool used by the tensor kernels for intra-op
+/// parallelism (the stand-in for the CUDA stream the paper's kernels ran
+/// on). Tasks are arbitrary callables; ParallelFor partitions an index
+/// range into contiguous blocks, one per worker, and blocks until all
+/// complete — deterministic partitioning keeps reductions reproducible.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(begin, end) over disjoint sub-ranges of [begin, end) on the
+  /// pool (and the calling thread), returning when every block is done.
+  /// `grain` is the minimum block size worth shipping to a worker.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& fn,
+                   std::size_t grain = 1024);
+
+  /// Process-wide pool shared by tensor kernels.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::Global().ParallelFor.
+void ParallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 std::size_t grain = 1024);
+
+}  // namespace exaclim

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace exaclim {
+
+/// Physically-consistent data augmentation for global climate grids.
+/// Longitude is periodic, so rolling a snapshot in x produces another
+/// valid snapshot; mirroring latitude is valid if the meridional wind
+/// components flip sign (southward becomes northward). Labels transform
+/// with the fields. The fixed training set is the scaling bottleneck the
+/// paper notes ("the size of the overall training set remains fixed"),
+/// which augmentation stretches.
+struct AugmentOptions {
+  bool roll_longitude = true;
+  bool mirror_latitude = true;
+  /// Channel indices (within the batch's channel axis) holding
+  /// meridional winds, negated under a latitude mirror.
+  std::vector<std::int64_t> meridional_channels;
+  /// Additive Gaussian field noise (0 disables) — observation-noise
+  /// robustness.
+  float noise_stddev = 0.0f;
+};
+
+/// Rolls every sample of the batch by `shift` pixels in longitude
+/// (periodic).
+void RollLongitude(Batch& batch, std::int64_t shift, std::int64_t height,
+                   std::int64_t width);
+
+/// Mirrors latitude (flips y), negating the given meridional channels.
+void MirrorLatitude(Batch& batch, std::span<const std::int64_t> v_channels,
+                    std::int64_t height, std::int64_t width);
+
+/// Applies a random augmentation drawn from `rng` (independent per call).
+void AugmentBatch(Batch& batch, const AugmentOptions& opts, Rng& rng,
+                  std::int64_t height, std::int64_t width);
+
+}  // namespace exaclim

@@ -1,0 +1,155 @@
+#include "data/labeler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+ComponentMap ConnectedComponents(const std::vector<std::uint8_t>& mask,
+                                 std::int64_t h, std::int64_t w) {
+  EXACLIM_CHECK(static_cast<std::int64_t>(mask.size()) == h * w,
+                "mask size mismatch");
+  ComponentMap result;
+  result.ids.assign(mask.size(), -1);
+  for (std::int64_t start = 0; start < h * w; ++start) {
+    if (!mask[static_cast<std::size_t>(start)] ||
+        result.ids[static_cast<std::size_t>(start)] >= 0) {
+      continue;
+    }
+    // BFS floodfill with periodic longitude.
+    const int id = result.count++;
+    std::deque<std::int64_t> frontier{start};
+    result.ids[static_cast<std::size_t>(start)] = id;
+    while (!frontier.empty()) {
+      const std::int64_t p = frontier.front();
+      frontier.pop_front();
+      const std::int64_t y = p / w, x = p % w;
+      const std::int64_t neighbours[4] = {
+          (y > 0) ? p - w : -1,
+          (y + 1 < h) ? p + w : -1,
+          y * w + (x + 1) % w,
+          y * w + (x - 1 + w) % w,
+      };
+      for (const std::int64_t q : neighbours) {
+        if (q < 0) continue;
+        if (mask[static_cast<std::size_t>(q)] &&
+            result.ids[static_cast<std::size_t>(q)] < 0) {
+          result.ids[static_cast<std::size_t>(q)] = id;
+          frontier.push_back(q);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+struct ComponentStats {
+  std::int64_t pixels = 0;
+  std::int64_t min_y = 1 << 30, max_y = -1;
+  std::int64_t min_x = 1 << 30, max_x = -1;  // note: ignores wrap for bbox
+  double sum_t200 = 0.0;
+  double max_wind_sq = 0.0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> HeuristicLabeler::Label(
+    const ClimateSample& sample) const {
+  const auto& opts = HeuristicLabelerOptions_;
+  const std::int64_t h = sample.height, w = sample.width;
+  const Tensor& f = sample.fields;
+  const auto field = [&](int c, std::int64_t p) {
+    return f.Data()[static_cast<std::size_t>(c * h * w + p)];
+  };
+
+  std::vector<std::uint8_t> labels(static_cast<std::size_t>(h * w),
+                                   kBackground);
+
+  // ---- TC detection: floodfill deep PSL minima, then verify warm core
+  // and wind criterion (TECA's multi-variate thresholds).
+  std::vector<std::uint8_t> tc_mask(labels.size(), 0);
+  for (std::int64_t p = 0; p < h * w; ++p) {
+    tc_mask[static_cast<std::size_t>(p)] =
+        field(kPSL, p) < opts.psl_depth_threshold ? 1 : 0;
+  }
+  const ComponentMap tc_components = ConnectedComponents(tc_mask, h, w);
+  std::vector<ComponentStats> tc_stats(
+      static_cast<std::size_t>(tc_components.count));
+  for (std::int64_t p = 0; p < h * w; ++p) {
+    const int id = tc_components.ids[static_cast<std::size_t>(p)];
+    if (id < 0) continue;
+    auto& s = tc_stats[static_cast<std::size_t>(id)];
+    ++s.pixels;
+    s.sum_t200 += field(kT200, p);
+    const double u = field(kU850, p), v = field(kV850, p);
+    s.max_wind_sq = std::max(s.max_wind_sq, u * u + v * v);
+  }
+  std::vector<bool> tc_accepted(static_cast<std::size_t>(tc_components.count),
+                                false);
+  for (int id = 0; id < tc_components.count; ++id) {
+    const auto& s = tc_stats[static_cast<std::size_t>(id)];
+    const double mean_t200 = s.sum_t200 / static_cast<double>(s.pixels);
+    tc_accepted[static_cast<std::size_t>(id)] =
+        s.pixels >= opts.tc_min_pixels && s.pixels <= opts.tc_max_pixels &&
+        mean_t200 > opts.warm_core_threshold &&
+        std::sqrt(s.max_wind_sq) > opts.wind_speed_threshold;
+  }
+
+  // ---- AR detection: floodfill high-TMQ regions, then geometry filter
+  // (long and narrow, reaching away from the deep tropics).
+  std::vector<std::uint8_t> ar_mask(labels.size(), 0);
+  for (std::int64_t p = 0; p < h * w; ++p) {
+    // Exclude accepted TC cores from the moisture mask so a cyclone's
+    // moist envelope is not double-counted as a river.
+    const int tc_id = tc_components.ids[static_cast<std::size_t>(p)];
+    const bool in_tc = tc_id >= 0 && tc_accepted[static_cast<std::size_t>(tc_id)];
+    ar_mask[static_cast<std::size_t>(p)] =
+        (!in_tc && field(kTMQ, p) > opts.tmq_threshold) ? 1 : 0;
+  }
+  const ComponentMap ar_components = ConnectedComponents(ar_mask, h, w);
+  std::vector<ComponentStats> ar_stats(
+      static_cast<std::size_t>(ar_components.count));
+  for (std::int64_t p = 0; p < h * w; ++p) {
+    const int id = ar_components.ids[static_cast<std::size_t>(p)];
+    if (id < 0) continue;
+    auto& s = ar_stats[static_cast<std::size_t>(id)];
+    ++s.pixels;
+    const std::int64_t y = p / w, x = p % w;
+    s.min_y = std::min(s.min_y, y);
+    s.max_y = std::max(s.max_y, y);
+    s.min_x = std::min(s.min_x, x);
+    s.max_x = std::max(s.max_x, x);
+  }
+  std::vector<bool> ar_accepted(static_cast<std::size_t>(ar_components.count),
+                                false);
+  for (int id = 0; id < ar_components.count; ++id) {
+    const auto& s = ar_stats[static_cast<std::size_t>(id)];
+    if (s.pixels < opts.ar_min_pixels) continue;
+    const double dy = static_cast<double>(s.max_y - s.min_y + 1);
+    const double dx = static_cast<double>(s.max_x - s.min_x + 1);
+    const double diag = std::hypot(dx, dy);
+    const double elongation = diag / std::sqrt(static_cast<double>(s.pixels));
+    ar_accepted[static_cast<std::size_t>(id)] =
+        elongation >= opts.ar_min_elongation;
+  }
+
+  for (std::int64_t p = 0; p < h * w; ++p) {
+    const int tc_id = tc_components.ids[static_cast<std::size_t>(p)];
+    if (tc_id >= 0 && tc_accepted[static_cast<std::size_t>(tc_id)]) {
+      labels[static_cast<std::size_t>(p)] = kTropicalCyclone;
+      continue;
+    }
+    const int ar_id = ar_components.ids[static_cast<std::size_t>(p)];
+    if (ar_id >= 0 && ar_accepted[static_cast<std::size_t>(ar_id)]) {
+      labels[static_cast<std::size_t>(p)] = kAtmosphericRiver;
+    }
+  }
+  return labels;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,168 @@
+#include "flops/cost.hpp"
+
+namespace exaclim {
+
+const char* ToString(KernelCategory c) {
+  switch (c) {
+    case KernelCategory::kFwdConv: return "Forward Convolutions";
+    case KernelCategory::kFwdPointwise: return "Forward Point-wise";
+    case KernelCategory::kBwdConv: return "Backward Convolutions";
+    case KernelCategory::kBwdPointwise: return "Backward Point-wise";
+    case KernelCategory::kOptimizer: return "Optimizer";
+    case KernelCategory::kCopies: return "Copies/Transposes";
+    case KernelCategory::kAllreduce: return "Allreduce (NCCL)";
+    case KernelCategory::kConvert: return "Type Conversions";
+  }
+  return "?";
+}
+
+double TrainingCost::TotalFlops() const {
+  double total = 0.0;
+  for (const auto& c : categories) total += c.flops;
+  return total;
+}
+
+double TrainingCost::TotalBytes() const {
+  double total = 0.0;
+  for (const auto& c : categories) total += c.bytes;
+  return total;
+}
+
+double TrainingCost::ConvFlopsPerSample() const {
+  return (at(KernelCategory::kFwdConv).flops +
+          at(KernelCategory::kBwdConv).flops) /
+         static_cast<double>(batch);
+}
+
+double ConvFlops(std::int64_t k, std::int64_t out_h, std::int64_t out_w,
+                 std::int64_t in_c, std::int64_t out_c, std::int64_t batch) {
+  return 2.0 * static_cast<double>(k) * k * static_cast<double>(out_h) *
+         out_w * static_cast<double>(in_c) * out_c *
+         static_cast<double>(batch);
+}
+
+TrainingCost AnalyzeTraining(const ArchSpec& spec, Precision precision,
+                             std::int64_t batch) {
+  TrainingCost cost;
+  cost.batch = batch;
+  const double e = BytesPerElement(precision);   // activation storage
+  const double ew = 4.0;                         // FP32 master weights
+  const double b = static_cast<double>(batch);
+
+  for (const OpSpec& op : spec.ops) {
+    const double in_elems = static_cast<double>(op.in_c) * op.in_h * op.in_w * b;
+    const double out_elems =
+        static_cast<double>(op.out_c) * op.out_h * op.out_w * b;
+    const double weight_bytes = static_cast<double>(op.params) * e;
+
+    switch (op.kind) {
+      case OpSpec::Kind::kConv: {
+        const double fwd =
+            ConvFlops(op.kernel, op.out_h, op.out_w, op.in_c, op.out_c, batch);
+        auto& f = cost.at(KernelCategory::kFwdConv);
+        ++f.kernels;
+        f.flops += fwd;
+        f.bytes += (in_elems + out_elems) * e + weight_bytes;
+        // Backward: data gradient + weight gradient, each ~ forward cost.
+        auto& bwd = cost.at(KernelCategory::kBwdConv);
+        bwd.kernels += 2;
+        bwd.flops += 2.0 * fwd;
+        bwd.bytes += (2 * in_elems + 2 * out_elems) * e + 2 * weight_bytes;
+        break;
+      }
+      case OpSpec::Kind::kDeconv: {
+        // MACs are per *input* position for a transposed conv.
+        const double fwd =
+            ConvFlops(op.kernel, op.in_h, op.in_w, op.in_c, op.out_c, batch);
+        auto& f = cost.at(KernelCategory::kFwdConv);
+        ++f.kernels;
+        f.flops += fwd;
+        f.bytes += (in_elems + out_elems) * e + weight_bytes;
+        auto& bwd = cost.at(KernelCategory::kBwdConv);
+        bwd.kernels += 2;
+        bwd.flops += 2.0 * fwd;
+        bwd.bytes += (2 * in_elems + 2 * out_elems) * e + 2 * weight_bytes;
+        break;
+      }
+      case OpSpec::Kind::kNorm: {
+        auto& f = cost.at(KernelCategory::kFwdPointwise);
+        ++f.kernels;
+        f.flops += 8.0 * out_elems;
+        f.bytes += 3.0 * out_elems * e;
+        auto& bwd = cost.at(KernelCategory::kBwdPointwise);
+        ++bwd.kernels;
+        bwd.flops += 10.0 * out_elems;
+        bwd.bytes += 4.0 * out_elems * e;
+        break;
+      }
+      case OpSpec::Kind::kActivation:
+      case OpSpec::Kind::kBias: {
+        auto& f = cost.at(KernelCategory::kFwdPointwise);
+        ++f.kernels;
+        f.flops += out_elems;
+        f.bytes += 2.0 * out_elems * e;
+        auto& bwd = cost.at(KernelCategory::kBwdPointwise);
+        ++bwd.kernels;
+        bwd.flops += out_elems;
+        bwd.bytes += 2.0 * out_elems * e;
+        break;
+      }
+      case OpSpec::Kind::kPool: {
+        auto& f = cost.at(KernelCategory::kFwdPointwise);
+        ++f.kernels;
+        f.flops += static_cast<double>(op.kernel) * op.kernel * out_elems;
+        f.bytes += (in_elems + out_elems) * e;
+        auto& bwd = cost.at(KernelCategory::kBwdPointwise);
+        ++bwd.kernels;
+        bwd.bytes += (in_elems + out_elems) * e;
+        break;
+      }
+      case OpSpec::Kind::kConcat: {
+        // Pure data movement (the copies TensorFlow could not elide,
+        // Sec VII-A) — forward copy plus backward split.
+        auto& c = cost.at(KernelCategory::kCopies);
+        c.kernels += 2;
+        c.bytes += 4.0 * out_elems * e;
+        break;
+      }
+      case OpSpec::Kind::kUpsample: {
+        auto& f = cost.at(KernelCategory::kFwdPointwise);
+        ++f.kernels;
+        f.flops += 8.0 * out_elems;
+        f.bytes += (in_elems + out_elems) * e;
+        auto& bwd = cost.at(KernelCategory::kBwdPointwise);
+        ++bwd.kernels;
+        bwd.flops += 8.0 * out_elems;
+        bwd.bytes += (in_elems + out_elems) * e;
+        break;
+      }
+    }
+
+    if (precision == Precision::kFP16 && op.params > 0) {
+      // FP32 master weights are cast to FP16 for use each step.
+      auto& conv = cost.at(KernelCategory::kConvert);
+      ++conv.kernels;
+      conv.flops += static_cast<double>(op.params);
+      conv.bytes += static_cast<double>(op.params) * (ew + e);
+    }
+  }
+
+  const double params = static_cast<double>(spec.TotalParams());
+  auto& opt = cost.at(KernelCategory::kOptimizer);
+  // One fused update kernel per op with parameters (SGD+momentum scale).
+  for (const OpSpec& op : spec.ops) {
+    if (op.params > 0) opt.kernels += 2;  // weight + bias/gamma-beta style
+  }
+  opt.flops += 4.0 * params;
+  opt.bytes += 4.0 * params * ew;
+
+  auto& ar = cost.at(KernelCategory::kAllreduce);
+  // Ring all-reduce moves ~2x the gradient bytes through each GPU.
+  ar.kernels = 1 + static_cast<std::int64_t>(spec.ops.size()) / 40;
+  ar.flops += params;
+  ar.bytes += 2.0 * params * e;
+
+  return cost;
+}
+
+}  // namespace exaclim

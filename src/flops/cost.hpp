@@ -1,0 +1,65 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "flops/opspec.hpp"
+#include "tensor/cast.hpp"
+
+namespace exaclim {
+
+/// Kernel categories of Figs 3/8/9.
+enum class KernelCategory {
+  kFwdConv = 0,
+  kFwdPointwise,
+  kBwdConv,
+  kBwdPointwise,
+  kOptimizer,
+  kCopies,
+  kAllreduce,
+  kConvert,
+};
+inline constexpr int kNumKernelCategories = 8;
+
+const char* ToString(KernelCategory c);
+
+struct CategoryCost {
+  std::int64_t kernels = 0;
+  double flops = 0.0;  // multiply+add both counted (Sec VI convention)
+  double bytes = 0.0;  // DRAM traffic estimate
+};
+
+/// Full per-step cost of training one batch, grouped by kernel category
+/// — the analytic reproduction of the Sec VI graph traversal. All values
+/// are per training step (batch of `batch` samples).
+struct TrainingCost {
+  std::array<CategoryCost, kNumKernelCategories> categories{};
+  std::int64_t batch = 1;
+
+  CategoryCost& at(KernelCategory c) {
+    return categories[static_cast<std::size_t>(c)];
+  }
+  const CategoryCost& at(KernelCategory c) const {
+    return categories[static_cast<std::size_t>(c)];
+  }
+
+  double TotalFlops() const;
+  double TotalBytes() const;
+  /// Fig 2's "Operation Count (TF/sample)": forward+backward convolution
+  /// FLOPs per sample (the compute-relevant count the paper reports).
+  double ConvFlopsPerSample() const;
+};
+
+/// Computes the training-step cost of a network spec. FP16 halves
+/// activation/weight traffic, doubles the effective batch in the paper's
+/// runs (pass it via `batch`), and adds type-conversion kernels.
+TrainingCost AnalyzeTraining(const ArchSpec& spec, Precision precision,
+                             std::int64_t batch);
+
+/// FLOPs of a single convolution per Sec VI: 2 * k*k * Cin * Cout * Hout
+/// * Wout * batch (multiplies and adds both counted). Exposed for the
+/// unit test reproducing the paper's 48.9 GFLOP example.
+double ConvFlops(std::int64_t k, std::int64_t out_h, std::int64_t out_w,
+                 std::int64_t in_c, std::int64_t out_c, std::int64_t batch);
+
+}  // namespace exaclim

@@ -1,0 +1,353 @@
+#include "flops/opspec.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace {
+
+std::int64_t ConvOut(std::int64_t size, std::int64_t k, std::int64_t stride,
+                     std::int64_t pad, std::int64_t dilation = 1) {
+  return (size + 2 * pad - (dilation * (k - 1) + 1)) / stride + 1;
+}
+
+/// Incrementally builds a spec while tracking the current feature shape.
+class SpecBuilder {
+ public:
+  SpecBuilder(std::string name, std::int64_t c, std::int64_t h,
+              std::int64_t w) {
+    spec_.name = std::move(name);
+    spec_.in_c = c_ = c;
+    spec_.in_h = h_ = h;
+    spec_.in_w = w_ = w;
+  }
+
+  std::int64_t c() const { return c_; }
+  std::int64_t h() const { return h_; }
+  std::int64_t w() const { return w_; }
+  void SetShape(std::int64_t c, std::int64_t h, std::int64_t w) {
+    c_ = c;
+    h_ = h;
+    w_ = w;
+  }
+
+  void Conv(const std::string& name, std::int64_t out_c, std::int64_t k,
+            std::int64_t stride, std::int64_t dilation, bool bias,
+            std::int64_t pad = -1) {
+    if (pad < 0) pad = dilation * (k / 2);
+    OpSpec op;
+    op.name = name;
+    op.kind = OpSpec::Kind::kConv;
+    op.in_c = c_;
+    op.out_c = out_c;
+    op.kernel = k;
+    op.stride = stride;
+    op.dilation = dilation;
+    op.in_h = h_;
+    op.in_w = w_;
+    op.out_h = ConvOut(h_, k, stride, pad, dilation);
+    op.out_w = ConvOut(w_, k, stride, pad, dilation);
+    op.params = c_ * out_c * k * k + (bias ? out_c : 0);
+    if (bias) Pointwise(name + ".bias", OpSpec::Kind::kBias, out_c, op.out_h, op.out_w);
+    // Insert conv before the bias op it may have queued (order cosmetic).
+    spec_.ops.insert(spec_.ops.end() - (bias ? 1 : 0), op);
+    SetShape(out_c, op.out_h, op.out_w);
+  }
+
+  void Deconv(const std::string& name, std::int64_t out_c, std::int64_t k,
+              std::int64_t stride, std::int64_t pad, std::int64_t out_pad,
+              bool bias) {
+    OpSpec op;
+    op.name = name;
+    op.kind = OpSpec::Kind::kDeconv;
+    op.in_c = c_;
+    op.out_c = out_c;
+    op.kernel = k;
+    op.stride = stride;
+    op.in_h = h_;
+    op.in_w = w_;
+    op.out_h = (h_ - 1) * stride - 2 * pad + k + out_pad;
+    op.out_w = (w_ - 1) * stride - 2 * pad + k + out_pad;
+    op.params = c_ * out_c * k * k + (bias ? out_c : 0);
+    spec_.ops.push_back(op);
+    if (bias) Pointwise(name + ".bias", OpSpec::Kind::kBias, out_c, op.out_h, op.out_w);
+    SetShape(out_c, op.out_h, op.out_w);
+  }
+
+  void Norm(const std::string& name) {
+    OpSpec op;
+    op.name = name;
+    op.kind = OpSpec::Kind::kNorm;
+    op.in_c = op.out_c = c_;
+    op.in_h = op.out_h = h_;
+    op.in_w = op.out_w = w_;
+    op.params = 2 * c_;
+    spec_.ops.push_back(op);
+  }
+
+  void Activation(const std::string& name) {
+    Pointwise(name, OpSpec::Kind::kActivation, c_, h_, w_);
+  }
+
+  void Pool(const std::string& name, std::int64_t k, std::int64_t stride,
+            std::int64_t pad) {
+    OpSpec op;
+    op.name = name;
+    op.kind = OpSpec::Kind::kPool;
+    op.in_c = op.out_c = c_;
+    op.kernel = k;
+    op.stride = stride;
+    op.in_h = h_;
+    op.in_w = w_;
+    op.out_h = ConvOut(h_, k, stride, pad);
+    op.out_w = ConvOut(w_, k, stride, pad);
+    spec_.ops.push_back(op);
+    SetShape(c_, op.out_h, op.out_w);
+  }
+
+  void Concat(const std::string& name, std::int64_t added_c) {
+    OpSpec op;
+    op.name = name;
+    op.kind = OpSpec::Kind::kConcat;
+    op.in_c = c_;
+    op.out_c = c_ + added_c;
+    op.in_h = op.out_h = h_;
+    op.in_w = op.out_w = w_;
+    spec_.ops.push_back(op);
+    SetShape(c_ + added_c, h_, w_);
+  }
+
+  void Upsample(const std::string& name, std::int64_t factor) {
+    OpSpec op;
+    op.name = name;
+    op.kind = OpSpec::Kind::kUpsample;
+    op.in_c = op.out_c = c_;
+    op.in_h = h_;
+    op.in_w = w_;
+    op.out_h = h_ * factor;
+    op.out_w = w_ * factor;
+    spec_.ops.push_back(op);
+    SetShape(c_, op.out_h, op.out_w);
+  }
+
+  ArchSpec Take() { return std::move(spec_); }
+
+ private:
+  void Pointwise(const std::string& name, OpSpec::Kind kind, std::int64_t c,
+                 std::int64_t h, std::int64_t w) {
+    OpSpec op;
+    op.name = name;
+    op.kind = kind;
+    op.in_c = op.out_c = c;
+    op.in_h = op.out_h = h;
+    op.in_w = op.out_w = w;
+    spec_.ops.push_back(op);
+  }
+
+  ArchSpec spec_;
+  std::int64_t c_ = 0, h_ = 0, w_ = 0;
+};
+
+void DenseBlockSpec(SpecBuilder& b, const std::string& base,
+                    std::int64_t layers, std::int64_t growth,
+                    std::int64_t kernel, float dropout, bool include_input) {
+  const std::int64_t block_in = b.c();
+  std::int64_t in_c = block_in;
+  const std::int64_t h = b.h(), w = b.w();
+  for (std::int64_t j = 0; j < layers; ++j) {
+    b.SetShape(in_c, h, w);
+    b.Norm(base + ".unit" + std::to_string(j) + ".bn");
+    b.Activation(base + ".unit" + std::to_string(j) + ".relu");
+    b.Conv(base + ".unit" + std::to_string(j) + ".conv", growth, kernel, 1,
+           1, /*bias=*/false);
+    if (dropout > 0.0f) {
+      b.Activation(base + ".unit" + std::to_string(j) + ".drop");
+    }
+    in_c += growth;
+  }
+  // The output concat of all new features (+ block input on down path).
+  const std::int64_t out_c =
+      (include_input ? block_in : 0) + layers * growth;
+  b.SetShape(growth, h, w);
+  b.Concat(base + ".concat", out_c - growth);
+}
+
+void BottleneckSpec(SpecBuilder& b, const std::string& base,
+                    std::int64_t mid_c, std::int64_t out_c,
+                    std::int64_t stride, std::int64_t dilation) {
+  const std::int64_t in_c = b.c();
+  const std::int64_t in_h = b.h(), in_w = b.w();
+  b.Conv(base + ".conv1", mid_c, 1, 1, 1, false, 0);
+  b.Norm(base + ".bn1");
+  b.Activation(base + ".relu1");
+  b.Conv(base + ".conv2", mid_c, 3, stride, dilation, false);
+  b.Norm(base + ".bn2");
+  b.Activation(base + ".relu2");
+  b.Conv(base + ".conv3", out_c, 1, 1, 1, false, 0);
+  b.Norm(base + ".bn3");
+  if (in_c != out_c || stride != 1) {
+    const std::int64_t out_h = b.h(), out_w = b.w();
+    b.SetShape(in_c, in_h, in_w);
+    b.Conv(base + ".proj", out_c, 1, stride, 1, false, 0);
+    b.Norm(base + ".proj_bn");
+    b.SetShape(out_c, out_h, out_w);
+  }
+  b.Activation(base + ".out_relu");
+}
+
+}  // namespace
+
+std::int64_t ArchSpec::TotalParams() const {
+  std::int64_t total = 0;
+  for (const OpSpec& op : ops) total += op.params;
+  return total;
+}
+
+std::int64_t ArchSpec::CountOps(OpSpec::Kind kind) const {
+  std::int64_t count = 0;
+  for (const OpSpec& op : ops) {
+    if (op.kind == kind) ++count;
+  }
+  return count;
+}
+
+ArchSpec BuildTiramisuSpec(const Tiramisu::Config& cfg, std::int64_t h,
+                           std::int64_t w) {
+  SpecBuilder b("tiramisu", cfg.in_channels, h, w);
+  b.Conv("first", cfg.first_features, cfg.kernel, 1, 1, false);
+
+  std::vector<std::int64_t> skip_channels;
+  std::vector<std::array<std::int64_t, 2>> skip_dims;
+  for (std::size_t i = 0; i < cfg.down_layers.size(); ++i) {
+    const std::string base = "down" + std::to_string(i);
+    DenseBlockSpec(b, base, cfg.down_layers[i], cfg.growth_rate, cfg.kernel,
+                   cfg.dropout, /*include_input=*/true);
+    skip_channels.push_back(b.c());
+    skip_dims.push_back({b.h(), b.w()});
+    // Transition down.
+    b.Norm(base + ".td.bn");
+    b.Activation(base + ".td.relu");
+    b.Conv(base + ".td.conv", b.c(), 1, 1, 1, false, 0);
+    if (cfg.dropout > 0.0f) b.Activation(base + ".td.drop");
+    b.Pool(base + ".td.pool", 2, 2, 0);
+  }
+
+  DenseBlockSpec(b, "bottleneck", cfg.bottleneck_layers, cfg.growth_rate,
+                 cfg.kernel, cfg.dropout, /*include_input=*/false);
+
+  for (std::size_t i = cfg.down_layers.size(); i-- > 0;) {
+    const std::string base = "up" + std::to_string(i);
+    b.Deconv(base + ".tu", b.c(), 3, 2, 1, 1, false);
+    b.Concat(base + ".skip_concat", skip_channels[i]);
+    DenseBlockSpec(b, base, cfg.down_layers[i], cfg.growth_rate, cfg.kernel,
+                   cfg.dropout, /*include_input=*/false);
+  }
+  b.Conv("final", cfg.num_classes, 1, 1, 1, true, 0);
+  return b.Take();
+}
+
+ArchSpec BuildDeepLabSpec(const DeepLabV3Plus::Config& cfg, std::int64_t h,
+                          std::int64_t w) {
+  const auto& enc = cfg.encoder;
+  SpecBuilder b("deeplabv3plus", enc.in_channels, h, w);
+  b.Conv("stem.conv", enc.stem_features, 7, 2, 1, false);
+  b.Norm("stem.bn");
+  b.Activation("stem.relu");
+  b.Pool("stem.pool", 3, 2, 1);
+
+  std::int64_t low_level_c = 0, low_level_h = 0, low_level_w = 0;
+  for (std::size_t s = 0; s < enc.stage_widths.size(); ++s) {
+    const std::int64_t width = enc.stage_widths[s];
+    const std::int64_t out_c = width * 4;
+    for (std::int64_t blk = 0; blk < enc.stage_blocks[s]; ++blk) {
+      const std::int64_t stride = blk == 0 ? enc.stage_strides[s] : 1;
+      BottleneckSpec(b,
+                     "stage" + std::to_string(s + 1) + ".block" +
+                         std::to_string(blk),
+                     width, out_c, stride, enc.stage_dilations[s]);
+    }
+    if (s == 0) {
+      low_level_c = b.c();
+      low_level_h = b.h();
+      low_level_w = b.w();
+    }
+  }
+
+  // ASPP.
+  const std::int64_t aspp_in = b.c();
+  const std::int64_t aspp_h = b.h(), aspp_w = b.w();
+  b.Conv("aspp.b1x1.conv", cfg.aspp_channels, 1, 1, 1, false, 0);
+  b.Norm("aspp.b1x1.bn");
+  b.Activation("aspp.b1x1.relu");
+  for (const std::int64_t rate : cfg.aspp_rates) {
+    b.SetShape(aspp_in, aspp_h, aspp_w);
+    b.Conv("aspp.b3x3_d" + std::to_string(rate) + ".conv",
+           cfg.aspp_channels, 3, 1, rate, false);
+    b.Norm("aspp.b3x3_d" + std::to_string(rate) + ".bn");
+    b.Activation("aspp.b3x3_d" + std::to_string(rate) + ".relu");
+  }
+  b.SetShape(cfg.aspp_channels, aspp_h, aspp_w);
+  b.Concat("aspp.concat",
+           static_cast<std::int64_t>(cfg.aspp_rates.size()) *
+               cfg.aspp_channels);
+  b.Conv("aspp.project.conv", cfg.aspp_channels, 1, 1, 1, false, 0);
+  b.Norm("aspp.project.bn");
+  b.Activation("aspp.project.relu");
+
+  // Decoder.
+  const std::int64_t d0 = cfg.decoder_channels[0];
+  b.Deconv("decoder.up1", d0, 3, 2, 1, 1, false);
+  {
+    // Skip-reduce branch (computed at low-level resolution).
+    const std::int64_t main_c = b.c(), main_h = b.h(), main_w = b.w();
+    b.SetShape(low_level_c, low_level_h, low_level_w);
+    b.Conv("decoder.skip.conv", cfg.decoder_skip_channels, 1, 1, 1, false,
+           0);
+    b.Norm("decoder.skip.bn");
+    b.Activation("decoder.skip.relu");
+    b.SetShape(main_c, main_h, main_w);
+  }
+  b.Concat("decoder.skip_concat", cfg.decoder_skip_channels);
+  b.Conv("decoder.refine.conv1", d0, 3, 1, 1, false);
+  b.Norm("decoder.refine.bn1");
+  b.Activation("decoder.refine.relu1");
+  b.Conv("decoder.refine.conv2", d0, 3, 1, 1, false);
+  b.Norm("decoder.refine.bn2");
+  b.Activation("decoder.refine.relu2");
+
+  if (cfg.full_res_decoder) {
+    std::int64_t head = d0;
+    for (int step = 0; step < 2; ++step) {
+      const std::int64_t out_c = cfg.decoder_channels[
+          static_cast<std::size_t>(step + 1)];
+      const std::string base = "decoder.up" + std::to_string(step + 2);
+      b.Deconv(base + ".deconv", out_c, 3, 2, 1, 1, false);
+      b.Norm(base + ".bn");
+      b.Activation(base + ".relu");
+      b.Conv(base + ".conv", out_c, 3, 1, 1, false);
+      b.Norm(base + ".bn2");
+      b.Activation(base + ".relu2");
+      head = out_c;
+    }
+    (void)head;
+    b.Conv("decoder.classifier", cfg.num_classes, 1, 1, 1, true, 0);
+  } else {
+    b.Conv("decoder.classifier", cfg.num_classes, 1, 1, 1, true, 0);
+    b.Upsample("decoder.bilinear", 4);
+  }
+  return b.Take();
+}
+
+ArchSpec PaperTiramisuSpec(std::int64_t channels) {
+  Tiramisu::Config cfg = Tiramisu::Config::Modified();
+  cfg.in_channels = channels;
+  return BuildTiramisuSpec(cfg, 768, 1152);
+}
+
+ArchSpec PaperDeepLabSpec(std::int64_t channels) {
+  DeepLabV3Plus::Config cfg = DeepLabV3Plus::Config::Paper(channels);
+  return BuildDeepLabSpec(cfg, 768, 1152);
+}
+
+}  // namespace exaclim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "models/deeplab.hpp"
+#include "models/tiramisu.hpp"
+
+namespace exaclim {
+
+/// Analytic description of one network operation — the node granularity
+/// of the Sec VI graph traversal that computes FLOP counts. Specs are
+/// pure geometry: building a full-size (1152×768×16) network description
+/// costs nothing, unlike instantiating its activations.
+struct OpSpec {
+  enum class Kind {
+    kConv,        // direct / implicit-GEMM convolution
+    kDeconv,      // transposed convolution
+    kNorm,        // batch normalisation
+    kActivation,  // ReLU / dropout (pointwise)
+    kBias,        // bias add (pointwise)
+    kPool,        // max / avg pooling
+    kConcat,      // channel concatenation (copy)
+    kUpsample,    // bilinear resize
+  };
+
+  std::string name;
+  Kind kind = Kind::kConv;
+  std::int64_t in_c = 0, out_c = 0;
+  std::int64_t kernel = 1, stride = 1, dilation = 1;
+  std::int64_t in_h = 0, in_w = 0;    // input spatial dims
+  std::int64_t out_h = 0, out_w = 0;  // output spatial dims
+  std::int64_t params = 0;            // learnable element count
+};
+
+/// A whole network as a flat op list plus its input geometry.
+struct ArchSpec {
+  std::string name;
+  std::int64_t in_c = 0, in_h = 0, in_w = 0;
+  std::vector<OpSpec> ops;
+
+  std::int64_t TotalParams() const;
+  std::int64_t CountOps(OpSpec::Kind kind) const;
+};
+
+/// Spec builders mirroring the real model constructors in models/ (the
+/// tests assert parameter-count and shape agreement between the two for
+/// identical configs, so the analytic path cannot drift from the
+/// executable one).
+ArchSpec BuildTiramisuSpec(const Tiramisu::Config& config, std::int64_t h,
+                           std::int64_t w);
+ArchSpec BuildDeepLabSpec(const DeepLabV3Plus::Config& config, std::int64_t h,
+                          std::int64_t w);
+
+/// Paper-scale presets: 1152×768 CAM5 grid (Sec III-A2).
+ArchSpec PaperTiramisuSpec(std::int64_t channels = 16);
+ArchSpec PaperDeepLabSpec(std::int64_t channels = 16);
+
+}  // namespace exaclim

@@ -1,0 +1,136 @@
+#include "hvd/control_plane.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace {
+
+constexpr int kTagReady = 9100;
+constexpr int kTagOrder = 9101;
+
+}  // namespace
+
+// ---------------------------------------------------- FlatControlPlane --
+
+std::vector<int> FlatControlPlane::NegotiateOrder(
+    Communicator& comm, std::span<const int> ready_ids) {
+  const int p = comm.size();
+  const auto n = static_cast<std::int64_t>(ready_ids.size());
+  if (p == 1) return {ready_ids.begin(), ready_ids.end()};
+
+  if (comm.rank() != 0) {
+    // Stream one readiness message per tensor to the controller, in this
+    // rank's local scheduling order.
+    for (const int id : ready_ids) comm.SendValue(0, kTagReady, id);
+    std::vector<int> order(static_cast<std::size_t>(n));
+    comm.RecvT(0, kTagOrder, std::span<int>(order));
+    return order;
+  }
+
+  // Controller: a tensor enters the order once every rank reported it.
+  std::unordered_map<int, int> counts;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (const int id : ready_ids) counts[id] = 1;  // own readiness
+  std::int64_t expected = (p - 1) * n;
+  while (expected-- > 0) {
+    const int id = comm.RecvValue<int>(kAnySource, kTagReady);
+    if (++counts[id] == p) order.push_back(id);
+  }
+  EXACLIM_CHECK(static_cast<std::int64_t>(order.size()) == n,
+                "controller: not all tensors reached full readiness");
+  for (int r = 1; r < p; ++r) {
+    comm.SendT(r, kTagOrder, std::span<const int>(order));
+  }
+  return order;
+}
+
+// -------------------------------------------- HierarchicalControlPlane --
+
+HierarchicalControlPlane::HierarchicalControlPlane(int radix)
+    : radix_(radix) {
+  EXACLIM_CHECK(radix_ >= 1, "radix must be >= 1");
+}
+
+std::vector<int> HierarchicalControlPlane::Children(int rank, int radix,
+                                                    int world_size) {
+  std::vector<int> children;
+  for (int c = rank * radix + 1;
+       c <= rank * radix + radix && c < world_size; ++c) {
+    children.push_back(c);
+  }
+  return children;
+}
+
+std::vector<int> HierarchicalControlPlane::NegotiateOrder(
+    Communicator& comm, std::span<const int> ready_ids) {
+  const int p = comm.size();
+  const auto n = static_cast<std::int64_t>(ready_ids.size());
+  if (p == 1) return {ready_ids.begin(), ready_ids.end()};
+
+  const int rank = comm.rank();
+  const auto children = Children(rank, radix_, p);
+  const int needed = static_cast<int>(children.size()) + 1;
+
+  // Upward aggregation: report a tensor to the parent only once the whole
+  // subtree is ready for it. Rank 0 appends completed tensors to the
+  // order instead.
+  std::unordered_map<int, int> counts;
+  std::vector<int> order;
+  auto on_complete = [&](int id) {
+    if (rank == 0) {
+      order.push_back(id);
+    } else {
+      comm.SendValue(Parent(rank, radix_), kTagReady, id);
+    }
+  };
+  for (const int id : ready_ids) {
+    if (++counts[id] == needed) on_complete(id);
+  }
+  std::int64_t expected = static_cast<std::int64_t>(children.size()) * n;
+  while (expected-- > 0) {
+    const int id = comm.RecvValue<int>(kAnySource, kTagReady);
+    if (++counts[id] == needed) on_complete(id);
+  }
+
+  // Downward recursive broadcast of the agreed order.
+  if (rank == 0) {
+    EXACLIM_CHECK(static_cast<std::int64_t>(order.size()) == n,
+                  "root: incomplete readiness aggregation");
+  } else {
+    order.resize(static_cast<std::size_t>(n));
+    comm.RecvT(Parent(rank, radix_), kTagOrder, std::span<int>(order));
+  }
+  for (const int child : children) {
+    comm.SendT(child, kTagOrder, std::span<const int>(order));
+  }
+  return order;
+}
+
+// ---------------------------------------------------------------- Load --
+
+ControlPlaneLoad FlatControlLoad(int world_size, int num_tensors) {
+  return {.controller_recv = static_cast<std::int64_t>(world_size - 1) *
+                             num_tensors,
+          .controller_send = world_size - 1};
+}
+
+ControlPlaneLoad HierarchicalControlLoad(int world_size, int radix,
+                                         int num_tensors) {
+  const auto children = static_cast<std::int64_t>(
+      HierarchicalControlPlane::Children(0, radix, world_size).size());
+  return {.controller_recv = children * num_tensors,
+          .controller_send = children};
+}
+
+std::unique_ptr<ControlPlane> MakeControlPlane(bool hierarchical, int radix) {
+  if (hierarchical) {
+    return std::make_unique<HierarchicalControlPlane>(radix);
+  }
+  return std::make_unique<FlatControlPlane>();
+}
+
+}  // namespace exaclim

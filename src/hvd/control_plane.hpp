@@ -1,0 +1,75 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "comm/world.hpp"
+
+namespace exaclim {
+
+/// Horovod-style collective scheduling (Sec V-A3).
+///
+/// Each TensorFlow process schedules its graph independently, so ranks
+/// announce readiness of their gradient tensors in different orders; to
+/// avoid deadlock all ranks must agree on one total order of collective
+/// operations. NegotiateOrder submits this rank's tensor ids in its local
+/// readiness order and returns the globally agreed execution order
+/// (identical on every rank).
+class ControlPlane {
+ public:
+  virtual ~ControlPlane() = default;
+  virtual std::vector<int> NegotiateOrder(Communicator& comm,
+                                          std::span<const int> ready_ids) = 0;
+  virtual const char* Name() const = 0;
+};
+
+/// Stock Horovod: every rank streams per-tensor readiness messages to the
+/// rank-0 controller, which replies with the execution order once all
+/// ranks are ready — the controller handles O(P·N) messages per step, the
+/// bottleneck the paper hit beyond ~1024 GPUs.
+class FlatControlPlane : public ControlPlane {
+ public:
+  std::vector<int> NegotiateOrder(Communicator& comm,
+                                  std::span<const int> ready_ids) override;
+  const char* Name() const override { return "flat"; }
+};
+
+/// The paper's fix: ranks form a radix-r tree. Each tree node forwards a
+/// readiness message for tensor t only after all of its children (and
+/// itself) are ready, so no rank sends or receives more than r+1 messages
+/// per tensor; the decided order is relayed back down the tree
+/// (recursive broadcast). Rank 0 still decides the order, but now
+/// coordinates only its direct children.
+class HierarchicalControlPlane : public ControlPlane {
+ public:
+  explicit HierarchicalControlPlane(int radix);
+
+  std::vector<int> NegotiateOrder(Communicator& comm,
+                                  std::span<const int> ready_ids) override;
+  const char* Name() const override { return "hierarchical"; }
+  int radix() const { return radix_; }
+
+  /// Tree helpers (world rank <-> radix-r heap layout), exposed for the
+  /// message-count analysis in netsim.
+  static int Parent(int rank, int radix) { return (rank - 1) / radix; }
+  static std::vector<int> Children(int rank, int radix, int world_size);
+
+ private:
+  int radix_;
+};
+
+/// Analytic per-step message counts at the busiest rank (used to
+/// extrapolate the control-plane benchmark to full-machine scale, and
+/// validated against measured counts at thread scale in the tests).
+struct ControlPlaneLoad {
+  std::int64_t controller_recv;  // messages into the busiest coordinator
+  std::int64_t controller_send;
+};
+ControlPlaneLoad FlatControlLoad(int world_size, int num_tensors);
+ControlPlaneLoad HierarchicalControlLoad(int world_size, int radix,
+                                         int num_tensors);
+
+std::unique_ptr<ControlPlane> MakeControlPlane(bool hierarchical, int radix);
+
+}  // namespace exaclim

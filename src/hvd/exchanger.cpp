@@ -1,0 +1,116 @@
+#include "hvd/exchanger.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "comm/collectives.hpp"
+#include "common/error.hpp"
+
+namespace exaclim {
+
+const char* ToString(ReduceTransport t) {
+  switch (t) {
+    case ReduceTransport::kMpiRing: return "mpi-ring";
+    case ReduceTransport::kMpiTree: return "mpi-tree";
+    case ReduceTransport::kHybrid: return "hybrid";
+  }
+  return "?";
+}
+
+GradientExchanger::GradientExchanger(const ExchangerOptions& opts,
+                                     std::uint64_t seed)
+    : opts_(opts),
+      control_(MakeControlPlane(opts.hierarchical_control,
+                                opts.control_radix)),
+      rng_(seed) {}
+
+void GradientExchanger::Exchange(Communicator& comm,
+                                 const std::vector<Param*>& params) {
+  const auto n = static_cast<int>(params.size());
+  last_tensors_ = n;
+  last_fused_buffers_ = 0;
+  if (n == 0) return;
+
+  // Local readiness order: TensorFlow's dynamic scheduler finishes
+  // backprop ops in a timing-dependent order, different per rank.
+  std::vector<int> ready(static_cast<std::size_t>(n));
+  std::iota(ready.begin(), ready.end(), 0);
+  if (opts_.shuffle_ready_order) {
+    Rng step_rng = rng_.Fork(
+        static_cast<std::uint64_t>(comm.rank()) * 1000003u +
+        static_cast<std::uint64_t>(step_));
+    std::shuffle(ready.begin(), ready.end(), step_rng.engine());
+  }
+
+  const std::vector<int> order = control_->NegotiateOrder(comm, ready);
+  EXACLIM_CHECK(static_cast<int>(order.size()) == n,
+                "negotiated order has wrong tensor count");
+
+  const float inv_world =
+      opts_.average ? 1.0f / static_cast<float>(comm.size()) : 1.0f;
+  const int bpe = BytesPerElement(opts_.wire_precision);
+
+  std::size_t pos = 0;
+  int buffer_index = 0;
+  std::vector<float> fusion;
+  while (pos < order.size()) {
+    // Greedy fusion: take consecutive tensors from the agreed order until
+    // the byte threshold is reached (always at least one).
+    std::size_t end = pos;
+    std::int64_t bytes = 0;
+    std::int64_t elems = 0;
+    while (end < order.size()) {
+      const std::int64_t t_bytes =
+          params[static_cast<std::size_t>(order[end])]->grad.NumElements() *
+          bpe;
+      if (end > pos && bytes + t_bytes > opts_.fusion_threshold_bytes) break;
+      bytes += t_bytes;
+      elems +=
+          params[static_cast<std::size_t>(order[end])]->grad.NumElements();
+      ++end;
+    }
+
+    fusion.resize(static_cast<std::size_t>(elems));
+    std::size_t off = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      const Tensor& g = params[static_cast<std::size_t>(order[i])]->grad;
+      std::copy(g.Data().begin(), g.Data().end(), fusion.begin() + off);
+      off += static_cast<std::size_t>(g.NumElements());
+    }
+
+    if (opts_.wire_precision == Precision::kFP16) RoundTripHalf(fusion);
+
+    const int tag = 20000 + buffer_index * 700;
+    switch (opts_.transport) {
+      case ReduceTransport::kMpiRing:
+        Allreduce(comm, fusion, AllreduceAlgo::kRing, tag);
+        break;
+      case ReduceTransport::kMpiTree:
+        Allreduce(comm, fusion, AllreduceAlgo::kTree, tag);
+        break;
+      case ReduceTransport::kHybrid:
+        HybridAllreduce(comm, fusion, opts_.hybrid, tag);
+        break;
+    }
+
+    for (auto& v : fusion) v *= inv_world;
+    if (opts_.wire_precision == Precision::kFP16) RoundTripHalf(fusion);
+
+    off = 0;
+    for (std::size_t i = pos; i < end; ++i) {
+      Tensor& g = params[static_cast<std::size_t>(order[i])]->grad;
+      std::copy(fusion.begin() + off,
+                fusion.begin() + off +
+                    static_cast<std::size_t>(g.NumElements()),
+                g.Data().begin());
+      off += static_cast<std::size_t>(g.NumElements());
+    }
+
+    pos = end;
+    ++buffer_index;
+  }
+  last_fused_buffers_ = buffer_index;
+  ++step_;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "common/rng.hpp"
+#include "hvd/control_plane.hpp"
+#include "hvd/hybrid.hpp"
+#include "nn/layer.hpp"
+#include "tensor/cast.hpp"
+
+namespace exaclim {
+
+/// Which transport the gradient all-reduce uses.
+enum class ReduceTransport {
+  kMpiRing,   // flat ring over all ranks
+  kMpiTree,   // flat tree over all ranks
+  kHybrid,    // the paper's NCCL-intra-node + sharded-MPI scheme
+};
+
+const char* ToString(ReduceTransport t);
+
+/// Data-parallel gradient aggregation in the style of Horovod (Sec V-A3):
+/// negotiate a global tensor order through the control plane (emulating
+/// TensorFlow's nondeterministic per-rank scheduling by shuffling the
+/// local readiness order), fuse consecutive tensors into buffers up to a
+/// byte threshold (Horovod's tensor fusion, which gradient lag improves),
+/// and run one all-reduce per fused buffer, averaging across ranks.
+struct ExchangerOptions {
+  bool hierarchical_control = true;
+  int control_radix = 4;
+  ReduceTransport transport = ReduceTransport::kHybrid;
+  HybridAllreduceOptions hybrid{};
+  /// Fuse consecutive tensors into buffers of up to this many bytes.
+  std::int64_t fusion_threshold_bytes = 4 << 20;
+  /// FP16 wire format: gradients are rounded through binary16 before and
+  /// after the reduction (reduction itself accumulates in FP32, like
+  /// Tensor Core FMA / NCCL's fp32 accumulation mode).
+  Precision wire_precision = Precision::kFP32;
+  bool average = true;
+  /// Emulate TensorFlow's dynamic scheduler: shuffle the local readiness
+  /// order per step (all ranks still converge on one global order).
+  bool shuffle_ready_order = true;
+};
+
+class GradientExchanger {
+ public:
+  GradientExchanger(const ExchangerOptions& opts, std::uint64_t seed);
+
+  /// Collective: every rank calls with its (identically shaped) params.
+  /// On return, each param's grad holds the rank-averaged gradient,
+  /// bit-identical on every rank.
+  void Exchange(Communicator& comm, const std::vector<Param*>& params);
+
+  /// Fused buffers formed in the last Exchange (diagnostic).
+  std::int64_t last_fused_buffers() const { return last_fused_buffers_; }
+  std::int64_t last_negotiated_tensors() const { return last_tensors_; }
+
+  const ExchangerOptions& options() const { return opts_; }
+
+ private:
+  ExchangerOptions opts_;
+  std::unique_ptr<ControlPlane> control_;
+  Rng rng_;
+  std::int64_t last_fused_buffers_ = 0;
+  std::int64_t last_tensors_ = 0;
+  int step_ = 0;
+};
+
+}  // namespace exaclim

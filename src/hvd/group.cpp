@@ -1,0 +1,112 @@
+#include "hvd/group.hpp"
+
+#include <algorithm>
+
+#include "comm/collectives.hpp"
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace {
+
+void AddInto(std::span<float> acc, std::span<const float> other) {
+  for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+}  // namespace
+
+RankGroup::RankGroup(std::span<const int> ranks, int my_world_rank)
+    : ranks_(ranks.begin(), ranks.end()), my_index_(-1) {
+  EXACLIM_CHECK(!ranks_.empty(), "empty rank group");
+  for (std::size_t i = 0; i < ranks_.size(); ++i) {
+    if (ranks_[i] == my_world_rank) {
+      my_index_ = static_cast<int>(i);
+    }
+  }
+  EXACLIM_CHECK(my_index_ >= 0,
+                "rank " << my_world_rank << " not a member of the group");
+}
+
+void GroupBroadcast(Communicator& comm, const RankGroup& group,
+                    int root_index, std::span<float> data, int tag) {
+  const int n = group.size();
+  if (n == 1) return;
+  const int vrank = (group.my_index() - root_index + n) % n;
+  if (vrank != 0) {
+    int mask = 1;
+    while (mask <= vrank) mask <<= 1;
+    mask >>= 1;
+    const int parent = group.WorldRank(((vrank - mask) + root_index) % n);
+    comm.RecvT(parent, tag, data);
+  }
+  int mask = 1;
+  while (mask <= vrank) mask <<= 1;
+  for (; mask < n; mask <<= 1) {
+    const int vchild = vrank + mask;
+    if (vchild >= n) break;
+    comm.SendT(group.WorldRank((vchild + root_index) % n), tag,
+               std::span<const float>(data.data(), data.size()));
+  }
+}
+
+void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
+                 std::span<float> data, int tag) {
+  const int n = group.size();
+  if (n == 1) return;
+  const int vrank = (group.my_index() - root_index + n) % n;
+  std::vector<float> incoming(data.size());
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if (vrank & mask) {
+      const int dst = group.WorldRank(((vrank - mask) + root_index) % n);
+      comm.SendT(dst, tag,
+                 std::span<const float>(data.data(), data.size()));
+      return;
+    }
+    const int vsrc = vrank + mask;
+    if (vsrc < n) {
+      comm.RecvT(group.WorldRank((vsrc + root_index) % n), tag,
+                 std::span<float>(incoming));
+      AddInto(data, incoming);
+    }
+  }
+}
+
+void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
+                        std::span<float> data, int tag) {
+  const int n = group.size();
+  if (n == 1) return;
+  const auto shards = ComputeShards(data.size(), n);
+  const int idx = group.my_index();
+  const int next = group.WorldRank((idx + 1) % n);
+  const int prev = group.WorldRank((idx - 1 + n) % n);
+  std::vector<float> incoming(data.size());
+
+  for (int k = 0; k < n - 1; ++k) {
+    const int send_shard = ((idx - k) % n + n) % n;
+    const int recv_shard = ((idx - k - 1) % n + n) % n;
+    const auto& s = shards[static_cast<std::size_t>(send_shard)];
+    const auto& r = shards[static_cast<std::size_t>(recv_shard)];
+    comm.SendT(next, tag + k,
+               std::span<const float>(data.data() + s.offset, s.count));
+    comm.RecvT(prev, tag + k, std::span<float>(incoming.data(), r.count));
+    AddInto(std::span<float>(data.data() + r.offset, r.count),
+            std::span<const float>(incoming.data(), r.count));
+  }
+  for (int k = 0; k < n - 1; ++k) {
+    const int send_shard = ((idx + 1 - k) % n + n) % n;
+    const int recv_shard = ((idx - k) % n + n) % n;
+    const auto& s = shards[static_cast<std::size_t>(send_shard)];
+    const auto& r = shards[static_cast<std::size_t>(recv_shard)];
+    comm.SendT(next, tag + n + k,
+               std::span<const float>(data.data() + s.offset, s.count));
+    comm.RecvT(prev, tag + n + k,
+               std::span<float>(data.data() + r.offset, r.count));
+  }
+}
+
+void GroupAllreduceTree(Communicator& comm, const RankGroup& group,
+                        std::span<float> data, int tag) {
+  GroupReduce(comm, group, 0, data, tag);
+  GroupBroadcast(comm, group, 0, data, tag + 1);
+}
+
+}  // namespace exaclim

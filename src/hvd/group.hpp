@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "comm/world.hpp"
+
+namespace exaclim {
+
+/// Collectives over an arbitrary subset of world ranks — the building
+/// block for the hybrid all-reduce of Sec V-A3, where different
+/// operations run over "the 6 GPUs of a node" (NCCL scope) and "rank k of
+/// every node" (MPI scope). Group-relative algorithms mirror
+/// comm/collectives.hpp: systolic ring for reduce-scatter/allgather (the
+/// NCCL pattern) and binomial trees for broadcast/reduce.
+///
+/// `group` lists the participating world ranks; the calling rank must be
+/// a member. All members must call with an identical group and tag.
+class RankGroup {
+ public:
+  RankGroup(std::span<const int> ranks, int my_world_rank);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  int my_index() const { return my_index_; }
+  int WorldRank(int index) const { return ranks_.at(static_cast<std::size_t>(index)); }
+
+ private:
+  std::vector<int> ranks_;
+  int my_index_;
+};
+
+void GroupBroadcast(Communicator& comm, const RankGroup& group,
+                    int root_index, std::span<float> data, int tag);
+
+void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
+                 std::span<float> data, int tag);
+
+/// Ring reduce-scatter + allgather within the group (in-place sum).
+void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
+                        std::span<float> data, int tag);
+
+/// Tree (reduce + broadcast) all-reduce within the group.
+void GroupAllreduceTree(Communicator& comm, const RankGroup& group,
+                        std::span<float> data, int tag);
+
+}  // namespace exaclim

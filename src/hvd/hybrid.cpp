@@ -1,0 +1,70 @@
+#include "hvd/hybrid.hpp"
+
+#include <numeric>
+
+#include "comm/collectives.hpp"
+#include "common/error.hpp"
+#include "hvd/group.hpp"
+
+namespace exaclim {
+
+void HybridAllreduce(Communicator& comm, std::span<float> data,
+                     const HybridAllreduceOptions& opts, int tag) {
+  const int p = comm.size();
+  const Topology& topo = opts.topology;
+  const int rpn = topo.ranks_per_node;
+  EXACLIM_CHECK(p % rpn == 0,
+                "hybrid allreduce: world size " << p
+                                                << " not a multiple of "
+                                                << rpn);
+  const int nodes = p / rpn;
+  const int mpi_ranks = std::min<int>(opts.mpi_ranks_per_node, rpn);
+  const int rank = comm.rank();
+  const int node = topo.NodeOf(rank);
+  const int local = topo.LocalRank(rank);
+
+  // Group of this node's local ranks.
+  std::vector<int> node_ranks(static_cast<std::size_t>(rpn));
+  std::iota(node_ranks.begin(), node_ranks.end(), node * rpn);
+  const RankGroup node_group(node_ranks, rank);
+
+  // Phase 1 (NCCL): intra-node ring all-reduce.
+  if (rpn > 1) {
+    GroupAllreduceRing(comm, node_group, data, tag);
+  }
+  if (nodes == 1) return;
+
+  // Phase 2 (MPI): the first `mpi_ranks` local ranks each all-reduce one
+  // shard with their same-indexed peers across nodes.
+  const auto shards = ComputeShards(data.size(), mpi_ranks);
+  if (local < mpi_ranks) {
+    std::vector<int> peer_ranks(static_cast<std::size_t>(nodes));
+    for (int nd = 0; nd < nodes; ++nd) {
+      peer_ranks[static_cast<std::size_t>(nd)] = topo.GlobalRank(nd, local);
+    }
+    const RankGroup peers(peer_ranks, rank);
+    const auto& s = shards[static_cast<std::size_t>(local)];
+    std::span<float> shard(data.data() + s.offset, s.count);
+    if (!shard.empty()) {
+      const int shard_tag = tag + 100 + local;
+      if (opts.inter_node_tree) {
+        GroupAllreduceTree(comm, peers, shard, shard_tag);
+      } else {
+        GroupAllreduceRing(comm, peers, shard, shard_tag);
+      }
+    }
+  }
+
+  // Phase 3 (NCCL): each shard owner broadcasts its shard node-locally.
+  if (rpn > 1) {
+    for (int owner = 0; owner < mpi_ranks; ++owner) {
+      const auto& s = shards[static_cast<std::size_t>(owner)];
+      if (s.count == 0) continue;
+      GroupBroadcast(comm, node_group, owner,
+                     std::span<float>(data.data() + s.offset, s.count),
+                     tag + 500 + owner);
+    }
+  }
+}
+
+}  // namespace exaclim

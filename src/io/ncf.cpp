@@ -1,0 +1,179 @@
+#include "io/ncf.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace {
+
+constexpr char kMagic[4] = {'N', 'C', 'F', '1'};
+
+template <typename T>
+void WriteScalar(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadScalar(std::ifstream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::mutex& NcfGlobalLock() {
+  static std::mutex lock;
+  return lock;
+}
+
+NcfWriter::NcfWriter(std::filesystem::path path) : path_(std::move(path)) {}
+
+void NcfWriter::AddFloat(const std::string& name,
+                         std::span<const float> data) {
+  EXACLIM_CHECK(!finished_, "writer already finished");
+  Entry entry;
+  entry.name = name;
+  entry.dtype = 0;
+  entry.payload.resize(data.size() * sizeof(float));
+  std::memcpy(entry.payload.data(), data.data(), entry.payload.size());
+  entries_.push_back(std::move(entry));
+}
+
+void NcfWriter::AddBytes(const std::string& name,
+                         std::span<const std::uint8_t> data) {
+  EXACLIM_CHECK(!finished_, "writer already finished");
+  Entry entry;
+  entry.name = name;
+  entry.dtype = 1;
+  entry.payload.assign(data.begin(), data.end());
+  entries_.push_back(std::move(entry));
+}
+
+std::int64_t NcfWriter::Finish() {
+  EXACLIM_CHECK(!finished_, "writer already finished");
+  finished_ = true;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  EXACLIM_CHECK(out.good(), "cannot open " << path_ << " for writing");
+
+  out.write(kMagic, 4);
+  WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(entries_.size()));
+
+  // Header size must be known to compute payload offsets; lay out header
+  // entries first (name_len, name, dtype, count, offset).
+  std::int64_t header_size = 8;  // magic + count
+  for (const Entry& e : entries_) {
+    header_size += 4 + static_cast<std::int64_t>(e.name.size()) + 4 + 8 + 8;
+  }
+  std::int64_t offset = header_size;
+  for (const Entry& e : entries_) {
+    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(e.name.size()));
+    out.write(e.name.data(), static_cast<std::streamsize>(e.name.size()));
+    WriteScalar<std::uint32_t>(out, static_cast<std::uint32_t>(e.dtype));
+    const std::size_t elem = e.dtype == 0 ? sizeof(float) : 1;
+    WriteScalar<std::uint64_t>(
+        out, static_cast<std::uint64_t>(e.payload.size() / elem));
+    WriteScalar<std::uint64_t>(out, static_cast<std::uint64_t>(offset));
+    offset += static_cast<std::int64_t>(e.payload.size());
+  }
+  for (const Entry& e : entries_) {
+    out.write(reinterpret_cast<const char*>(e.payload.data()),
+              static_cast<std::streamsize>(e.payload.size()));
+  }
+  EXACLIM_CHECK(out.good(), "write to " << path_ << " failed");
+  return offset;
+}
+
+NcfReader::NcfReader(std::filesystem::path path, bool use_global_lock)
+    : path_(std::move(path)), use_global_lock_(use_global_lock) {
+  std::ifstream in(path_, std::ios::binary);
+  EXACLIM_CHECK(in.good(), "cannot open " << path_);
+  char magic[4];
+  in.read(magic, 4);
+  EXACLIM_CHECK(std::memcmp(magic, kMagic, 4) == 0,
+                path_ << " is not an NCF file");
+  const auto count = ReadScalar<std::uint32_t>(in);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Entry entry;
+    const auto name_len = ReadScalar<std::uint32_t>(in);
+    entry.name.resize(name_len);
+    in.read(entry.name.data(), name_len);
+    entry.dtype = static_cast<int>(ReadScalar<std::uint32_t>(in));
+    entry.count = static_cast<std::int64_t>(ReadScalar<std::uint64_t>(in));
+    entry.offset = static_cast<std::int64_t>(ReadScalar<std::uint64_t>(in));
+    entries_.push_back(std::move(entry));
+  }
+  EXACLIM_CHECK(in.good(), "truncated NCF header in " << path_);
+  file_bytes_ =
+      static_cast<std::int64_t>(std::filesystem::file_size(path_));
+}
+
+std::vector<std::string> NcfReader::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+bool NcfReader::Has(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::int64_t NcfReader::Count(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.count;
+  }
+  EXACLIM_CHECK(false, "no dataset named " << name << " in " << path_);
+  return 0;
+}
+
+const NcfReader::Entry& NcfReader::Find(const std::string& name,
+                                        int dtype) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      EXACLIM_CHECK(e.dtype == dtype,
+                    "dataset " << name << " has dtype " << e.dtype);
+      return e;
+    }
+  }
+  EXACLIM_CHECK(false, "no dataset named " << name << " in " << path_);
+  throw Error("unreachable");
+}
+
+std::vector<std::uint8_t> NcfReader::ReadPayload(const Entry& entry,
+                                                 std::size_t elem_size) const {
+  std::unique_lock<std::mutex> lock;
+  if (use_global_lock_) {
+    lock = std::unique_lock(NcfGlobalLock());
+  }
+  std::ifstream in(path_, std::ios::binary);
+  EXACLIM_CHECK(in.good(), "cannot open " << path_);
+  std::vector<std::uint8_t> payload(
+      static_cast<std::size_t>(entry.count) * elem_size);
+  in.seekg(entry.offset);
+  in.read(reinterpret_cast<char*>(payload.data()),
+          static_cast<std::streamsize>(payload.size()));
+  EXACLIM_CHECK(in.good(), "truncated payload for " << entry.name);
+  return payload;
+}
+
+std::vector<float> NcfReader::ReadFloat(const std::string& name) const {
+  const Entry& entry = Find(name, 0);
+  const auto payload = ReadPayload(entry, sizeof(float));
+  std::vector<float> data(static_cast<std::size_t>(entry.count));
+  std::memcpy(data.data(), payload.data(), payload.size());
+  return data;
+}
+
+std::vector<std::uint8_t> NcfReader::ReadBytes(const std::string& name) const {
+  const Entry& entry = Find(name, 1);
+  return ReadPayload(entry, 1);
+}
+
+}  // namespace exaclim

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace exaclim {
+
+/// NCF ("numeric container format") — this repo's stand-in for the HDF5
+/// files holding CAM5 snapshots (Sec III-A2). A file stores named typed
+/// datasets (float32 or uint8) with a self-describing header, enough to
+/// serialise ClimateSample fields + label masks.
+///
+/// Crucially for the Sec V-A2 reproduction, the reader supports a
+/// process-global serialisation lock emulating the HDF5 library's global
+/// lock: with it enabled, concurrent reads from worker threads serialise
+/// (negating parallelism exactly as the paper observed), and the fix —
+/// separate "processes", i.e. lock-free readers — is the configuration
+/// without it.
+/// The process-wide serialisation lock used by NcfReader's global-lock
+/// mode. Exposed so callers can emulate holding the HDF5 library lock
+/// across read *and* decode (the full Sec V-A2 pathology).
+std::mutex& NcfGlobalLock();
+
+class NcfWriter {
+ public:
+  explicit NcfWriter(std::filesystem::path path);
+
+  void AddFloat(const std::string& name, std::span<const float> data);
+  void AddBytes(const std::string& name, std::span<const std::uint8_t> data);
+
+  /// Writes the file; returns total bytes written.
+  std::int64_t Finish();
+
+ private:
+  struct Entry {
+    std::string name;
+    int dtype;  // 0 = f32, 1 = u8
+    std::vector<std::uint8_t> payload;
+  };
+  std::filesystem::path path_;
+  std::vector<Entry> entries_;
+  bool finished_ = false;
+};
+
+class NcfReader {
+ public:
+  /// `use_global_lock` simulates HDF5's library-wide lock.
+  explicit NcfReader(std::filesystem::path path, bool use_global_lock = false);
+
+  std::vector<std::string> Names() const;
+  bool Has(const std::string& name) const;
+  std::int64_t Count(const std::string& name) const;
+
+  std::vector<float> ReadFloat(const std::string& name) const;
+  std::vector<std::uint8_t> ReadBytes(const std::string& name) const;
+
+  std::int64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    int dtype;
+    std::int64_t count;
+    std::int64_t offset;
+  };
+  const Entry& Find(const std::string& name, int dtype) const;
+  std::vector<std::uint8_t> ReadPayload(const Entry& entry,
+                                        std::size_t elem_size) const;
+
+  std::filesystem::path path_;
+  bool use_global_lock_;
+  std::vector<Entry> entries_;
+  std::int64_t file_bytes_ = 0;
+};
+
+}  // namespace exaclim

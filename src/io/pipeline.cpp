@@ -1,0 +1,77 @@
+#include "io/pipeline.hpp"
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+InputPipeline::InputPipeline(Producer producer, std::int64_t total,
+                             const Options& opts)
+    : producer_(std::move(producer)), total_(total), opts_(opts) {
+  EXACLIM_CHECK(opts_.workers >= 1 && opts_.prefetch_depth >= 1,
+                "pipeline needs >= 1 worker and >= 1 queue slot");
+  workers_.reserve(static_cast<std::size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InputPipeline::~InputPipeline() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void InputPipeline::WorkerLoop() {
+  for (;;) {
+    std::int64_t index;
+    {
+      std::lock_guard lock(mutex_);
+      if (stop_ || next_index_ >= total_) return;
+      index = next_index_++;
+    }
+    // Produce outside the lock — this is where the parallelism lives.
+    Batch batch = producer_(index);
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock, [this] {
+        return stop_ ||
+               queue_.size() <
+                   static_cast<std::size_t>(opts_.prefetch_depth);
+      });
+      if (stop_) return;
+      queue_.push_back(std::move(batch));
+      ++produced_;
+    }
+    not_empty_.notify_one();
+  }
+}
+
+std::optional<Batch> InputPipeline::Next() {
+  std::unique_lock lock(mutex_);
+  not_empty_.wait(lock, [this] {
+    return !queue_.empty() || consumed_ + static_cast<std::int64_t>(
+                                              queue_.size()) >= total_ ||
+           stop_;
+  });
+  if (queue_.empty()) {
+    // All batches consumed (or shutting down).
+    return std::nullopt;
+  }
+  Batch batch = std::move(queue_.front());
+  queue_.pop_front();
+  ++consumed_;
+  lock.unlock();
+  not_full_.notify_one();
+  return batch;
+}
+
+std::size_t InputPipeline::QueueDepth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace exaclim

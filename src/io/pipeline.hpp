@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace exaclim {
+
+/// The optimised input pipeline of Sec V-A2: `workers` reader threads
+/// produce batches ahead of the consumer into a bounded prefetch queue
+/// (TensorFlow's dataset.prefetch), so the accelerator never waits while
+/// the CPU decodes input — as long as average production rate exceeds
+/// consumption rate.
+///
+/// The HDF5-serialisation pathology and its fix are exercised by the
+/// producer function itself (see io/ncf.hpp's global-lock mode): this
+/// class just supplies the parallelism and the queue.
+class InputPipeline {
+ public:
+  using Producer = std::function<Batch(std::int64_t index)>;
+
+  struct Options {
+    int workers = 4;
+    int prefetch_depth = 4;
+  };
+
+  /// Produces batches for indices [0, total); producers run immediately.
+  InputPipeline(Producer producer, std::int64_t total, const Options& opts);
+  ~InputPipeline();
+
+  InputPipeline(const InputPipeline&) = delete;
+  InputPipeline& operator=(const InputPipeline&) = delete;
+
+  /// Blocks for the next batch; nullopt once all `total` are consumed.
+  /// Batches may arrive out of index order (training shuffles anyway).
+  std::optional<Batch> Next();
+
+  /// Batches sitting ready in the queue (diagnostic: a persistently
+  /// empty queue means the pipeline is the bottleneck).
+  std::size_t QueueDepth() const;
+
+ private:
+  void WorkerLoop();
+
+  Producer producer_;
+  std::int64_t total_;
+  Options opts_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Batch> queue_;
+  std::int64_t next_index_ = 0;
+  std::int64_t produced_ = 0;
+  std::int64_t consumed_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,56 @@
+#include "io/sample_io.hpp"
+
+#include <cstring>
+#include <string>
+
+#include "common/error.hpp"
+#include "io/ncf.hpp"
+
+namespace exaclim {
+
+void WriteSampleFile(const std::filesystem::path& path,
+                     const ClimateSample& sample) {
+  const std::int64_t hw = sample.height * sample.width;
+  EXACLIM_CHECK(sample.fields.shape() ==
+                    TensorShape({kNumClimateChannels, sample.height,
+                                 sample.width}),
+                "unexpected sample field shape");
+  NcfWriter writer(path);
+  // Shape metadata as a tiny float dataset (h, w).
+  const float dims[2] = {static_cast<float>(sample.height),
+                         static_cast<float>(sample.width)};
+  writer.AddFloat("dims", dims);
+  for (int c = 0; c < kNumClimateChannels; ++c) {
+    writer.AddFloat(std::string(ChannelName(c)),
+                    std::span<const float>(sample.fields.Raw() + c * hw,
+                                           static_cast<std::size_t>(hw)));
+  }
+  writer.AddBytes("truth", sample.truth);
+  if (!sample.labels.empty()) writer.AddBytes("labels", sample.labels);
+  writer.Finish();
+}
+
+ClimateSample ReadSampleFile(const std::filesystem::path& path,
+                             bool use_global_lock) {
+  NcfReader reader(path, use_global_lock);
+  const auto dims = reader.ReadFloat("dims");
+  EXACLIM_CHECK(dims.size() == 2, "malformed sample file " << path);
+  ClimateSample sample;
+  sample.height = static_cast<std::int64_t>(dims[0]);
+  sample.width = static_cast<std::int64_t>(dims[1]);
+  const std::int64_t hw = sample.height * sample.width;
+  sample.fields =
+      Tensor(TensorShape{kNumClimateChannels, sample.height, sample.width});
+  for (int c = 0; c < kNumClimateChannels; ++c) {
+    const auto data = reader.ReadFloat(std::string(ChannelName(c)));
+    EXACLIM_CHECK(static_cast<std::int64_t>(data.size()) == hw,
+                  "channel size mismatch in " << path);
+    std::memcpy(sample.fields.Raw() + c * hw, data.data(),
+                data.size() * sizeof(float));
+  }
+  sample.truth = reader.ReadBytes("truth");
+  if (reader.Has("labels")) sample.labels = reader.ReadBytes("labels");
+  return sample;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <filesystem>
+
+#include "data/climate.hpp"
+
+namespace exaclim {
+
+/// Serialises a climate sample into an NCF file (one dataset per CAM5
+/// variable, named after the channel, plus the label masks) — the layout
+/// mirrors how the paper's HDF5 snapshots store one variable per dataset.
+void WriteSampleFile(const std::filesystem::path& path,
+                     const ClimateSample& sample);
+
+/// Reads a sample back; `use_global_lock` routes reads through the
+/// HDF5-style process-global lock (Sec V-A2 pathology mode).
+ClimateSample ReadSampleFile(const std::filesystem::path& path,
+                             bool use_global_lock = false);
+
+}  // namespace exaclim

@@ -1,0 +1,172 @@
+#include "io/staging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+// -------------------------------------------------------- MockGlobalFs --
+
+void MockGlobalFs::Put(int file_id, std::vector<std::byte> contents) {
+  std::lock_guard lock(mutex_);
+  files_[file_id] = std::move(contents);
+}
+
+std::vector<std::byte> MockGlobalFs::Read(int file_id) {
+  std::lock_guard lock(mutex_);
+  const auto it = files_.find(file_id);
+  EXACLIM_CHECK(it != files_.end(), "no file " << file_id);
+  ++read_counts_[file_id];
+  ++total_reads_;
+  total_bytes_ += static_cast<std::int64_t>(it->second.size());
+  return it->second;
+}
+
+std::int64_t MockGlobalFs::reads(int file_id) const {
+  std::lock_guard lock(mutex_);
+  const auto it = read_counts_.find(file_id);
+  return it == read_counts_.end() ? 0 : it->second;
+}
+
+std::int64_t MockGlobalFs::total_reads() const {
+  std::lock_guard lock(mutex_);
+  return total_reads_;
+}
+
+std::int64_t MockGlobalFs::total_bytes_read() const {
+  std::lock_guard lock(mutex_);
+  return total_bytes_;
+}
+
+std::size_t MockGlobalFs::file_count() const {
+  std::lock_guard lock(mutex_);
+  return files_.size();
+}
+
+// -------------------------------------------------------- StageDataset --
+
+namespace {
+
+constexpr int kTagRequestCount = 7300;
+constexpr int kTagRequest = 7301;
+constexpr int kTagFile = 7302;
+
+int OwnerOf(int file_id, int world_size) { return file_id % world_size; }
+
+}  // namespace
+
+std::map<int, std::vector<std::byte>> StageDataset(
+    Communicator& comm, MockGlobalFs& fs, const std::set<int>& needs,
+    int num_files) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+
+  // Phase 1: tell every owner how many requests to expect from us.
+  std::vector<std::int64_t> requests_to(static_cast<std::size_t>(p), 0);
+  for (const int f : needs) {
+    EXACLIM_CHECK(f >= 0 && f < num_files, "file id out of range");
+    ++requests_to[static_cast<std::size_t>(OwnerOf(f, p))];
+  }
+  for (int o = 0; o < p; ++o) {
+    comm.SendValue(o, kTagRequestCount, requests_to[static_cast<std::size_t>(o)]);
+  }
+  std::int64_t expected_requests = 0;
+  for (int r = 0; r < p; ++r) {
+    expected_requests += comm.RecvValue<std::int64_t>(r, kTagRequestCount);
+  }
+
+  // Phase 2: send the requests (interleaved with serving, below, would
+  // deadlock-free too since sends are buffered).
+  for (const int f : needs) {
+    comm.SendValue(OwnerOf(f, p), kTagRequest, f);
+  }
+
+  // Phase 3: serve requests — read each requested file from the global
+  // filesystem exactly once, then ship copies over the network.
+  std::map<int, std::vector<std::byte>> cache;
+  std::map<int, std::vector<int>> pending;  // file -> requesters, batched
+  for (std::int64_t i = 0; i < expected_requests; ++i) {
+    int src = -1;
+    const int f = comm.RecvValue<int>(kAnySource, kTagRequest, &src);
+    EXACLIM_CHECK(OwnerOf(f, p) == rank, "request routed to wrong owner");
+    pending[f].push_back(src);
+  }
+  for (auto& [f, requesters] : pending) {
+    const std::vector<std::byte> contents = fs.Read(f);  // exactly once
+    for (const int dst : requesters) {
+      // Prefix the payload with the file id so receivers can match.
+      std::vector<std::byte> framed(sizeof(int) + contents.size());
+      std::memcpy(framed.data(), &f, sizeof(int));
+      std::copy(contents.begin(), contents.end(),
+                framed.begin() + sizeof(int));
+      comm.Send(dst, kTagFile, framed);
+    }
+  }
+
+  // Phase 4: collect our files.
+  std::map<int, std::vector<std::byte>> staged;
+  for (std::size_t i = 0; i < needs.size(); ++i) {
+    const std::vector<std::byte> framed = comm.RecvAny(kAnySource, kTagFile);
+    EXACLIM_CHECK(framed.size() >= sizeof(int), "malformed file frame");
+    int f = 0;
+    std::memcpy(&f, framed.data(), sizeof(int));
+    staged[f].assign(framed.begin() + sizeof(int), framed.end());
+  }
+  EXACLIM_CHECK(staged.size() == needs.size(),
+                "staging delivered " << staged.size() << " files, needed "
+                                     << needs.size());
+  return staged;
+}
+
+std::map<int, std::vector<std::byte>> StageNaive(
+    MockGlobalFs& fs, const std::set<int>& needs) {
+  std::map<int, std::vector<std::byte>> staged;
+  for (const int f : needs) staged[f] = fs.Read(f);
+  return staged;
+}
+
+// -------------------------------------------------------- StagingModel --
+
+double StagingModel::NodeReadBandwidth(int threads) const {
+  EXACLIM_CHECK(threads >= 1, "need at least one reader thread");
+  const double scaled =
+      opts_.per_stream_bw *
+      std::pow(static_cast<double>(threads), opts_.thread_scaling_exponent);
+  return std::min(scaled, opts_.node_nic_bw);
+}
+
+double StagingModel::DuplicationFactor(int nodes) const {
+  return static_cast<double>(nodes) * opts_.files_per_node /
+         opts_.num_files;
+}
+
+double StagingModel::NaiveStageSeconds(int nodes, int threads) const {
+  const double bytes_per_node =
+      opts_.dataset_bytes / opts_.num_files * opts_.files_per_node;
+  const double total_read = bytes_per_node * nodes;
+  const double effective_bw = std::min(
+      opts_.fs_aggregate_bw, NodeReadBandwidth(threads) * nodes);
+  return total_read / effective_bw;
+}
+
+double StagingModel::DistributedStageSeconds(int nodes, int threads) const {
+  // Disjoint read of the whole catalogue (or less if the union of shards
+  // doesn't cover it — conservatively assume full coverage).
+  const double covered = std::min(
+      opts_.dataset_bytes,
+      opts_.dataset_bytes / opts_.num_files * opts_.files_per_node * nodes);
+  const double read_bw = std::min(opts_.fs_aggregate_bw,
+                                  NodeReadBandwidth(threads) * nodes);
+  const double read_time = covered / read_bw;
+
+  // Point-to-point redistribution: every file reaches the other
+  // (duplication - 1) nodes that want it, receive-side limited.
+  const double dup = DuplicationFactor(nodes);
+  const double p2p_bytes = covered * std::max(0.0, dup - 1.0);
+  const double p2p_bw = opts_.p2p_bw_per_node * nodes;
+  return read_time + p2p_bytes / p2p_bw;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,188 @@
+#include "netsim/event_engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "flops/cost.hpp"
+
+namespace exaclim {
+
+void EventEngine::Schedule(double time, Handler handler) {
+  EXACLIM_CHECK(time >= now_ - 1e-12, "cannot schedule into the past");
+  queue_.push(Event{time, next_seq_++, std::move(handler)});
+}
+
+double EventEngine::Run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    event.handler(now_);
+  }
+  return now_;
+}
+
+OverlapResult SimulateOverlap(const OverlapConfig& config) {
+  EXACLIM_CHECK(config.bucket_ready_s.size() == config.bucket_bytes.size(),
+                "bucket arrays must match");
+  EXACLIM_CHECK(config.steps >= 4, "need a few steps for steady state");
+  const auto n_buckets = config.bucket_ready_s.size();
+
+  EventEngine engine;
+  // Network FIFO resource.
+  bool network_busy = false;
+  std::deque<std::pair<int, std::size_t>> network_queue;  // (step, bucket)
+  double network_busy_time = 0.0;
+
+  // Per-step bookkeeping.
+  std::vector<std::size_t> buckets_done(static_cast<std::size_t>(config.steps), 0);
+  std::vector<double> all_reduced_at(static_cast<std::size_t>(config.steps), -1.0);
+  std::vector<double> compute_done_at(static_cast<std::size_t>(config.steps), -1.0);
+  std::vector<double> step_started_at(static_cast<std::size_t>(config.steps), -1.0);
+  std::vector<bool> step_started(static_cast<std::size_t>(config.steps), false);
+
+  std::function<void(double, int)> start_step;
+  std::function<void(double)> pump_network;
+  std::function<void(double, int)> maybe_start_next;
+
+  auto transfer_time = [&](std::size_t bucket) {
+    return config.latency +
+           config.bucket_bytes[bucket] / config.bandwidth;
+  };
+
+  pump_network = [&](double now) {
+    if (network_busy || network_queue.empty()) return;
+    const auto [step, bucket] = network_queue.front();
+    network_queue.pop_front();
+    network_busy = true;
+    const double dt = transfer_time(bucket);
+    network_busy_time += dt;
+    engine.Schedule(now + dt, [&, step, bucket](double done_time) {
+      network_busy = false;
+      auto& done = buckets_done[static_cast<std::size_t>(step)];
+      ++done;
+      (void)bucket;
+      if (done == n_buckets) {
+        all_reduced_at[static_cast<std::size_t>(step)] = done_time;
+        maybe_start_next(done_time, step);
+      }
+      pump_network(done_time);
+    });
+  };
+
+  // Dependency rule: step s+1's compute may begin once step s's compute
+  // is done AND the reductions it needs are complete — step s's own
+  // (lag 0) or step s-1's (lag 1).
+  maybe_start_next = [&](double now, int /*completed*/) {
+    for (int s = 1; s < config.steps; ++s) {
+      if (step_started[static_cast<std::size_t>(s)]) continue;
+      const int dep = config.lag >= 1 ? s - 2 : s - 1;
+      const bool reductions_ok =
+          dep < 0 || all_reduced_at[static_cast<std::size_t>(dep)] >= 0.0;
+      const bool compute_ok =
+          compute_done_at[static_cast<std::size_t>(s - 1)] >= 0.0;
+      if (reductions_ok && compute_ok) {
+        const double start =
+            std::max(compute_done_at[static_cast<std::size_t>(s - 1)],
+                     dep < 0 ? 0.0
+                             : all_reduced_at[static_cast<std::size_t>(dep)]);
+        start_step(std::max(now, start), s);
+      } else {
+        break;  // steps start in order
+      }
+    }
+  };
+
+  start_step = [&](double when, int step) {
+    if (step >= config.steps ||
+        step_started[static_cast<std::size_t>(step)]) {
+      return;
+    }
+    step_started[static_cast<std::size_t>(step)] = true;
+    engine.Schedule(when, [&, step](double now) {
+      step_started_at[static_cast<std::size_t>(step)] = now;
+      // Gradient buckets become ready during back-propagation.
+      for (std::size_t b = 0; b < n_buckets; ++b) {
+        engine.Schedule(now + config.bucket_ready_s[b],
+                        [&, step, b](double ready_time) {
+                          network_queue.emplace_back(step, b);
+                          pump_network(ready_time);
+                        });
+      }
+      if (n_buckets == 0) all_reduced_at[static_cast<std::size_t>(step)] = now;
+      engine.Schedule(now + config.compute_seconds, [&, step](double done) {
+        compute_done_at[static_cast<std::size_t>(step)] = done;
+        if (n_buckets == 0) {
+          all_reduced_at[static_cast<std::size_t>(step)] = done;
+        }
+        maybe_start_next(done, step);
+      });
+    });
+  };
+
+  start_step(0.0, 0);
+  const double end = engine.Run();
+
+  // Steady-state step time from the second half of the run.
+  const int half = config.steps / 2;
+  const double span = step_started_at[static_cast<std::size_t>(
+                          config.steps - 1)] -
+                      step_started_at[static_cast<std::size_t>(half)];
+  OverlapResult result;
+  result.steady_step_seconds = span / (config.steps - 1 - half);
+  result.exposed_comm_seconds =
+      std::max(0.0, result.steady_step_seconds - config.compute_seconds);
+  result.network_busy_fraction = end > 0 ? network_busy_time / end : 0.0;
+  return result;
+}
+
+OverlapConfig BuildOverlapConfig(const ArchSpec& spec,
+                                 const MachineModel& machine,
+                                 Precision precision,
+                                 double compute_seconds,
+                                 std::int64_t fusion_bytes, int lag) {
+  OverlapConfig config;
+  config.compute_seconds = compute_seconds;
+  config.lag = lag;
+  config.bandwidth = machine.nic_bw;
+  config.latency = 2.0 * machine.net_latency *
+                   std::max(1.0, std::log2(static_cast<double>(
+                                     machine.max_nodes)));
+  const int bpe = BytesPerElement(precision);
+
+  // Walk parameterised ops in backprop (reverse) order, fusing into
+  // buckets; a bucket is ready when the cumulative share of backward
+  // conv FLOPs preceding it has been computed.
+  double total_flops = 0.0;
+  for (const OpSpec& op : spec.ops) {
+    if (op.kind == OpSpec::Kind::kConv || op.kind == OpSpec::Kind::kDeconv) {
+      total_flops += ConvFlops(op.kernel, op.out_h, op.out_w, op.in_c,
+                               op.out_c, 1);
+    }
+  }
+  double flops_so_far = 0.0;
+  double bucket = 0.0;
+  for (auto it = spec.ops.rbegin(); it != spec.ops.rend(); ++it) {
+    if (it->kind == OpSpec::Kind::kConv ||
+        it->kind == OpSpec::Kind::kDeconv) {
+      flops_so_far += ConvFlops(it->kernel, it->out_h, it->out_w, it->in_c,
+                                it->out_c, 1);
+    }
+    if (it->params == 0) continue;
+    bucket += static_cast<double>(it->params) * bpe;
+    if (bucket >= static_cast<double>(fusion_bytes)) {
+      config.bucket_bytes.push_back(bucket);
+      config.bucket_ready_s.push_back(
+          compute_seconds * std::min(1.0, flops_so_far / total_flops));
+      bucket = 0.0;
+    }
+  }
+  if (bucket > 0.0) {
+    config.bucket_bytes.push_back(bucket);
+    config.bucket_ready_s.push_back(compute_seconds);
+  }
+  return config;
+}
+
+}  // namespace exaclim

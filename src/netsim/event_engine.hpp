@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "flops/opspec.hpp"
+#include "netsim/machine.hpp"
+
+namespace exaclim {
+
+/// Minimal discrete-event engine: timestamped handlers executed in time
+/// order; handlers may schedule further events. Used by the training-step
+/// overlap simulation below (and available for other models).
+class EventEngine {
+ public:
+  using Handler = std::function<void(double now)>;
+
+  void Schedule(double time, Handler handler);
+  /// Processes events until the queue drains; returns the final time.
+  double Run();
+  double now() const { return now_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    Handler handler;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+/// Event-driven simulation of communication/computation overlap in one
+/// data-parallel training pipeline (the mechanism behind gradient lag,
+/// Sec V-B4, and Horovod tensor fusion).
+///
+/// Back-propagation emits fused gradient buckets at known offsets into
+/// the compute step (deepest layers first); each bucket's all-reduce then
+/// queues on the network resource (alpha + bytes/beta). Without lag the
+/// step cannot finish until every bucket of the step has been reduced
+/// (the top layer's reduction is fully exposed); with lag 1 the next
+/// step's compute proceeds immediately and only needs step s-1's
+/// reductions, so the network drains in the shadow of compute.
+struct OverlapConfig {
+  /// Offset (seconds from step start) at which bucket i's gradients are
+  /// ready, ascending; the last value <= compute_seconds.
+  std::vector<double> bucket_ready_s;
+  std::vector<double> bucket_bytes;
+  double compute_seconds = 0.0;
+  double bandwidth = 1.0;  // bytes/s through the reduction pipeline
+  double latency = 0.0;    // per-bucket fixed cost
+  int lag = 0;             // 0 or 1
+  int steps = 24;          // simulate this many steps; measure steady state
+};
+
+struct OverlapResult {
+  double steady_step_seconds = 0.0;  // steady-state per-step time
+  double exposed_comm_seconds = 0.0; // steady step minus pure compute
+  double network_busy_fraction = 0.0;
+};
+
+OverlapResult SimulateOverlap(const OverlapConfig& config);
+
+/// Builds an OverlapConfig from a network spec: buckets are formed by
+/// greedy fusion over parameterised ops in reverse (backprop) order up to
+/// `fusion_bytes`; readiness offsets follow the cumulative share of
+/// backward conv FLOPs; bandwidth/latency come from the machine's
+/// inter-node path.
+OverlapConfig BuildOverlapConfig(const ArchSpec& spec,
+                                 const MachineModel& machine,
+                                 Precision precision,
+                                 double compute_seconds,
+                                 std::int64_t fusion_bytes, int lag);
+
+}  // namespace exaclim

@@ -1,0 +1,45 @@
+#include "netsim/machine.hpp"
+
+namespace exaclim {
+
+MachineModel MachineModel::Summit() {
+  MachineModel m;
+  m.name = "Summit";
+  m.gpu = {.name = "V100",
+           .peak_fp32 = 15.7e12,
+           .peak_fp16 = 125e12,
+           .mem_bw = 900e9};
+  m.gpus_per_node = 6;
+  m.mpi_ranks_per_node = 4;  // one per virtual IB device (Sec V-A3)
+  m.nvlink_bw = 150e9;       // effective unidirectional per GPU
+  m.nic_bw = 12.5e9;         // dual-rail EDR, unidirectional effective
+  m.net_latency = 5e-6;
+  m.fs_read_bw = 100e9;      // early-install Spectrum Scale read rate
+  m.local_storage_bw = 6e9;  // node NVMe burst buffer
+  m.max_nodes = 4608;
+  // Calibrated against 90.7% parallel efficiency at 27360 GPUs (Fig 4b).
+  m.variability = {.sigma_frac = 0.0225, .per_rank_serial = 4.5e-10};
+  return m;
+}
+
+MachineModel MachineModel::PizDaint() {
+  MachineModel m;
+  m.name = "Piz Daint";
+  m.gpu = {.name = "P100",
+           .peak_fp32 = 9.5e12,
+           .peak_fp16 = 9.5e12,  // no Tensor Cores: FP16 not accelerated
+           .mem_bw = 732e9};
+  m.gpus_per_node = 1;
+  m.mpi_ranks_per_node = 1;
+  m.nvlink_bw = 0.0;  // single GPU per node
+  m.nic_bw = 10e9;    // Aries per-node injection
+  m.net_latency = 1.5e-6;
+  m.fs_read_bw = 112e9;       // effective Lustre read limit (Fig 5)
+  m.local_storage_bw = 20e9;  // tmpfs (DRAM) staging
+  m.max_nodes = 5320;
+  // Calibrated against 83.4% @ 2048 and 79.0% @ 5300 GPUs (Fig 4a).
+  m.variability = {.sigma_frac = 0.042, .per_rank_serial = 1.45e-5};
+  return m;
+}
+
+}  // namespace exaclim

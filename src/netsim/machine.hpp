@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+
+#include "tensor/cast.hpp"
+
+namespace exaclim {
+
+/// GPU compute/memory capability (peak numbers from the vendor specs the
+/// paper quotes in Sec VI-A).
+struct GpuModel {
+  std::string name;
+  double peak_fp32 = 0.0;   // FLOP/s
+  double peak_fp16 = 0.0;   // FLOP/s (Tensor Cores on V100)
+  double mem_bw = 0.0;      // bytes/s HBM2
+
+  double Peak(Precision p) const {
+    return p == Precision::kFP32 ? peak_fp32 : peak_fp16;
+  }
+};
+
+/// Per-machine run-time variability: synchronous data-parallel training
+/// waits for the slowest of P ranks each step, so per-step noise costs
+/// roughly sigma * sqrt(2 ln P) (expected max of P near-Gaussian step
+/// times), plus a per-rank serial term for latency-bound stages. The two
+/// coefficients are calibrated against the paper's reported endpoint
+/// efficiencies (Sec VII-B) and documented in EXPERIMENTS.md; the shape
+/// of every scaling curve then follows from the model.
+struct VariabilityModel {
+  double sigma_frac = 0.02;       // relative per-step noise
+  double per_rank_serial = 0.0;   // seconds of serial cost per rank
+};
+
+/// A whole system (Sec VI-A): Summit or Piz Daint.
+struct MachineModel {
+  std::string name;
+  GpuModel gpu;
+  int gpus_per_node = 1;
+  int mpi_ranks_per_node = 1;     // hybrid all-reduce shard owners
+  double nvlink_bw = 0.0;         // intra-node GPU<->GPU bytes/s
+  double nic_bw = 0.0;            // per-node inter-node bytes/s
+  double net_latency = 5e-6;      // per-message seconds
+  double fs_read_bw = 0.0;        // shared global filesystem bytes/s
+  double local_storage_bw = 0.0;  // per-node SSD / tmpfs bytes/s
+  int max_nodes = 0;
+  VariabilityModel variability;
+  /// Controller message-processing rate (Horovod rank-0 bottleneck).
+  double controller_msg_rate = 1.5e6;
+
+  int MaxGpus() const { return max_nodes * gpus_per_node; }
+
+  /// Summit (Sec VI-A2): 4608 nodes x 6 V100 (125 TF/s FP16 Tensor
+  /// Cores, 900 GB/s HBM2), NVLink 300 GB/s bidirectional per GPU,
+  /// dual-rail EDR InfiniBand (~25 GB/s per node, virtualised as 4
+  /// devices), Spectrum Scale filesystem, 800 GB node-local NVMe burst
+  /// buffer.
+  static MachineModel Summit();
+
+  /// Piz Daint XC50 (Sec VI-A1): 5320 nodes x 1 P100 (9.5 TF/s FP32,
+  /// 732 GB/s), Aries dragonfly, Lustre with ~112 GB/s effective read
+  /// bandwidth for this workload (Fig 5), tmpfs local staging.
+  static MachineModel PizDaint();
+};
+
+}  // namespace exaclim

@@ -1,0 +1,91 @@
+#include "netsim/roofline.hpp"
+
+#include <algorithm>
+
+namespace exaclim {
+
+double CategoryTime(const CategoryCost& cost, KernelCategory category,
+                    const GpuModel& gpu, Precision precision,
+                    const RooflineEfficiencies& eff,
+                    double intra_node_link_bw) {
+  if (cost.kernels == 0 && cost.flops == 0.0 && cost.bytes == 0.0) {
+    return 0.0;
+  }
+  double math_frac = 0.0;
+  double mem_frac = 0.0;
+  switch (category) {
+    case KernelCategory::kFwdConv:
+    case KernelCategory::kBwdConv:
+      math_frac = precision == Precision::kFP32 ? eff.conv_math_fp32
+                                                : eff.conv_math_fp16;
+      mem_frac = eff.conv_mem;
+      break;
+    case KernelCategory::kFwdPointwise:
+    case KernelCategory::kBwdPointwise:
+      mem_frac = eff.pointwise_mem;
+      break;
+    case KernelCategory::kOptimizer:
+      mem_frac = eff.optimizer_mem;
+      break;
+    case KernelCategory::kCopies:
+      mem_frac = eff.copies_mem;
+      break;
+    case KernelCategory::kConvert:
+      mem_frac = eff.convert_mem;
+      break;
+    case KernelCategory::kAllreduce: {
+      // NCCL ring kernels are NVLink-limited, not DRAM-limited
+      // (Sec VII-A). With no intra-node link (Piz Daint) the data goes
+      // through the NIC; use DRAM as the local bound.
+      const double link = intra_node_link_bw > 0.0
+                              ? intra_node_link_bw * eff.allreduce_link
+                              : gpu.mem_bw * eff.copies_mem;
+      return cost.bytes / link;
+    }
+  }
+  const double math_time =
+      math_frac > 0.0 ? cost.flops / (gpu.Peak(precision) * math_frac) : 0.0;
+  const double mem_time =
+      mem_frac > 0.0 ? cost.bytes / (gpu.mem_bw * mem_frac) : 0.0;
+  return std::max(math_time, mem_time);
+}
+
+double StepTimeBreakdown::ComputeOnly() const {
+  return total - at(KernelCategory::kAllreduce);
+}
+
+StepTimeBreakdown SingleGpuStepTime(const TrainingCost& cost,
+                                    const MachineModel& machine,
+                                    Precision precision,
+                                    const RooflineEfficiencies& eff) {
+  StepTimeBreakdown breakdown;
+  for (int c = 0; c < kNumKernelCategories; ++c) {
+    const auto category = static_cast<KernelCategory>(c);
+    breakdown.seconds[static_cast<std::size_t>(c)] =
+        CategoryTime(cost.at(category), category, machine.gpu, precision,
+                     eff, machine.nvlink_bw);
+    breakdown.total += breakdown.seconds[static_cast<std::size_t>(c)];
+  }
+  return breakdown;
+}
+
+SingleGpuPerformance AnalyzeSingleGpu(const ArchSpec& spec,
+                                      const MachineModel& machine,
+                                      Precision precision,
+                                      std::int64_t local_batch,
+                                      const RooflineEfficiencies& eff) {
+  const TrainingCost cost = AnalyzeTraining(spec, precision, local_batch);
+  const StepTimeBreakdown breakdown =
+      SingleGpuStepTime(cost, machine, precision, eff);
+  SingleGpuPerformance perf;
+  perf.tf_per_sample = cost.ConvFlopsPerSample() / 1e12;
+  // Single-GPU rate: no all-reduce partner, so compute-only time.
+  perf.samples_per_sec =
+      static_cast<double>(local_batch) / breakdown.ComputeOnly();
+  perf.tf_per_sec = perf.samples_per_sec * perf.tf_per_sample;
+  perf.fraction_of_peak =
+      perf.tf_per_sec * 1e12 / machine.gpu.Peak(precision);
+  return perf;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+
+#include "flops/cost.hpp"
+#include "netsim/machine.hpp"
+
+namespace exaclim {
+
+/// Per-kernel-category achieved fractions of peak math / peak memory
+/// bandwidth. Defaults are calibrated from the measured utilisations in
+/// Figs 3/8/9 (e.g. FP32 convolutions reach 50-75% of math peak; FP16
+/// convolutions only 20-52% because the Tensor-Core kernels become
+/// memory-limited on small filter counts; pointwise kernels stream at
+/// 45-80% of DRAM bandwidth).
+struct RooflineEfficiencies {
+  double conv_math_fp32 = 0.65;
+  double conv_math_fp16 = 0.35;
+  double conv_mem = 0.60;
+  double pointwise_mem = 0.70;
+  double copies_mem = 0.60;
+  double optimizer_mem = 0.30;
+  double convert_mem = 0.40;
+  double allreduce_link = 0.70;  // NVLink fraction for NCCL kernels
+};
+
+/// Time of one kernel category on one GPU: the roofline maximum of the
+/// math time and the memory time at the achieved fractions.
+double CategoryTime(const CategoryCost& cost, KernelCategory category,
+                    const GpuModel& gpu, Precision precision,
+                    const RooflineEfficiencies& eff,
+                    double intra_node_link_bw);
+
+/// Per-category and total single-GPU step timing (the Fig 3/8/9 rows).
+struct StepTimeBreakdown {
+  std::array<double, kNumKernelCategories> seconds{};
+  double total = 0.0;
+
+  double at(KernelCategory c) const {
+    return seconds[static_cast<std::size_t>(c)];
+  }
+  /// Step time excluding the all-reduce category (the pure-compute time
+  /// the scale simulator overlaps communication against).
+  double ComputeOnly() const;
+};
+
+StepTimeBreakdown SingleGpuStepTime(const TrainingCost& cost,
+                                    const MachineModel& machine,
+                                    Precision precision,
+                                    const RooflineEfficiencies& eff = {});
+
+/// One row of the Fig 2 table.
+struct SingleGpuPerformance {
+  double tf_per_sample = 0.0;   // operation count
+  double samples_per_sec = 0.0; // training rate
+  double tf_per_sec = 0.0;      // sustained performance
+  double fraction_of_peak = 0.0;
+};
+
+SingleGpuPerformance AnalyzeSingleGpu(const ArchSpec& spec,
+                                      const MachineModel& machine,
+                                      Precision precision,
+                                      std::int64_t local_batch,
+                                      const RooflineEfficiencies& eff = {});
+
+}  // namespace exaclim

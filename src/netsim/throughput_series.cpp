@@ -1,0 +1,53 @@
+#include "netsim/throughput_series.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+ThroughputSeries SampleThroughputSeries(const ScaleSimulator& sim, int gpus,
+                                        int steps, std::uint64_t seed) {
+  EXACLIM_CHECK(steps >= 1, "need at least one step");
+  const ScalePoint base = sim.Simulate(gpus);
+  // Deterministic part of the step (everything except the straggler term,
+  // which we re-realise stochastically per step).
+  const double deterministic = base.step_seconds - base.straggler_seconds;
+  const double sigma =
+      sim.options().machine.variability.sigma_frac * base.compute_seconds;
+  const double serial =
+      sim.options().machine.variability.per_rank_serial * gpus;
+
+  ThroughputSeries series;
+  series.images_per_sec.reserve(static_cast<std::size_t>(steps));
+  Rng rng(seed);
+  const double batch = static_cast<double>(gpus) *
+                       static_cast<double>(sim.options().local_batch);
+  for (int s = 0; s < steps; ++s) {
+    // Max of P per-rank N(0, sigma) delays. Drawing P normals per step is
+    // exact; for very large P, subsample and apply the extreme-value
+    // correction for the remainder.
+    double worst = 0.0;
+    const int draws = std::min(gpus, 4096);
+    for (int r = 0; r < draws; ++r) {
+      worst = std::max(worst, static_cast<double>(rng.Normal(
+                                  0.0f, static_cast<float>(sigma))));
+    }
+    if (gpus > draws && sigma > 0.0) {
+      // E[max of n] grows ~ sigma * sqrt(2 ln n): shift the sampled max
+      // by the expected difference between the full and sampled extremes.
+      const double full = std::sqrt(2.0 * std::log(static_cast<double>(gpus)));
+      const double part =
+          std::sqrt(2.0 * std::log(static_cast<double>(draws)));
+      worst += sigma * (full - part);
+    }
+    const double step_time = deterministic + worst + serial;
+    series.images_per_sec.push_back(batch / step_time);
+  }
+  series.summary = Summarize(series.images_per_sec);
+  series.pflops_median =
+      series.summary.median * sim.tf_per_sample() / 1e3;
+  return series;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "common/rng.hpp"
+#include "netsim/scale.hpp"
+#include "stats/stats.hpp"
+
+namespace exaclim {
+
+/// Stochastic per-step throughput series for a scale point — the Sec VI
+/// measurement methodology applied to the model. Each step's straggler
+/// delay is realised as the maximum of P per-rank normal perturbations
+/// (synchronous training waits for the slowest rank), giving a noisy
+/// images/s series from which the paper's statistics — median over time
+/// with the central-68% confidence interval from the 0.16/0.84
+/// percentiles — are computed (the error bars of Figs 4 and 5).
+struct ThroughputSeries {
+  std::vector<double> images_per_sec;  // one entry per step
+  SeriesSummary summary;               // Sec VI statistics
+  double pflops_median = 0.0;
+};
+
+ThroughputSeries SampleThroughputSeries(const ScaleSimulator& sim, int gpus,
+                                        int steps, std::uint64_t seed);
+
+}  // namespace exaclim

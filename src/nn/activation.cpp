@@ -1,0 +1,71 @@
+#include "nn/activation.hpp"
+
+namespace exaclim {
+
+// --------------------------------------------------------------- ReLU ---
+
+Tensor ReLU::Forward(const Tensor& input, bool /*train*/) {
+  input_shape_ = input.shape();
+  Tensor output(input.shape());
+  const std::size_t size = static_cast<std::size_t>(input.NumElements());
+  mask_.assign(size, false);
+  for (std::size_t i = 0; i < size; ++i) {
+    const bool active = input[i] > 0.0f;
+    mask_[i] = active;
+    output[i] = active ? input[i] : 0.0f;
+  }
+  MaybeQuantise(output);
+  return output;
+}
+
+Tensor ReLU::Backward(const Tensor& grad_output) {
+  EXACLIM_CHECK(grad_output.shape() == input_shape_,
+                name() << ": grad shape mismatch");
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    grad_input[i] = mask_[i] ? grad_output[i] : 0.0f;
+  }
+  MaybeQuantise(grad_input);
+  return grad_input;
+}
+
+// ------------------------------------------------------------ Dropout ---
+
+Dropout::Dropout(std::string name, float p, Rng& rng)
+    : Layer(std::move(name)), p_(p), rng_(rng.Fork(0x9d0u)) {
+  EXACLIM_CHECK(p >= 0.0f && p < 1.0f, "dropout rate must be in [0,1)");
+}
+
+Tensor Dropout::Forward(const Tensor& input, bool train) {
+  input_shape_ = input.shape();
+  last_was_train_ = train;
+  if (!train || p_ == 0.0f) {
+    mask_.clear();
+    return input;
+  }
+  const std::size_t size = static_cast<std::size_t>(input.NumElements());
+  mask_.resize(size);
+  const float keep_scale = 1.0f / (1.0f - p_);
+  Tensor output(input.shape());
+  for (std::size_t i = 0; i < size; ++i) {
+    const float m = rng_.Bernoulli(p_) ? 0.0f : keep_scale;
+    mask_[i] = m;
+    output[i] = input[i] * m;
+  }
+  MaybeQuantise(output);
+  return output;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  EXACLIM_CHECK(grad_output.shape() == input_shape_,
+                name() << ": grad shape mismatch");
+  if (!last_was_train_ || p_ == 0.0f) return grad_output;
+  Tensor grad_input(input_shape_);
+  for (std::size_t i = 0; i < mask_.size(); ++i) {
+    grad_input[i] = grad_output[i] * mask_[i];
+  }
+  MaybeQuantise(grad_input);
+  return grad_input;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,363 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+
+namespace exaclim {
+namespace {
+
+std::int64_t SamePad(std::int64_t kernel) { return kernel / 2; }
+
+// Naive direct convolution of one image (used when kDirect is forced on a
+// non-pointwise geometry): no patch buffer, pure loops.
+void DirectConvImage(const ConvGeometry& g, std::int64_t out_c,
+                     const float* image, const float* weight, float* out) {
+  const std::int64_t out_h = g.OutH(), out_w = g.OutW();
+  const std::int64_t patch = g.PatchSize();
+  for (std::int64_t oc = 0; oc < out_c; ++oc) {
+    const float* w_oc = weight + oc * patch;
+    float* plane = out + oc * out_h * out_w;
+    for (std::int64_t oy = 0; oy < out_h; ++oy) {
+      for (std::int64_t ox = 0; ox < out_w; ++ox) {
+        double acc = 0.0;
+        std::int64_t w_idx = 0;
+        for (std::int64_t c = 0; c < g.in_c; ++c) {
+          const float* in_plane = image + c * g.in_h * g.in_w;
+          for (std::int64_t ky = 0; ky < g.k_h; ++ky) {
+            const std::int64_t iy = oy * g.stride + ky * g.dilation - g.pad;
+            for (std::int64_t kx = 0; kx < g.k_w; ++kx, ++w_idx) {
+              const std::int64_t ix =
+                  ox * g.stride + kx * g.dilation - g.pad;
+              if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+                acc += static_cast<double>(w_oc[w_idx]) *
+                       in_plane[iy * g.in_w + ix];
+              }
+            }
+          }
+        }
+        plane[oy * out_w + ox] = static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const char* ToString(ConvAlgorithm algo) {
+  switch (algo) {
+    case ConvAlgorithm::kAuto: return "auto";
+    case ConvAlgorithm::kImplicitGemm: return "implicit-gemm";
+    case ConvAlgorithm::kDirect: return "direct";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------- Conv2d -----
+
+Conv2d::Conv2d(std::string name, const Options& opts, Rng& rng)
+    : Layer(std::move(name)),
+      opts_([&] {
+        Options o = opts;
+        if (o.pad < 0) o.pad = SamePad(o.kernel);
+        return o;
+      }()),
+      weight_(this->name() + ".weight",
+              Tensor::Randn(
+                  TensorShape{opts_.out_c,
+                              opts_.in_c * opts_.kernel * opts_.kernel},
+                  rng, 0.0f,
+                  // He initialisation for ReLU networks.
+                  std::sqrt(2.0f / static_cast<float>(
+                                       opts_.in_c * opts_.kernel *
+                                       opts_.kernel)))) {
+  EXACLIM_CHECK(opts_.in_c > 0 && opts_.out_c > 0, "conv needs channels");
+  EXACLIM_CHECK(opts_.stride >= 1 && opts_.dilation >= 1,
+                "invalid stride/dilation");
+  if (opts_.bias) {
+    bias_.emplace(this->name() + ".bias", Tensor::Zeros(TensorShape{opts_.out_c}));
+  }
+}
+
+ConvGeometry Conv2d::Geometry(std::int64_t h, std::int64_t w) const {
+  ConvGeometry g;
+  g.in_c = opts_.in_c;
+  g.in_h = h;
+  g.in_w = w;
+  g.k_h = g.k_w = opts_.kernel;
+  g.stride = opts_.stride;
+  g.pad = opts_.pad;
+  g.dilation = opts_.dilation;
+  return g;
+}
+
+bool Conv2d::UsePointwiseFastPath() const {
+  return opts_.kernel == 1 && opts_.stride == 1 && opts_.pad == 0 &&
+         opts_.dilation == 1;
+}
+
+ConvAlgorithm Conv2d::chosen_algorithm() const {
+  if (opts_.algorithm == ConvAlgorithm::kAuto) {
+    // Direct is strictly better for pointwise convolutions (no patch
+    // expansion); implicit GEMM wins elsewhere on this substrate.
+    return UsePointwiseFastPath() ? ConvAlgorithm::kDirect
+                                  : ConvAlgorithm::kImplicitGemm;
+  }
+  return opts_.algorithm;
+}
+
+TensorShape Conv2d::OutputShape(const TensorShape& input) const {
+  EXACLIM_CHECK(input.rank() == 4 && input.c() == opts_.in_c,
+                name() << ": bad input " << input.ToString() << ", expected C="
+                       << opts_.in_c);
+  const ConvGeometry g = Geometry(input.h(), input.w());
+  return TensorShape::NCHW(input.n(), opts_.out_c, g.OutH(), g.OutW());
+}
+
+const Tensor& Conv2d::ComputeWeight() {
+  if (precision() != Precision::kFP16) return weight_.value;
+  quantised_weight_ = weight_.value;
+  RoundTripHalf(quantised_weight_);
+  return quantised_weight_;
+}
+
+Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
+  const TensorShape out_shape = OutputShape(input.shape());
+  const ConvGeometry g = Geometry(input.shape().h(), input.shape().w());
+  cached_input_ = input;
+
+  Tensor output(out_shape);
+  const Tensor& w = ComputeWeight();
+  const ConvAlgorithm algo = chosen_algorithm();
+  std::vector<float> col;
+  if (algo == ConvAlgorithm::kImplicitGemm) {
+    col.resize(static_cast<std::size_t>(g.PatchSize()) * g.OutPixels());
+  }
+  const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
+  const std::int64_t out_stride = opts_.out_c * g.OutPixels();
+  for (std::int64_t n = 0; n < input.shape().n(); ++n) {
+    if (algo == ConvAlgorithm::kImplicitGemm) {
+      Im2Col(g, input.Raw() + n * in_stride, col.data());
+      // out[out_c, P] = W[out_c, patch] @ col[patch, P]
+      Gemm(false, false, opts_.out_c, g.OutPixels(), g.PatchSize(), 1.0f,
+           w.Raw(), col.data(), 0.0f, output.Raw() + n * out_stride);
+    } else if (UsePointwiseFastPath()) {
+      // 1x1/stride-1: the activation map already IS the patch matrix.
+      Gemm(false, false, opts_.out_c, g.OutPixels(), g.in_c, 1.0f, w.Raw(),
+           input.Raw() + n * in_stride, 0.0f,
+           output.Raw() + n * out_stride);
+    } else {
+      DirectConvImage(g, opts_.out_c, input.Raw() + n * in_stride, w.Raw(),
+                      output.Raw() + n * out_stride);
+    }
+    if (bias_) {
+      float* out_n = output.Raw() + n * out_stride;
+      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+        const float b = bias_->value[static_cast<std::size_t>(c)];
+        float* plane = out_n + c * g.OutPixels();
+        for (std::int64_t p = 0; p < g.OutPixels(); ++p) plane[p] += b;
+      }
+    }
+  }
+  MaybeQuantise(output);
+  return output;
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_output) {
+  EXACLIM_CHECK(!cached_input_.Empty(), name() << ": Backward before Forward");
+  const TensorShape& in_shape = cached_input_.shape();
+  const ConvGeometry g = Geometry(in_shape.h(), in_shape.w());
+  EXACLIM_CHECK(grad_output.shape() == OutputShape(in_shape),
+                name() << ": grad shape mismatch");
+
+  Tensor grad_input(in_shape);
+  const Tensor& w = ComputeWeight();
+  // Backward always uses the GEMM formulation (cuDNN similarly selects
+  // backward algorithms independently of the forward choice); the
+  // pointwise fast path just skips the patch buffers.
+  const bool pointwise = UsePointwiseFastPath();
+  std::vector<float> col, grad_col;
+  if (!pointwise) {
+    col.resize(static_cast<std::size_t>(g.PatchSize()) * g.OutPixels());
+    grad_col.resize(col.size());
+  }
+  const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
+  const std::int64_t out_stride = opts_.out_c * g.OutPixels();
+
+  for (std::int64_t n = 0; n < in_shape.n(); ++n) {
+    const float* gout = grad_output.Raw() + n * out_stride;
+    if (pointwise) {
+      Gemm(false, true, opts_.out_c, g.in_c, g.OutPixels(), 1.0f, gout,
+           cached_input_.Raw() + n * in_stride, 1.0f, weight_.grad.Raw());
+      Gemm(true, false, g.in_c, g.OutPixels(), opts_.out_c, 1.0f, w.Raw(),
+           gout, 0.0f, grad_input.Raw() + n * in_stride);
+    } else {
+      // Weight gradient: gW[out_c, patch] += gout[out_c, P] @ col^T.
+      Im2Col(g, cached_input_.Raw() + n * in_stride, col.data());
+      Gemm(false, true, opts_.out_c, g.PatchSize(), g.OutPixels(), 1.0f,
+           gout, col.data(), 1.0f, weight_.grad.Raw());
+      // Data gradient: gcol[patch, P] = W^T @ gout; scatter back.
+      Gemm(true, false, g.PatchSize(), g.OutPixels(), opts_.out_c, 1.0f,
+           w.Raw(), gout, 0.0f, grad_col.data());
+      Col2Im(g, grad_col.data(), grad_input.Raw() + n * in_stride);
+    }
+    if (bias_) {
+      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+        const float* plane = gout + c * g.OutPixels();
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < g.OutPixels(); ++p) acc += plane[p];
+        bias_->grad[static_cast<std::size_t>(c)] +=
+            static_cast<float>(acc);
+      }
+    }
+  }
+  MaybeQuantise(grad_input);
+  return grad_input;
+}
+
+std::vector<Param*> Conv2d::Params() {
+  std::vector<Param*> params{&weight_};
+  if (bias_) params.push_back(&*bias_);
+  return params;
+}
+
+// -------------------------------------------------- ConvTranspose2d -----
+
+ConvTranspose2d::ConvTranspose2d(std::string name, const Options& opts,
+                                 Rng& rng)
+    : Layer(std::move(name)),
+      opts_([&] {
+        Options o = opts;
+        if (o.pad < 0) o.pad = (o.kernel - o.stride + 1) / 2;
+        return o;
+      }()),
+      weight_(this->name() + ".weight",
+              Tensor::Randn(
+                  TensorShape{opts_.in_c,
+                              opts_.out_c * opts_.kernel * opts_.kernel},
+                  rng, 0.0f,
+                  std::sqrt(2.0f / static_cast<float>(
+                                       opts_.in_c * opts_.kernel *
+                                       opts_.kernel)))) {
+  EXACLIM_CHECK(opts_.in_c > 0 && opts_.out_c > 0, "deconv needs channels");
+  EXACLIM_CHECK(opts_.pad >= 0, "deconv pad must resolve non-negative");
+  EXACLIM_CHECK(opts_.out_pad >= 0 && opts_.out_pad < opts_.stride,
+                "out_pad must be in [0, stride)");
+  if (opts_.bias) {
+    bias_.emplace(this->name() + ".bias",
+                  Tensor::Zeros(TensorShape{opts_.out_c}));
+  }
+}
+
+ConvGeometry ConvTranspose2d::Geometry(std::int64_t out_h,
+                                       std::int64_t out_w) const {
+  // The underlying convolution runs output -> input, so its "input" is the
+  // deconv output plane.
+  ConvGeometry g;
+  g.in_c = opts_.out_c;
+  g.in_h = out_h;
+  g.in_w = out_w;
+  g.k_h = g.k_w = opts_.kernel;
+  g.stride = opts_.stride;
+  g.pad = opts_.pad;
+  g.dilation = 1;
+  return g;
+}
+
+TensorShape ConvTranspose2d::OutputShape(const TensorShape& input) const {
+  EXACLIM_CHECK(input.rank() == 4 && input.c() == opts_.in_c,
+                name() << ": bad input " << input.ToString());
+  const std::int64_t out_h = (input.h() - 1) * opts_.stride - 2 * opts_.pad +
+                             opts_.kernel + opts_.out_pad;
+  const std::int64_t out_w = (input.w() - 1) * opts_.stride - 2 * opts_.pad +
+                             opts_.kernel + opts_.out_pad;
+  const ConvGeometry g = Geometry(out_h, out_w);
+  EXACLIM_CHECK(g.OutH() == input.h() && g.OutW() == input.w(),
+                name() << ": inconsistent deconv geometry");
+  return TensorShape::NCHW(input.n(), opts_.out_c, out_h, out_w);
+}
+
+const Tensor& ConvTranspose2d::ComputeWeight() {
+  if (precision() != Precision::kFP16) return weight_.value;
+  quantised_weight_ = weight_.value;
+  RoundTripHalf(quantised_weight_);
+  return quantised_weight_;
+}
+
+Tensor ConvTranspose2d::Forward(const Tensor& input, bool /*train*/) {
+  const TensorShape out_shape = OutputShape(input.shape());
+  const ConvGeometry g = Geometry(out_shape.h(), out_shape.w());
+  cached_input_ = input;
+
+  Tensor output(out_shape);
+  const Tensor& w = ComputeWeight();
+  const std::int64_t pixels = input.shape().h() * input.shape().w();
+  std::vector<float> col(static_cast<std::size_t>(g.PatchSize()) * pixels);
+  const std::int64_t in_stride = opts_.in_c * pixels;
+  const std::int64_t out_stride = opts_.out_c * out_shape.h() * out_shape.w();
+
+  for (std::int64_t n = 0; n < input.shape().n(); ++n) {
+    // col[out_c*k*k, P] = W^T[out_c*k*k, in_c] @ x[in_c, P]
+    Gemm(true, false, g.PatchSize(), pixels, opts_.in_c, 1.0f, w.Raw(),
+         input.Raw() + n * in_stride, 0.0f, col.data());
+    Col2Im(g, col.data(), output.Raw() + n * out_stride);
+    if (bias_) {
+      float* out_n = output.Raw() + n * out_stride;
+      const std::int64_t plane = out_shape.h() * out_shape.w();
+      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+        const float b = bias_->value[static_cast<std::size_t>(c)];
+        for (std::int64_t p = 0; p < plane; ++p) out_n[c * plane + p] += b;
+      }
+    }
+  }
+  MaybeQuantise(output);
+  return output;
+}
+
+Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
+  EXACLIM_CHECK(!cached_input_.Empty(), name() << ": Backward before Forward");
+  const TensorShape& in_shape = cached_input_.shape();
+  const TensorShape out_shape = OutputShape(in_shape);
+  EXACLIM_CHECK(grad_output.shape() == out_shape,
+                name() << ": grad shape mismatch");
+  const ConvGeometry g = Geometry(out_shape.h(), out_shape.w());
+
+  Tensor grad_input(in_shape);
+  const Tensor& w = ComputeWeight();
+  const std::int64_t pixels = in_shape.h() * in_shape.w();
+  std::vector<float> col(static_cast<std::size_t>(g.PatchSize()) * pixels);
+  const std::int64_t in_stride = opts_.in_c * pixels;
+  const std::int64_t out_stride = opts_.out_c * out_shape.h() * out_shape.w();
+
+  for (std::int64_t n = 0; n < in_shape.n(); ++n) {
+    const float* gout = grad_output.Raw() + n * out_stride;
+    Im2Col(g, gout, col.data());
+    // Data gradient: gx[in_c, P] = W[in_c, patch] @ col[patch, P]
+    Gemm(false, false, opts_.in_c, pixels, g.PatchSize(), 1.0f, w.Raw(),
+         col.data(), 0.0f, grad_input.Raw() + n * in_stride);
+    // Weight gradient: gW[in_c, patch] += x[in_c, P] @ col[patch, P]^T
+    Gemm(false, true, opts_.in_c, g.PatchSize(), pixels, 1.0f,
+         cached_input_.Raw() + n * in_stride, col.data(), 1.0f,
+         weight_.grad.Raw());
+    if (bias_) {
+      const std::int64_t plane = out_shape.h() * out_shape.w();
+      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+        double acc = 0.0;
+        for (std::int64_t p = 0; p < plane; ++p) acc += gout[c * plane + p];
+        bias_->grad[static_cast<std::size_t>(c)] +=
+            static_cast<float>(acc);
+      }
+    }
+  }
+  MaybeQuantise(grad_input);
+  return grad_input;
+}
+
+std::vector<Param*> ConvTranspose2d::Params() {
+  std::vector<Param*> params{&weight_};
+  if (bias_) params.push_back(&*bias_);
+  return params;
+}
+
+}  // namespace exaclim

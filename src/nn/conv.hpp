@@ -1,0 +1,102 @@
+#pragma once
+
+#include <optional>
+
+#include "nn/im2col.hpp"
+#include "nn/layer.hpp"
+
+namespace exaclim {
+
+/// Convolution algorithm selection — the stand-in for cuDNN's dynamic
+/// algorithm tuning that Sec VI traces ("all convolutions were performed
+/// using either implicit GEMMs or direct convolutions"). kImplicitGemm
+/// lowers through im2col; kDirect computes the convolution in place (for
+/// 1×1/stride-1 this is a pure GEMM on the activation map with no patch
+/// buffer — the same FLOPs, less memory traffic). kAuto picks kDirect
+/// where it is never worse.
+enum class ConvAlgorithm { kAuto, kImplicitGemm, kDirect };
+
+const char* ToString(ConvAlgorithm algo);
+
+/// 2-D convolution (NCHW) with stride, zero padding and dilation (atrous).
+/// Weights are [out_c, in_c*k_h*k_w] with He initialisation, optional
+/// bias.
+class Conv2d : public Layer {
+ public:
+  struct Options {
+    std::int64_t in_c = 0;
+    std::int64_t out_c = 0;
+    std::int64_t kernel = 3;
+    std::int64_t stride = 1;
+    std::int64_t pad = -1;  // -1 = "same" padding for stride 1 (k/2)
+    std::int64_t dilation = 1;
+    bool bias = true;
+    ConvAlgorithm algorithm = ConvAlgorithm::kAuto;
+  };
+
+  Conv2d(std::string name, const Options& opts, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+  std::vector<Param*> Params() override;
+
+  const Options& options() const { return opts_; }
+  Param& weight() { return weight_; }
+  /// The algorithm actually used (kAuto resolved) — the equivalent of
+  /// the cuDNN API tracing of Sec VI.
+  ConvAlgorithm chosen_algorithm() const;
+
+ private:
+  ConvGeometry Geometry(std::int64_t h, std::int64_t w) const;
+  /// Weights as used in compute: FP32, or binary16-rounded under FP16.
+  const Tensor& ComputeWeight();
+  bool UsePointwiseFastPath() const;
+
+  Options opts_;
+  Param weight_;
+  std::optional<Param> bias_;
+  Tensor quantised_weight_;  // scratch for FP16 emulation
+  Tensor cached_input_;      // saved for the backward pass
+};
+
+/// Transposed convolution ("deconv", light-blue layers of Fig 1) used by
+/// the full-resolution DeepLabv3+ decoder and the Tiramisu up path.
+/// Forward is exactly the data-gradient of a Conv2d with swapped roles;
+/// output size is (H-1)*stride - 2*pad + kernel.
+class ConvTranspose2d : public Layer {
+ public:
+  struct Options {
+    std::int64_t in_c = 0;
+    std::int64_t out_c = 0;
+    std::int64_t kernel = 3;
+    std::int64_t stride = 2;
+    std::int64_t pad = -1;  // -1 = (kernel - stride + 1) / 2
+    /// Extra rows/cols appended to the output (TensorFlow SAME-style
+    /// doubling: kernel 3, stride 2, pad 1, out_pad 1 gives exactly 2H).
+    std::int64_t out_pad = 0;
+    bool bias = true;
+  };
+
+  ConvTranspose2d(std::string name, const Options& opts, Rng& rng);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+  std::vector<Param*> Params() override;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  /// Geometry of the *underlying* convolution (output -> input direction).
+  ConvGeometry Geometry(std::int64_t out_h, std::int64_t out_w) const;
+  const Tensor& ComputeWeight();
+
+  Options opts_;
+  Param weight_;  // [in_c, out_c*k*k]
+  std::optional<Param> bias_;
+  Tensor quantised_weight_;
+  Tensor cached_input_;
+};
+
+}  // namespace exaclim

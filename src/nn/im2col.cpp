@@ -1,0 +1,78 @@
+#include "nn/im2col.hpp"
+
+#include <cstring>
+
+namespace exaclim {
+
+void Im2Col(const ConvGeometry& g, const float* image, float* col) {
+  const std::int64_t out_h = g.OutH();
+  const std::int64_t out_w = g.OutW();
+  const std::int64_t hw = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    const float* plane = image + c * hw;
+    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
+        float* dst = col + row * (out_h * out_w);
+        const std::int64_t dy = kh * g.dilation - g.pad;
+        const std::int64_t dx = kw * g.dilation - g.pad;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * g.stride + dy;
+          float* dst_row = dst + oy * out_w;
+          if (iy < 0 || iy >= g.in_h) {
+            std::memset(dst_row, 0, sizeof(float) * out_w);
+            continue;
+          }
+          const float* src_row = plane + iy * g.in_w;
+          if (g.stride == 1) {
+            // Contiguous inner copy with explicit edge handling.
+            std::int64_t ox = 0;
+            for (; ox < out_w && ox + dx < 0; ++ox) dst_row[ox] = 0.0f;
+            std::int64_t ox_end = out_w;
+            while (ox_end > ox && ox_end - 1 + dx >= g.in_w) --ox_end;
+            if (ox_end > ox) {
+              std::memcpy(dst_row + ox, src_row + ox + dx,
+                          sizeof(float) * (ox_end - ox));
+            }
+            for (ox = ox_end; ox < out_w; ++ox) dst_row[ox] = 0.0f;
+          } else {
+            for (std::int64_t ox = 0; ox < out_w; ++ox) {
+              const std::int64_t ix = ox * g.stride + dx;
+              dst_row[ox] =
+                  (ix >= 0 && ix < g.in_w) ? src_row[ix] : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const ConvGeometry& g, const float* col, float* image) {
+  const std::int64_t out_h = g.OutH();
+  const std::int64_t out_w = g.OutW();
+  const std::int64_t hw = g.in_h * g.in_w;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    float* plane = image + c * hw;
+    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
+        const float* src = col + row * (out_h * out_w);
+        const std::int64_t dy = kh * g.dilation - g.pad;
+        const std::int64_t dx = kw * g.dilation - g.pad;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * g.stride + dy;
+          if (iy < 0 || iy >= g.in_h) continue;
+          const float* src_row = src + oy * out_w;
+          float* dst_row = plane + iy * g.in_w;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * g.stride + dx;
+            if (ix >= 0 && ix < g.in_w) dst_row[ix] += src_row[ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace exaclim

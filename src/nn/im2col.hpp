@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+namespace exaclim {
+
+/// Parameters of a 2-D convolution window (square-independent: separate
+/// height/width). Dilation implements atrous convolution (DeepLabv3+'s
+/// ASPP); stride implements downscaling.
+struct ConvGeometry {
+  std::int64_t in_c = 0;
+  std::int64_t in_h = 0;
+  std::int64_t in_w = 0;
+  std::int64_t k_h = 1;
+  std::int64_t k_w = 1;
+  std::int64_t stride = 1;
+  std::int64_t pad = 0;
+  std::int64_t dilation = 1;
+
+  std::int64_t EffectiveKh() const { return dilation * (k_h - 1) + 1; }
+  std::int64_t EffectiveKw() const { return dilation * (k_w - 1) + 1; }
+  std::int64_t OutH() const {
+    return (in_h + 2 * pad - EffectiveKh()) / stride + 1;
+  }
+  std::int64_t OutW() const {
+    return (in_w + 2 * pad - EffectiveKw()) / stride + 1;
+  }
+  /// Rows of the im2col matrix (= columns of the weight matrix).
+  std::int64_t PatchSize() const { return in_c * k_h * k_w; }
+  std::int64_t OutPixels() const { return OutH() * OutW(); }
+};
+
+/// Expands one image (C,H,W row-major) into the patch matrix
+/// col[PatchSize(), OutPixels()]: column p holds the receptive field of
+/// output pixel p, zero-padded outside the image. This is the lowering
+/// that turns convolution into GEMM (the "implicit GEMM" form of Sec VI).
+void Im2Col(const ConvGeometry& g, const float* image, float* col);
+
+/// Adjoint of Im2Col: scatters/accumulates the patch matrix back into the
+/// image buffer (which the caller must zero first). Used for the
+/// data-gradient of Conv2d and the forward pass of ConvTranspose2d.
+void Col2Im(const ConvGeometry& g, const float* col, float* image);
+
+}  // namespace exaclim

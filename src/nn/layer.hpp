@@ -1,0 +1,78 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/cast.hpp"
+#include "tensor/tensor.hpp"
+
+namespace exaclim {
+
+/// A trainable parameter: value plus accumulated gradient. Optimizers and
+/// the data-parallel aggregation layer (hvd) operate on flat lists of
+/// these, mirroring how Horovod hooks TensorFlow's variable list.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param(std::string n, Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  std::int64_t NumElements() const { return value.NumElements(); }
+};
+
+/// Base class for network layers.
+///
+/// Layers cache whatever forward-pass state their backward pass needs, so
+/// the usage contract is: Forward, then at most one Backward for that
+/// Forward. Gradients accumulate into Param::grad (callers zero them
+/// between steps). SetPrecision(kFP16) makes the layer quantise its output
+/// activations and use binary16-rounded weights — the emulation point for
+/// the paper's mixed-precision runs (master weights stay FP32).
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output; `train` enables dropout/batch-stat updates.
+  virtual Tensor Forward(const Tensor& input, bool train) = 0;
+
+  /// Propagates the loss gradient, accumulating parameter gradients.
+  virtual Tensor Backward(const Tensor& grad_output) = 0;
+
+  /// Output shape for a given input shape (no compute) — used by model
+  /// assembly checks.
+  virtual TensorShape OutputShape(const TensorShape& input) const = 0;
+
+  virtual std::vector<Param*> Params() { return {}; }
+
+  const std::string& name() const { return name_; }
+
+  void SetPrecision(Precision p) { precision_ = p; }
+  Precision precision() const { return precision_; }
+
+ protected:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+
+  /// Applies FP16 storage emulation to an activation if enabled.
+  void MaybeQuantise(Tensor& t) const {
+    if (precision_ == Precision::kFP16) RoundTripHalf(t);
+  }
+
+ private:
+  std::string name_;
+  Precision precision_ = Precision::kFP32;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Collects Params from a list of layers (helper for containers/models).
+inline void AppendParams(std::vector<Param*>& out, Layer& layer) {
+  for (Param* p : layer.Params()) out.push_back(p);
+}
+
+}  // namespace exaclim

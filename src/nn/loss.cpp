@@ -1,0 +1,154 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+
+namespace exaclim {
+
+const char* ToString(WeightingScheme s) {
+  switch (s) {
+    case WeightingScheme::kNone: return "unweighted";
+    case WeightingScheme::kInverse: return "inverse-frequency";
+    case WeightingScheme::kInverseSqrt: return "inverse-sqrt-frequency";
+  }
+  return "?";
+}
+
+std::vector<float> MakeClassWeights(std::span<const double> frequencies,
+                                    WeightingScheme scheme) {
+  std::vector<float> weights(frequencies.size(), 1.0f);
+  for (std::size_t c = 0; c < frequencies.size(); ++c) {
+    EXACLIM_CHECK(frequencies[c] > 0.0, "class " << c << " has frequency 0");
+    switch (scheme) {
+      case WeightingScheme::kNone:
+        weights[c] = 1.0f;
+        break;
+      case WeightingScheme::kInverse:
+        weights[c] = static_cast<float>(1.0 / frequencies[c]);
+        break;
+      case WeightingScheme::kInverseSqrt:
+        weights[c] = static_cast<float>(1.0 / std::sqrt(frequencies[c]));
+        break;
+    }
+  }
+  return weights;
+}
+
+SegmentationLossResult WeightedSoftmaxCrossEntropy(
+    const Tensor& logits, std::span<const std::uint8_t> labels,
+    const SegmentationLossOptions& opts) {
+  const TensorShape& s = logits.shape();
+  EXACLIM_CHECK(s.rank() == 4, "logits must be [N,C,H,W]");
+  const std::int64_t n = s.n(), c = s.c(), hw = s.h() * s.w();
+  EXACLIM_CHECK(static_cast<std::int64_t>(labels.size()) == n * hw,
+                "labels size " << labels.size() << " != " << n * hw);
+  EXACLIM_CHECK(opts.class_weights.empty() ||
+                    static_cast<std::int64_t>(opts.class_weights.size()) == c,
+                "class_weights size mismatch");
+
+  SegmentationLossResult result;
+  result.grad_logits = Tensor(s);
+  const double inv_pixels = 1.0 / static_cast<double>(n * hw);
+  const bool fp16 = opts.precision == Precision::kFP16;
+
+  double loss_acc = 0.0;
+  std::int64_t correct = 0;
+  std::vector<float> probs(static_cast<std::size_t>(c));
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* logit_base = logits.Raw() + b * c * hw;
+    float* grad_base = result.grad_logits.Raw() + b * c * hw;
+    for (std::int64_t p = 0; p < hw; ++p) {
+      // Numerically stable softmax over the class dimension.
+      float max_logit = logit_base[p];
+      for (std::int64_t k = 1; k < c; ++k) {
+        max_logit = std::max(max_logit, logit_base[k * hw + p]);
+      }
+      double denom = 0.0;
+      for (std::int64_t k = 0; k < c; ++k) {
+        probs[static_cast<std::size_t>(k)] =
+            std::exp(logit_base[k * hw + p] - max_logit);
+        denom += probs[static_cast<std::size_t>(k)];
+      }
+      const double inv_denom = 1.0 / denom;
+
+      const std::uint8_t label = labels[static_cast<std::size_t>(b * hw + p)];
+      EXACLIM_CHECK(label < c, "label " << int(label) << " out of range");
+      const float weight =
+          opts.class_weights.empty() ? 1.0f : opts.class_weights[label];
+
+      const double p_label =
+          probs[static_cast<std::size_t>(label)] * inv_denom;
+      float pixel_loss = static_cast<float>(
+          -weight * std::log(std::max(p_label, 1e-30)));
+      if (fp16) {
+        // The per-pixel weighted loss is materialised in FP16 on the GPU.
+        const Half h(pixel_loss);
+        if (!h.IsFinite()) ++result.nonfinite_loss_count;
+        pixel_loss = h.ToFloat();
+      }
+      loss_acc += pixel_loss;
+
+      std::int64_t argmax = 0;
+      float best = probs[0];
+      for (std::int64_t k = 1; k < c; ++k) {
+        if (probs[static_cast<std::size_t>(k)] > best) {
+          best = probs[static_cast<std::size_t>(k)];
+          argmax = k;
+        }
+      }
+      if (argmax == label) ++correct;
+
+      const float scale = static_cast<float>(weight * opts.loss_scale *
+                                             inv_pixels);
+      for (std::int64_t k = 0; k < c; ++k) {
+        const float softmax_k = static_cast<float>(
+            probs[static_cast<std::size_t>(k)] * inv_denom);
+        const float onehot = (k == label) ? 1.0f : 0.0f;
+        float g = scale * (softmax_k - onehot);
+        if (fp16) {
+          const Half h(g);
+          if (!h.IsFinite()) {
+            ++result.nonfinite_grad_count;
+          } else if (g != 0.0f && h.ToFloat() == 0.0f) {
+            ++result.flushed_grad_count;
+          }
+          g = h.ToFloat();
+        }
+        grad_base[k * hw + p] = g;
+      }
+    }
+  }
+
+  result.loss = loss_acc * inv_pixels;
+  result.pixel_accuracy = static_cast<double>(correct) * inv_pixels;
+  return result;
+}
+
+std::vector<std::uint8_t> PredictClasses(const Tensor& logits) {
+  const TensorShape& s = logits.shape();
+  EXACLIM_CHECK(s.rank() == 4, "logits must be [N,C,H,W]");
+  const std::int64_t n = s.n(), c = s.c(), hw = s.h() * s.w();
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(n * hw));
+  for (std::int64_t b = 0; b < n; ++b) {
+    const float* base = logits.Raw() + b * c * hw;
+    for (std::int64_t p = 0; p < hw; ++p) {
+      std::int64_t argmax = 0;
+      float best = base[p];
+      for (std::int64_t k = 1; k < c; ++k) {
+        if (base[k * hw + p] > best) {
+          best = base[k * hw + p];
+          argmax = k;
+        }
+      }
+      out[static_cast<std::size_t>(b * hw + p)] =
+          static_cast<std::uint8_t>(argmax);
+    }
+  }
+  return out;
+}
+
+}  // namespace exaclim

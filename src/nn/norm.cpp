@@ -1,0 +1,133 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+namespace exaclim {
+
+BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels,
+                         float momentum, float epsilon)
+    : Layer(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      epsilon_(epsilon),
+      gamma_(this->name() + ".gamma",
+             Tensor::Full(TensorShape{channels}, 1.0f)),
+      beta_(this->name() + ".beta", Tensor::Zeros(TensorShape{channels})),
+      running_mean_(TensorShape{channels}),
+      running_var_(Tensor::Full(TensorShape{channels}, 1.0f)) {
+  EXACLIM_CHECK(channels_ > 0, "batchnorm needs channels");
+}
+
+TensorShape BatchNorm2d::OutputShape(const TensorShape& input) const {
+  EXACLIM_CHECK(input.rank() == 4 && input.c() == channels_,
+                name() << ": bad input " << input.ToString());
+  return input;
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
+  (void)OutputShape(input.shape());
+  input_shape_ = input.shape();
+  last_was_train_ = train;
+  const std::int64_t n = input.shape().n();
+  const std::int64_t hw = input.shape().h() * input.shape().w();
+  const std::int64_t count = n * hw;
+  const std::int64_t chw = channels_ * hw;
+
+  Tensor output(input.shape());
+  cached_norm_ = Tensor(input.shape());
+  batch_inv_std_ = Tensor(TensorShape{channels_});
+
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    float mean, var;
+    if (train) {
+      double sum = 0.0, sumsq = 0.0;
+      for (std::int64_t b = 0; b < n; ++b) {
+        const float* plane = input.Raw() + b * chw + c * hw;
+        for (std::int64_t i = 0; i < hw; ++i) {
+          sum += plane[i];
+          sumsq += static_cast<double>(plane[i]) * plane[i];
+        }
+      }
+      mean = static_cast<float>(sum / count);
+      var = static_cast<float>(sumsq / count - static_cast<double>(mean) * mean);
+      if (var < 0.0f) var = 0.0f;  // numerical guard
+      running_mean_[static_cast<std::size_t>(c)] =
+          momentum_ * running_mean_[static_cast<std::size_t>(c)] +
+          (1.0f - momentum_) * mean;
+      running_var_[static_cast<std::size_t>(c)] =
+          momentum_ * running_var_[static_cast<std::size_t>(c)] +
+          (1.0f - momentum_) * var;
+    } else {
+      mean = running_mean_[static_cast<std::size_t>(c)];
+      var = running_var_[static_cast<std::size_t>(c)];
+    }
+    const float inv_std = 1.0f / std::sqrt(var + epsilon_);
+    batch_inv_std_[static_cast<std::size_t>(c)] = inv_std;
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float bta = beta_.value[static_cast<std::size_t>(c)];
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* in_plane = input.Raw() + b * chw + c * hw;
+      float* norm_plane = cached_norm_.Raw() + b * chw + c * hw;
+      float* out_plane = output.Raw() + b * chw + c * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        const float x_hat = (in_plane[i] - mean) * inv_std;
+        norm_plane[i] = x_hat;
+        out_plane[i] = g * x_hat + bta;
+      }
+    }
+  }
+  MaybeQuantise(output);
+  return output;
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+  EXACLIM_CHECK(!cached_norm_.Empty(), name() << ": Backward before Forward");
+  EXACLIM_CHECK(grad_output.shape() == input_shape_,
+                name() << ": grad shape mismatch");
+  const std::int64_t n = input_shape_.n();
+  const std::int64_t hw = input_shape_.h() * input_shape_.w();
+  const std::int64_t count = n * hw;
+  const std::int64_t chw = channels_ * hw;
+
+  Tensor grad_input(input_shape_);
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of the
+    // batch-norm backward formula.
+    double sum_g = 0.0, sum_gx = 0.0;
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* gout = grad_output.Raw() + b * chw + c * hw;
+      const float* x_hat = cached_norm_.Raw() + b * chw + c * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        sum_g += gout[i];
+        sum_gx += static_cast<double>(gout[i]) * x_hat[i];
+      }
+    }
+    gamma_.grad[static_cast<std::size_t>(c)] += static_cast<float>(sum_gx);
+    beta_.grad[static_cast<std::size_t>(c)] += static_cast<float>(sum_g);
+
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float inv_std = batch_inv_std_[static_cast<std::size_t>(c)];
+    // Train mode: the batch statistics depend on the input, adding the two
+    // mean-correction terms. Eval mode: stats are constants, so the layer
+    // is affine and dx = gamma * inv_std * dy.
+    const float mean_g =
+        last_was_train_ ? static_cast<float>(sum_g / count) : 0.0f;
+    const float mean_gx =
+        last_was_train_ ? static_cast<float>(sum_gx / count) : 0.0f;
+    // dx = gamma * inv_std * (dy - mean(dy) - x_hat * mean(dy * x_hat))
+    for (std::int64_t b = 0; b < n; ++b) {
+      const float* gout = grad_output.Raw() + b * chw + c * hw;
+      const float* x_hat = cached_norm_.Raw() + b * chw + c * hw;
+      float* gin = grad_input.Raw() + b * chw + c * hw;
+      for (std::int64_t i = 0; i < hw; ++i) {
+        gin[i] = g * inv_std * (gout[i] - mean_g - x_hat[i] * mean_gx);
+      }
+    }
+  }
+  MaybeQuantise(grad_input);
+  return grad_input;
+}
+
+std::vector<Param*> BatchNorm2d::Params() { return {&gamma_, &beta_}; }
+
+}  // namespace exaclim

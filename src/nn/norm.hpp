@@ -1,0 +1,40 @@
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace exaclim {
+
+/// Batch normalisation over (N, H, W) per channel with learnable scale and
+/// shift, running statistics for inference, and the full analytic backward
+/// pass. In the data-parallel setting each rank normalises over its local
+/// batch, exactly as TensorFlow+Horovod did in the paper.
+class BatchNorm2d : public Layer {
+ public:
+  BatchNorm2d(std::string name, std::int64_t channels, float momentum = 0.9f,
+              float epsilon = 1e-5f);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+  std::vector<Param*> Params() override;
+
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_;
+  float momentum_;
+  float epsilon_;
+  Param gamma_;
+  Param beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Saved forward state for backward.
+  Tensor cached_norm_;   // normalised input x_hat
+  Tensor batch_inv_std_;  // per-channel 1/sqrt(var+eps)
+  TensorShape input_shape_;
+  bool last_was_train_ = false;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace exaclim {
+
+/// Max pooling (e.g. the 3×3/2 pool after the ResNet stem in Fig 1).
+/// Backward routes the gradient to the argmax position of each window.
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad = -1);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+
+ private:
+  std::int64_t kernel_;
+  std::int64_t stride_;
+  std::int64_t pad_;
+  TensorShape input_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index per output element
+};
+
+/// Average pooling; kernel == 0 means global average pooling (used by the
+/// ASPP image-level branch variant and ablations).
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride);
+
+  Tensor Forward(const Tensor& input, bool train) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  TensorShape OutputShape(const TensorShape& input) const override;
+
+ private:
+  std::int64_t kernel_;  // 0 = global
+  std::int64_t stride_;
+  TensorShape input_shape_;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace exaclim {
+
+/// Linear chain of layers. Forward caches nothing itself (each layer
+/// caches its own state); Backward runs the chain in reverse.
+class Sequential : public Layer {
+ public:
+  explicit Sequential(std::string name) : Layer(std::move(name)) {}
+
+  /// Appends a layer, returning a typed reference for later access.
+  template <typename L, typename... Args>
+  L& Emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  void Append(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+
+  Tensor Forward(const Tensor& input, bool train) override {
+    Tensor x = input;
+    for (auto& layer : layers_) x = layer->Forward(x, train);
+    return x;
+  }
+
+  Tensor Backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+      g = (*it)->Backward(g);
+    }
+    return g;
+  }
+
+  TensorShape OutputShape(const TensorShape& input) const override {
+    TensorShape s = input;
+    for (const auto& layer : layers_) s = layer->OutputShape(s);
+    return s;
+  }
+
+  std::vector<Param*> Params() override {
+    std::vector<Param*> params;
+    for (auto& layer : layers_) AppendParams(params, *layer);
+    return params;
+  }
+
+  /// Propagates precision to every contained layer.
+  void SetPrecisionRecursive(Precision p) {
+    SetPrecision(p);
+    for (auto& layer : layers_) {
+      if (auto* seq = dynamic_cast<Sequential*>(layer.get())) {
+        seq->SetPrecisionRecursive(p);
+      } else {
+        layer->SetPrecision(p);
+      }
+    }
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& at(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace exaclim

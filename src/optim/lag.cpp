@@ -1,0 +1,43 @@
+#include "optim/lag.hpp"
+
+#include <utility>
+
+namespace exaclim {
+
+GradientLag::GradientLag(std::unique_ptr<Optimizer> inner, int lag)
+    : Optimizer(inner->params(), inner->learning_rate()),
+      inner_(std::move(inner)),
+      lag_(lag) {
+  EXACLIM_CHECK(lag_ >= 0, "lag must be non-negative");
+  buffer_.resize(static_cast<std::size_t>(lag_));
+  for (auto& slot : buffer_) {
+    slot.reserve(params_.size());
+    for (Param* p : params_) slot.emplace_back(p->grad.shape());
+  }
+}
+
+void GradientLag::Step() {
+  inner_->SetLearningRate(lr_);
+  if (lag_ == 0) {
+    inner_->Step();
+    ++steps_;
+    return;
+  }
+  auto& slot = buffer_[slot_];
+  // Swap current grads with the `lag`-old snapshot living in this slot.
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::swap(params_[i]->grad, slot[i]);
+  }
+  slot_ = (slot_ + 1) % buffer_.size();
+  if (steps_ < lag_) {
+    // No lagged gradient yet: the snapshot we swapped in is zeros, so an
+    // update would be a no-op. Skip it (keeps e.g. Adam's step count
+    // honest).
+    ++skipped_;
+  } else {
+    inner_->Step();
+  }
+  ++steps_;
+}
+
+}  // namespace exaclim

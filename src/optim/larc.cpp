@@ -1,0 +1,38 @@
+#include "optim/larc.hpp"
+
+#include <algorithm>
+
+namespace exaclim {
+
+LARC::LARC(std::unique_ptr<Optimizer> inner, const Options& opts)
+    : Optimizer(inner->params(), inner->learning_rate()),
+      inner_(std::move(inner)),
+      opts_(opts) {
+  multipliers_.assign(params_.size(), 1.0f);
+}
+
+void LARC::Step() {
+  // Keep the inner optimizer's global rate in sync with ours (schedules
+  // adjust the wrapper).
+  inner_->SetLearningRate(lr_);
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    const float w_norm = p.value.Norm();
+    const float g_norm = p.grad.Norm();
+    float multiplier = 1.0f;
+    if (w_norm > 0.0f && g_norm > 0.0f) {
+      const float larc_rate =
+          opts_.trust_coefficient * w_norm / (g_norm + opts_.epsilon);
+      // The inner optimizer multiplies by lr, so express the local rate as
+      // a gradient rescale of larc_rate / lr (clipped to <= 1 in clip
+      // mode).
+      multiplier = larc_rate / std::max(lr_, opts_.epsilon);
+      if (opts_.clip) multiplier = std::min(multiplier, 1.0f);
+    }
+    multipliers_[i] = multiplier;
+    if (multiplier != 1.0f) p.grad *= multiplier;
+  }
+  inner_->Step();
+}
+
+}  // namespace exaclim

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+
+#include "optim/optimizer.hpp"
+
+namespace exaclim {
+
+/// Layer-wise adaptive rate control (Sec V-B2, [30]).
+///
+/// For each parameter tensor (layer), LARC computes a local learning-rate
+/// multiplier from the ratio of the weight norm to the gradient norm,
+/// keeping the update small relative to the weights. In "clip" mode
+/// (the LARC improvement over LARS) the local rate is capped by the
+/// global rate, which removes the need for learning-rate warm-up. The
+/// wrapper rescales gradients in place and then delegates to the inner
+/// optimizer, so it composes with SGD or Adam.
+class LARC : public Optimizer {
+ public:
+  struct Options {
+    float trust_coefficient = 2e-3f;
+    float epsilon = 1e-8f;
+    /// true: local rate = min(larc_rate, lr) (clip mode, the paper's
+    /// choice); false: pure scaling (LARS-like).
+    bool clip = true;
+  };
+
+  LARC(std::unique_ptr<Optimizer> inner, const Options& opts);
+
+  void Step() override;
+
+  /// The multiplier applied to parameter i on the last Step (diagnostic).
+  float last_multiplier(std::size_t i) const { return multipliers_.at(i); }
+
+  Optimizer& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<Optimizer> inner_;
+  Options opts_;
+  std::vector<float> multipliers_;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+/// Dynamic loss scaling for FP16 mixed-precision training: the loss
+/// gradient is multiplied by scale() before backprop; on a step whose
+/// gradients contain inf/NaN the update is skipped and the scale halves,
+/// while `growth_interval` consecutive good steps double it (up to
+/// max_scale). A growth_interval of 0 makes the scale static.
+class LossScaler {
+ public:
+  struct Options {
+    float initial_scale = 1024.0f;
+    float max_scale = 65536.0f;
+    float min_scale = 1.0f;
+    std::int64_t growth_interval = 200;
+  };
+
+  LossScaler() : LossScaler(Options{}) {}
+  explicit LossScaler(const Options& opts)
+      : opts_(opts), scale_(opts.initial_scale) {
+    EXACLIM_CHECK(opts_.initial_scale > 0, "initial scale must be > 0");
+  }
+
+  float scale() const { return scale_; }
+
+  /// Records the outcome of a step. Returns true if the step should be
+  /// applied (finite gradients), false if it must be skipped.
+  bool Update(bool grads_finite) {
+    if (!grads_finite) {
+      scale_ = std::max(opts_.min_scale, scale_ * 0.5f);
+      good_steps_ = 0;
+      ++overflow_count_;
+      return false;
+    }
+    if (opts_.growth_interval > 0 &&
+        ++good_steps_ >= opts_.growth_interval) {
+      scale_ = std::min(opts_.max_scale, scale_ * 2.0f);
+      good_steps_ = 0;
+    }
+    return true;
+  }
+
+  std::int64_t overflow_count() const { return overflow_count_; }
+
+ private:
+  Options opts_;
+  float scale_;
+  std::int64_t good_steps_ = 0;
+  std::int64_t overflow_count_ = 0;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,76 @@
+#include "optim/optimizer.hpp"
+
+#include <cmath>
+
+namespace exaclim {
+
+void Optimizer::UnscaleGradients(float scale) {
+  EXACLIM_CHECK(scale != 0.0f, "loss scale must be nonzero");
+  const float inv = 1.0f / scale;
+  for (Param* p : params_) p->grad *= inv;
+}
+
+bool Optimizer::HasNonFiniteGradient() const {
+  for (const Param* p : params_) {
+    if (!p->grad.AllFinite()) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- SGD ---
+
+SGD::SGD(std::vector<Param*> params, const Options& opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::Step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.NumElements(); ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      float g = p.grad[idx];
+      if (opts_.weight_decay > 0.0f) g += opts_.weight_decay * p.value[idx];
+      if (opts_.momentum > 0.0f) {
+        v[idx] = opts_.momentum * v[idx] + g;
+        g = v[idx];
+      }
+      p.value[idx] -= lr_ * g;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Adam ---
+
+Adam::Adam(std::vector<Param*> params, const Options& opts)
+    : Optimizer(std::move(params), opts.lr), opts_(opts) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bias1 = 1.0f - std::pow(opts_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(opts_.beta2, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    for (std::int64_t j = 0; j < p.value.NumElements(); ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      float g = p.grad[idx];
+      if (opts_.weight_decay > 0.0f) g += opts_.weight_decay * p.value[idx];
+      m_[i][idx] = opts_.beta1 * m_[i][idx] + (1.0f - opts_.beta1) * g;
+      v_[i][idx] = opts_.beta2 * v_[i][idx] + (1.0f - opts_.beta2) * g * g;
+      const float m_hat = m_[i][idx] / bias1;
+      const float v_hat = v_[i][idx] / bias2;
+      p.value[idx] -= lr_ * m_hat / (std::sqrt(v_hat) + opts_.epsilon);
+    }
+  }
+}
+
+}  // namespace exaclim

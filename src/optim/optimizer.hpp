@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace exaclim {
+
+/// Base class for optimizers operating on a fixed list of Params. The
+/// training loop's contract is: zero grads, forward, backward (grads
+/// accumulate), optionally aggregate grads across ranks (hvd), then
+/// Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Param*> params, float lr)
+      : params_(std::move(params)), lr_(lr) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update from the current gradients.
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (Param* p : params_) p->grad.SetZero();
+  }
+
+  void SetLearningRate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+  const std::vector<Param*>& params() const { return params_; }
+
+  /// Divides all gradients by `scale` (undoing FP16 loss scaling before
+  /// the update).
+  void UnscaleGradients(float scale);
+
+  /// True if any gradient contains a non-finite value (skip-step signal
+  /// for dynamic loss scaling).
+  bool HasNonFiniteGradient() const;
+
+ protected:
+  std::vector<Param*> params_;
+  float lr_;
+};
+
+/// Plain SGD with optional momentum and decoupled weight decay.
+class SGD : public Optimizer {
+ public:
+  struct Options {
+    float lr = 0.01f;
+    float momentum = 0.0f;
+    float weight_decay = 0.0f;
+  };
+
+  SGD(std::vector<Param*> params, const Options& opts);
+  void Step() override;
+
+ private:
+  Options opts_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adaptive moment estimation (Kingma & Ba) — the optimizer used for the
+/// paper's Tiramisu training.
+class Adam : public Optimizer {
+ public:
+  struct Options {
+    float lr = 1e-4f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;
+  };
+
+  Adam(std::vector<Param*> params, const Options& opts);
+  void Step() override;
+
+  std::int64_t step_count() const { return t_; }
+
+ private:
+  Options opts_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace exaclim

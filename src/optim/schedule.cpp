@@ -1,0 +1,14 @@
+#include "optim/schedule.hpp"
+
+#include <cmath>
+
+namespace exaclim {
+
+float ScaleLearningRate(float base_lr, std::int64_t base_ranks,
+                        std::int64_t ranks, double exponent) {
+  const double ratio =
+      static_cast<double>(ranks) / static_cast<double>(base_ranks);
+  return static_cast<float>(base_lr * std::pow(ratio, exponent));
+}
+
+}  // namespace exaclim

@@ -1,0 +1,110 @@
+#include "stats/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+double Percentile(std::span<const double> values, double q) {
+  EXACLIM_CHECK(!values.empty(), "percentile of empty sample");
+  EXACLIM_CHECK(q >= 0.0 && q <= 1.0, "percentile q out of [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+SeriesSummary Summarize(std::span<const double> series) {
+  SeriesSummary s;
+  s.median = Percentile(series, 0.5);
+  s.lo = Percentile(series, 0.16);
+  s.hi = Percentile(series, 0.84);
+  return s;
+}
+
+std::vector<double> MovingAverage(std::span<const double> series,
+                                  std::size_t window) {
+  EXACLIM_CHECK(window >= 1, "moving-average window must be >= 1");
+  std::vector<double> out;
+  out.reserve(series.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    acc += series[i];
+    if (i >= window) acc -= series[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<std::size_t>(num_classes) * num_classes, 0) {
+  EXACLIM_CHECK(num_classes_ >= 1, "need at least one class");
+}
+
+void ConfusionMatrix::AddOne(std::uint8_t prediction, std::uint8_t label) {
+  EXACLIM_CHECK(prediction < num_classes_ && label < num_classes_,
+                "class out of range");
+  ++counts_[static_cast<std::size_t>(prediction) * num_classes_ + label];
+  ++total_;
+}
+
+void ConfusionMatrix::Add(std::span<const std::uint8_t> predictions,
+                          std::span<const std::uint8_t> labels) {
+  EXACLIM_CHECK(predictions.size() == labels.size(),
+                "prediction/label count mismatch");
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    AddOne(predictions[i], labels[i]);
+  }
+}
+
+void ConfusionMatrix::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+std::int64_t ConfusionMatrix::count(int pred, int label) const {
+  return counts_[static_cast<std::size_t>(pred) * num_classes_ + label];
+}
+
+double ConfusionMatrix::IoU(int c) const {
+  std::int64_t tp = count(c, c);
+  std::int64_t fp = 0, fn = 0;
+  for (int k = 0; k < num_classes_; ++k) {
+    if (k == c) continue;
+    fp += count(c, k);
+    fn += count(k, c);
+  }
+  const std::int64_t denom = tp + fp + fn;
+  return denom == 0 ? 1.0
+                    : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::MeanIoU() const {
+  double acc = 0.0;
+  for (int c = 0; c < num_classes_; ++c) acc += IoU(c);
+  return acc / num_classes_;
+}
+
+double ConfusionMatrix::PixelAccuracy() const {
+  if (total_ == 0) return 1.0;
+  std::int64_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::LabelFrequency(int c) const {
+  if (total_ == 0) return 0.0;
+  std::int64_t labelled = 0;
+  for (int k = 0; k < num_classes_; ++k) labelled += count(k, c);
+  return static_cast<double>(labelled) / static_cast<double>(total_);
+}
+
+}  // namespace exaclim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace exaclim {
+
+/// Linear-interpolated percentile of an unsorted sample (q in [0,1]).
+double Percentile(std::span<const double> values, double q);
+
+/// Sec VI summary of a per-step time series: median over time with an
+/// asymmetric central-68% confidence interval from the 0.16 / 0.84
+/// percentiles.
+struct SeriesSummary {
+  double median = 0.0;
+  double lo = 0.0;  // 0.16 percentile
+  double hi = 0.0;  // 0.84 percentile
+};
+SeriesSummary Summarize(std::span<const double> series);
+
+/// Moving average with the given window (the Fig 6 loss curves use
+/// window 10 to filter step-to-step fluctuations).
+std::vector<double> MovingAverage(std::span<const double> series,
+                                  std::size_t window);
+
+/// Per-class confusion matrix for segmentation metrics: intersection over
+/// union per class, mean IoU (the Sec VII-D metric: 59% Tiramisu, 73%
+/// DeepLabv3+), pixel accuracy and observed class frequencies.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(std::span<const std::uint8_t> predictions,
+           std::span<const std::uint8_t> labels);
+  void AddOne(std::uint8_t prediction, std::uint8_t label);
+  void Reset();
+
+  int num_classes() const { return num_classes_; }
+  std::int64_t count(int pred, int label) const;
+  std::int64_t total() const { return total_; }
+
+  /// IoU of class c: TP / (TP + FP + FN). Returns 1 for classes absent
+  /// from both predictions and labels.
+  double IoU(int c) const;
+  double MeanIoU() const;
+  double PixelAccuracy() const;
+  /// Label-class frequency (fraction of pixels labelled c).
+  double LabelFrequency(int c) const;
+
+ private:
+  int num_classes_;
+  std::vector<std::int64_t> counts_;  // counts_[pred * C + label]
+  std::int64_t total_ = 0;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,45 @@
+#include "tensor/cast.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "tensor/tensor.hpp"
+
+namespace exaclim {
+
+const char* ToString(Precision p) {
+  return p == Precision::kFP32 ? "FP32" : "FP16";
+}
+
+void RoundTripHalf(std::span<float> values) {
+  for (auto& v : values) v = Half(v).ToFloat();
+}
+
+void RoundTripHalf(Tensor& tensor) { RoundTripHalf(tensor.Data()); }
+
+std::vector<std::uint16_t> PackHalf(std::span<const float> values) {
+  std::vector<std::uint16_t> packed;
+  packed.reserve(values.size());
+  for (float v : values) packed.push_back(Half(v).bits());
+  return packed;
+}
+
+void UnpackHalf(std::span<const std::uint16_t> packed,
+                std::span<float> values) {
+  EXACLIM_CHECK(packed.size() == values.size(),
+                "pack/unpack size mismatch: " << packed.size() << " vs "
+                                              << values.size());
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    values[i] = Half::FromBits(packed[i]).ToFloat();
+  }
+}
+
+std::int64_t CountHalfNonFinite(std::span<const float> values) {
+  std::int64_t count = 0;
+  for (float v : values) {
+    if (!Half(v).IsFinite()) ++count;
+  }
+  return count;
+}
+
+}  // namespace exaclim

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace exaclim {
+
+/// C(m,n) = alpha * op(A) * op(B) + beta * C, row-major.
+///
+/// op(A) is A (m,k) or A^T when trans_a (A stored as (k,m)); likewise for B.
+/// Implemented as a cache-blocked kernel parallelised over row panels with
+/// ThreadPool::Global(). This is the workhorse behind im2col convolution —
+/// the stand-in for cuDNN's implicit-GEMM kernels (Sec VI).
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c);
+
+/// Convenience span-checked wrapper used by tests.
+void GemmChecked(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, std::span<const float> a,
+                 std::span<const float> b, float beta, std::span<float> c);
+
+}  // namespace exaclim

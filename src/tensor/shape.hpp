@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+/// Dense row-major tensor shape. Activations follow the NCHW convention
+/// throughout (batch, channels, height, width), matching the layout the
+/// paper's cuDNN kernels used.
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+    Validate();
+  }
+  explicit TensorShape(std::vector<std::int64_t> dims)
+      : dims_(std::move(dims)) {
+    Validate();
+  }
+
+  static TensorShape NCHW(std::int64_t n, std::int64_t c, std::int64_t h,
+                          std::int64_t w) {
+    return TensorShape{n, c, h, w};
+  }
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const {
+    EXACLIM_CHECK(i < dims_.size(), "dim index " << i << " out of rank "
+                                                 << dims_.size());
+    return dims_[i];
+  }
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+  std::int64_t NumElements() const {
+    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
+                           std::multiplies<>());
+  }
+
+  // NCHW accessors (valid for rank-4 shapes).
+  std::int64_t n() const { return dim(0); }
+  std::int64_t c() const { return dim(1); }
+  std::int64_t h() const { return dim(2); }
+  std::int64_t w() const { return dim(3); }
+
+  bool operator==(const TensorShape& other) const {
+    return dims_ == other.dims_;
+  }
+  bool operator!=(const TensorShape& other) const {
+    return !(*this == other);
+  }
+
+  std::string ToString() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(dims_[i]);
+    }
+    return out + "]";
+  }
+
+ private:
+  void Validate() const {
+    for (auto d : dims_) {
+      EXACLIM_CHECK(d >= 0, "negative dimension in shape");
+    }
+  }
+
+  std::vector<std::int64_t> dims_;
+};
+
+}  // namespace exaclim

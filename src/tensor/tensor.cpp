@@ -1,0 +1,134 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace exaclim {
+
+Tensor Tensor::Full(TensorShape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Randn(TensorShape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.Normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::Uniform(TensorShape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.Uniform(lo, hi);
+  return t;
+}
+
+Tensor Tensor::FromVector(TensorShape shape, std::vector<float> values) {
+  EXACLIM_CHECK(static_cast<std::int64_t>(values.size()) ==
+                    shape.NumElements(),
+                "value count " << values.size() << " != shape "
+                               << shape.ToString());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(values);
+  return t;
+}
+
+std::size_t Tensor::Offset(std::int64_t n, std::int64_t c, std::int64_t h,
+                           std::int64_t w) const {
+  EXACLIM_CHECK(shape_.rank() == 4, "At() requires rank-4, got rank "
+                                        << shape_.rank());
+  EXACLIM_CHECK(n >= 0 && n < shape_.n() && c >= 0 && c < shape_.c() &&
+                    h >= 0 && h < shape_.h() && w >= 0 && w < shape_.w(),
+                "index (" << n << "," << c << "," << h << "," << w
+                          << ") out of " << shape_.ToString());
+  return static_cast<std::size_t>(
+      ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w);
+}
+
+float& Tensor::At(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) {
+  return data_[Offset(n, c, h, w)];
+}
+
+float Tensor::At(std::int64_t n, std::int64_t c, std::int64_t h,
+                 std::int64_t w) const {
+  return data_[Offset(n, c, h, w)];
+}
+
+Tensor Tensor::Reshaped(TensorShape new_shape) const {
+  EXACLIM_CHECK(new_shape.NumElements() == NumElements(),
+                "reshape " << shape_.ToString() << " -> "
+                           << new_shape.ToString()
+                           << " changes element count");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  EXACLIM_CHECK(shape_ == other.shape_, "shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  EXACLIM_CHECK(shape_ == other.shape_, "shape mismatch in -=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) {
+  for (auto& v : data_) v *= scalar;
+  return *this;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  EXACLIM_CHECK(shape_ == other.shape_, "shape mismatch in Axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Max() const {
+  EXACLIM_CHECK(!data_.empty(), "Max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::Min() const {
+  EXACLIM_CHECK(!data_.empty(), "Min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+float Tensor::Dot(const Tensor& other) const {
+  EXACLIM_CHECK(shape_ == other.shape_, "shape mismatch in Dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    acc += static_cast<double>(data_[i]) * other.data_[i];
+  }
+  return static_cast<float>(acc);
+}
+
+bool Tensor::AllFinite() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](float v) { return std::isfinite(v); });
+}
+
+}  // namespace exaclim

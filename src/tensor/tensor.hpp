@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace exaclim {
+
+/// Dense FP32 tensor with row-major (NCHW) layout.
+///
+/// All network compute happens in FP32; FP16 training is emulated by
+/// round-tripping values through the software binary16 type at the points
+/// where the paper's pipeline stored FP16 (activations, weight copies,
+/// gradients) — see tensor/cast.hpp. This captures the numerical behaviour
+/// of mixed-precision Tensor Core training (FP16 storage, FP32 accumulate)
+/// without a second kernel set.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape)
+      : shape_(std::move(shape)),
+        data_(static_cast<std::size_t>(shape_.NumElements()), 0.0f) {}
+
+  static Tensor Zeros(TensorShape shape) { return Tensor(std::move(shape)); }
+  static Tensor Full(TensorShape shape, float value);
+  /// Elements drawn from N(mean, stddev); used for weight init.
+  static Tensor Randn(TensorShape shape, Rng& rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  static Tensor Uniform(TensorShape shape, Rng& rng, float lo, float hi);
+  static Tensor FromVector(TensorShape shape, std::vector<float> values);
+
+  const TensorShape& shape() const { return shape_; }
+  std::int64_t NumElements() const {
+    return static_cast<std::int64_t>(data_.size());
+  }
+  bool Empty() const { return data_.empty(); }
+
+  std::span<float> Data() { return data_; }
+  std::span<const float> Data() const { return data_; }
+  float* Raw() { return data_.data(); }
+  const float* Raw() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// NCHW element access (rank-4 only). Bounds-checked.
+  float& At(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float At(std::int64_t n, std::int64_t c, std::int64_t h,
+           std::int64_t w) const;
+
+  /// Reinterprets the buffer under a new shape with equal element count.
+  Tensor Reshaped(TensorShape new_shape) const;
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  // In-place arithmetic (elementwise, shapes must match).
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator-=(const Tensor& other);
+  Tensor& operator*=(float scalar);
+
+  /// this += alpha * other.
+  void Axpy(float alpha, const Tensor& other);
+
+  float Sum() const;
+  float Max() const;
+  float Min() const;
+  /// L2 norm of all elements.
+  float Norm() const;
+  float Dot(const Tensor& other) const;
+
+  bool AllFinite() const;
+
+ private:
+  std::size_t Offset(std::int64_t n, std::int64_t c, std::int64_t h,
+                     std::int64_t w) const;
+
+  TensorShape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace exaclim

@@ -1,0 +1,34 @@
+#include "train/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "io/ncf.hpp"
+
+namespace exaclim {
+
+std::int64_t SaveCheckpoint(const std::filesystem::path& path,
+                            const std::vector<Param*>& params) {
+  NcfWriter writer(path);
+  for (const Param* p : params) {
+    writer.AddFloat(p->name, p->value.Data());
+  }
+  return writer.Finish();
+}
+
+void LoadCheckpoint(const std::filesystem::path& path,
+                    const std::vector<Param*>& params) {
+  NcfReader reader(path);
+  for (Param* p : params) {
+    EXACLIM_CHECK(reader.Has(p->name),
+                  "checkpoint " << path << " missing parameter " << p->name);
+    const auto values = reader.ReadFloat(p->name);
+    EXACLIM_CHECK(static_cast<std::int64_t>(values.size()) ==
+                      p->value.NumElements(),
+                  "checkpoint size mismatch for " << p->name << ": file has "
+                                                  << values.size());
+    std::copy(values.begin(), values.end(), p->value.Data().begin());
+  }
+}
+
+}  // namespace exaclim

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <filesystem>
+
+#include "nn/layer.hpp"
+
+namespace exaclim {
+
+/// Model checkpointing to NCF container files: one float dataset per
+/// parameter, keyed by the parameter's name. The multi-hour Summit runs
+/// depended on checkpoint/restart; here it also lets the examples hand a
+/// trained model between processes.
+
+/// Writes every Param's value (not gradients). Returns bytes written.
+std::int64_t SaveCheckpoint(const std::filesystem::path& path,
+                            const std::vector<Param*>& params);
+
+/// Loads values into the given params; every param must be present in
+/// the file with a matching element count (name-keyed, so architectures
+/// must match). Throws on any mismatch.
+void LoadCheckpoint(const std::filesystem::path& path,
+                    const std::vector<Param*>& params);
+
+}  // namespace exaclim

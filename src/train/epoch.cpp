@@ -1,0 +1,52 @@
+#include "train/epoch.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
+                            const ClimateDataset& dataset,
+                            const EpochRunnerOptions& opts) {
+  EXACLIM_CHECK(opts.epochs >= 1 && opts.steps_per_epoch >= 1,
+                "need at least one epoch and one step");
+  using Clock = std::chrono::steady_clock;
+
+  const auto freq = dataset.MeasureFrequencies(16);
+  RankTrainer trainer(
+      trainer_opts, MakeClassWeights(freq, trainer_opts.weighting), 0);
+  Rng rng(trainer_opts.seed ^ 0xe90c4ull);
+
+  EpochRunnerResult result;
+  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+    const auto train_start = Clock::now();
+    double loss_acc = 0.0;
+    for (int s = 0; s < opts.steps_per_epoch; ++s) {
+      std::vector<std::int64_t> idx(
+          static_cast<std::size_t>(trainer_opts.local_batch));
+      for (auto& i : idx) {
+        i = rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1);
+      }
+      Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, idx);
+      if (opts.augment) {
+        AugmentBatch(batch, opts.augment_options, rng, dataset.height(),
+                     dataset.width());
+      }
+      loss_acc += trainer.StepLocal(batch).loss;
+    }
+    result.train_seconds +=
+        std::chrono::duration<double>(Clock::now() - train_start).count();
+    result.train_loss.push_back(loss_acc / opts.steps_per_epoch);
+
+    const auto val_start = Clock::now();
+    const ConfusionMatrix cm = trainer.Evaluate(
+        dataset, DatasetSplit::kValidation, opts.validation_samples);
+    result.validation_seconds +=
+        std::chrono::duration<double>(Clock::now() - val_start).count();
+    result.validation_miou.push_back(cm.MeanIoU());
+  }
+  return result;
+}
+
+}  // namespace exaclim

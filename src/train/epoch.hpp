@@ -1,0 +1,42 @@
+#pragma once
+
+#include "data/augment.hpp"
+#include "train/trainer.hpp"
+
+namespace exaclim {
+
+/// Epoch-structured training with per-epoch validation, the loop the
+/// paper's convergence runs used (Sec VI: "a series of additional
+/// calculations is carried out on the validation data set after each
+/// epoch ... this overhead is negligible once amortized over the
+/// steps"). Optionally applies the physically-consistent augmentation of
+/// data/augment.hpp to every training batch.
+struct EpochRunnerOptions {
+  int epochs = 3;
+  int steps_per_epoch = 20;
+  std::int64_t validation_samples = 4;
+  bool augment = false;
+  AugmentOptions augment_options{};
+};
+
+struct EpochRunnerResult {
+  std::vector<double> train_loss;      // mean loss per epoch
+  std::vector<double> validation_miou; // per epoch
+  double train_seconds = 0.0;
+  double validation_seconds = 0.0;
+
+  /// Fraction of wall time spent validating (the Sec VI overhead).
+  double ValidationFraction() const {
+    const double total = train_seconds + validation_seconds;
+    return total > 0 ? validation_seconds / total : 0.0;
+  }
+};
+
+/// Single-rank epoch loop (the distributed variant is
+/// RunDistributedTraining; epochs are a per-rank notion because each rank
+/// iterates its own local shard, Sec V-A1).
+EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
+                            const ClimateDataset& dataset,
+                            const EpochRunnerOptions& opts);
+
+}  // namespace exaclim

@@ -1,0 +1,170 @@
+#include "train/trainer.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+
+std::unique_ptr<Layer> BuildModel(const TrainerOptions& opts, Rng& rng) {
+  if (opts.arch == TrainerOptions::Arch::kTiramisu) {
+    return std::make_unique<Tiramisu>(opts.tiramisu, rng);
+  }
+  return std::make_unique<DeepLabV3Plus>(opts.deeplab, rng);
+}
+
+void SetModelPrecision(Layer& model, Precision precision) {
+  if (auto* t = dynamic_cast<Tiramisu*>(&model)) {
+    t->SetPrecisionAll(precision);
+  } else if (auto* d = dynamic_cast<DeepLabV3Plus*>(&model)) {
+    d->SetPrecisionAll(precision);
+  } else {
+    model.SetPrecision(precision);
+  }
+}
+
+RankTrainer::RankTrainer(const TrainerOptions& opts,
+                         std::vector<float> class_weights, int rank)
+    : opts_(opts),
+      class_weights_(std::move(class_weights)),
+      scaler_(opts.loss_scaler) {
+  // Same seed on every rank -> identical initial replicas (the
+  // synchronous-training invariant of Sec V-A3).
+  Rng rng(opts_.seed);
+  model_ = BuildModel(opts_, rng);
+  SetModelPrecision(*model_, opts_.precision);
+  params_ = model_->Params();
+
+  std::unique_ptr<Optimizer> base;
+  if (opts_.optimizer == TrainerOptions::Opt::kSGD) {
+    base = std::make_unique<SGD>(
+        params_, SGD::Options{.lr = opts_.learning_rate,
+                              .momentum = opts_.momentum});
+  } else {
+    base = std::make_unique<Adam>(params_,
+                                  Adam::Options{.lr = opts_.learning_rate});
+  }
+  if (opts_.use_larc) {
+    base = std::make_unique<LARC>(std::move(base), opts_.larc);
+  }
+  if (opts_.lag > 0) {
+    base = std::make_unique<GradientLag>(std::move(base), opts_.lag);
+  }
+  optimizer_ = std::move(base);
+
+  exchanger_ = std::make_unique<GradientExchanger>(
+      opts_.exchanger, opts_.seed ^ 0xe8c4ull);
+  // Per-rank construction differences live only in the exchanger's
+  // shuffle stream, which is seeded by the communicator rank at use.
+  (void)rank;
+}
+
+std::int64_t RankTrainer::ParameterCount() const {
+  std::int64_t total = 0;
+  for (const Param* p : params_) total += p->NumElements();
+  return total;
+}
+
+RankTrainer::StepResult RankTrainer::StepImpl(Communicator* comm,
+                                              const Batch& batch) {
+  optimizer_->ZeroGrad();
+  const Tensor logits = model_->Forward(batch.fields, /*train=*/true);
+
+  SegmentationLossOptions loss_opts;
+  loss_opts.class_weights = class_weights_;
+  loss_opts.precision = opts_.precision;
+  const bool fp16 = opts_.precision == Precision::kFP16;
+  loss_opts.loss_scale = fp16 ? scaler_.scale() : 1.0f;
+  const SegmentationLossResult loss =
+      WeightedSoftmaxCrossEntropy(logits, batch.labels, loss_opts);
+  (void)model_->Backward(loss.grad_logits);
+
+  if (comm != nullptr) {
+    exchanger_->Exchange(*comm, params_);
+  }
+
+  StepResult result;
+  result.loss = loss.loss;
+  result.pixel_accuracy = loss.pixel_accuracy;
+  result.loss_scale = loss_opts.loss_scale;
+
+  bool apply = true;
+  if (fp16) {
+    const bool finite = !optimizer_->HasNonFiniteGradient();
+    apply = scaler_.Update(finite);
+    if (apply) optimizer_->UnscaleGradients(loss_opts.loss_scale);
+  }
+  if (apply) {
+    optimizer_->Step();
+  }
+  result.update_applied = apply;
+  return result;
+}
+
+RankTrainer::StepResult RankTrainer::Step(Communicator& comm,
+                                          const Batch& batch) {
+  return StepImpl(&comm, batch);
+}
+
+RankTrainer::StepResult RankTrainer::StepLocal(const Batch& batch) {
+  return StepImpl(nullptr, batch);
+}
+
+ConfusionMatrix RankTrainer::Evaluate(const ClimateDataset& dataset,
+                                      DatasetSplit split,
+                                      std::int64_t max_samples) {
+  ConfusionMatrix cm(kNumClimateClasses);
+  const std::int64_t n = std::min(max_samples, dataset.size(split));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::vector<std::int64_t> idx{i};
+    const Batch batch = dataset.MakeBatch(split, idx);
+    const Tensor logits = model_->Forward(batch.fields, /*train=*/false);
+    const auto pred = PredictClasses(logits);
+    cm.Add(pred, batch.labels);
+  }
+  return cm;
+}
+
+TrainRunResult RunDistributedTraining(const TrainerOptions& opts,
+                                      const ClimateDataset& dataset,
+                                      int ranks, int steps,
+                                      std::int64_t images_per_rank) {
+  EXACLIM_CHECK(ranks >= 1 && steps >= 1, "need ranks >= 1, steps >= 1");
+  const auto freq = dataset.MeasureFrequencies(16);
+  const auto weights = MakeClassWeights(freq, opts.weighting);
+
+  TrainRunResult result;
+  result.loss_history.assign(static_cast<std::size_t>(steps), 0.0);
+  result.accuracy_history.assign(static_cast<std::size_t>(steps), 0.0);
+  std::mutex result_mutex;
+
+  SimWorld world(ranks);
+  world.Run([&](Communicator& comm) {
+    RankTrainer trainer(opts, weights, comm.rank());
+    // Sec V-A1 local shards: each rank samples its own subset.
+    const auto shard = dataset.LocalShard(comm.rank(), images_per_rank);
+    Rng batch_rng =
+        Rng(opts.seed ^ 0xba7c4).Fork(static_cast<std::uint64_t>(comm.rank()));
+
+    for (int s = 0; s < steps; ++s) {
+      std::vector<std::int64_t> indices(
+          static_cast<std::size_t>(opts.local_batch));
+      for (auto& idx : indices) {
+        idx = shard[batch_rng.Index(shard.size())];
+      }
+      const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, indices);
+      const auto step = trainer.Step(comm, batch);
+      if (comm.rank() == 0) {
+        std::lock_guard lock(result_mutex);
+        result.loss_history[static_cast<std::size_t>(s)] = step.loss;
+        result.accuracy_history[static_cast<std::size_t>(s)] =
+            step.pixel_accuracy;
+        if (!step.update_applied) ++result.skipped_steps;
+      }
+    }
+  });
+  result.final_loss = result.loss_history.back();
+  return result;
+}
+
+}  // namespace exaclim

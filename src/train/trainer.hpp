@@ -1,0 +1,113 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "comm/world.hpp"
+#include "data/dataset.hpp"
+#include "hvd/exchanger.hpp"
+#include "models/deeplab.hpp"
+#include "models/tiramisu.hpp"
+#include "nn/loss.hpp"
+#include "optim/lag.hpp"
+#include "optim/larc.hpp"
+#include "optim/loss_scaler.hpp"
+#include "optim/optimizer.hpp"
+#include "stats/stats.hpp"
+
+namespace exaclim {
+
+/// Everything configurable about a (downscaled, CPU-runnable) version of
+/// the paper's training runs: architecture, precision, loss weighting,
+/// optimizer stack (SGD/Adam, LARC, gradient lag, dynamic loss scaling)
+/// and the Horovod-style gradient exchange.
+struct TrainerOptions {
+  enum class Arch { kTiramisu, kDeepLab };
+  enum class Opt { kSGD, kAdam };
+
+  Arch arch = Arch::kTiramisu;
+  Tiramisu::Config tiramisu = Tiramisu::Config::Downscaled(8);
+  DeepLabV3Plus::Config deeplab = DeepLabV3Plus::Config::Downscaled(8);
+
+  Precision precision = Precision::kFP32;
+  LossScaler::Options loss_scaler{};  // active under FP16
+  WeightingScheme weighting = WeightingScheme::kInverseSqrt;
+
+  Opt optimizer = Opt::kAdam;
+  float learning_rate = 1e-3f;
+  float momentum = 0.9f;
+  bool use_larc = true;
+  LARC::Options larc{};
+  int lag = 0;
+
+  ExchangerOptions exchanger{};
+  std::int64_t local_batch = 1;
+  std::uint64_t seed = 42;
+};
+
+/// One rank's training state: model replica (identically initialised on
+/// every rank from the shared seed), optimizer stack, loss scaler and
+/// gradient exchanger. Step() performs one synchronous data-parallel
+/// training step, which leaves replicas bit-identical across ranks.
+class RankTrainer {
+ public:
+  RankTrainer(const TrainerOptions& opts,
+              std::vector<float> class_weights, int rank);
+
+  struct StepResult {
+    double loss = 0.0;
+    double pixel_accuracy = 0.0;
+    bool update_applied = true;  // false: FP16 overflow skipped the step
+    float loss_scale = 1.0f;
+  };
+
+  /// Synchronous step over `comm` (all ranks call collectively with
+  /// their own local batch).
+  StepResult Step(Communicator& comm, const Batch& batch);
+
+  /// Local-only step (single process, no gradient exchange).
+  StepResult StepLocal(const Batch& batch);
+
+  /// Runs inference over up to `max_samples` of a split, accumulating a
+  /// confusion matrix (mean IoU is the Sec VII-D metric).
+  ConfusionMatrix Evaluate(const ClimateDataset& dataset, DatasetSplit split,
+                           std::int64_t max_samples);
+
+  Layer& model() { return *model_; }
+  const std::vector<Param*>& params() const { return params_; }
+  std::int64_t ParameterCount() const;
+
+ private:
+  StepResult StepImpl(Communicator* comm, const Batch& batch);
+
+  TrainerOptions opts_;
+  std::vector<float> class_weights_;
+  std::unique_ptr<Layer> model_;
+  std::vector<Param*> params_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<GradientExchanger> exchanger_;
+  LossScaler scaler_;
+};
+
+/// Convergence-run driver (the engine behind Fig 6 / Fig 7 benches):
+/// trains over `ranks` simulated data-parallel ranks for `steps` steps,
+/// each rank drawing batches from its own local shard (Sec V-A1
+/// resampling), and records the rank-0 loss curve.
+struct TrainRunResult {
+  std::vector<double> loss_history;       // per step (rank 0)
+  std::vector<double> accuracy_history;   // per step (rank 0)
+  std::int64_t skipped_steps = 0;         // FP16 overflow skips
+  double final_loss = 0.0;
+};
+
+TrainRunResult RunDistributedTraining(const TrainerOptions& opts,
+                                      const ClimateDataset& dataset,
+                                      int ranks, int steps,
+                                      std::int64_t images_per_rank = 32);
+
+/// Builds the model described by the options (used by benches that need
+/// a standalone replica, e.g. for evaluation).
+std::unique_ptr<Layer> BuildModel(const TrainerOptions& opts, Rng& rng);
+void SetModelPrecision(Layer& model, Precision precision);
+
+}  // namespace exaclim

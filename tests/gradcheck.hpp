@@ -1,0 +1,118 @@
+#pragma once
+
+// Finite-difference gradient checking used by the nn/model tests: compares
+// each layer's analytic Backward against central differences of a scalar
+// functional of Forward.
+
+#include <cmath>
+#include <functional>
+
+#include "nn/layer.hpp"
+
+namespace exaclim::testing {
+
+/// Scalar functional L(y) = sum_i c_i * y_i with fixed pseudo-random
+/// coefficients; its gradient w.r.t. y is just the coefficients, making a
+/// clean seed for Backward.
+class LinearProbe {
+ public:
+  explicit LinearProbe(const TensorShape& shape, std::uint64_t seed = 99) {
+    Rng rng(seed);
+    coeffs_ = Tensor::Uniform(shape, rng, -1.0f, 1.0f);
+  }
+
+  double Value(const Tensor& y) const {
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < y.NumElements(); ++i) {
+      acc += static_cast<double>(coeffs_[static_cast<std::size_t>(i)]) *
+             y[static_cast<std::size_t>(i)];
+    }
+    return acc;
+  }
+
+  const Tensor& grad() const { return coeffs_; }
+
+ private:
+  Tensor coeffs_;
+};
+
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double max_rel_err = 0.0;
+  std::int64_t checked = 0;
+};
+
+/// Verifies dL/dinput from layer.Backward against central differences.
+/// Deterministic layers only (dropout must be run with train=false or
+/// p=0). Checks a strided subset when the tensor is large.
+inline GradCheckResult CheckInputGradient(Layer& layer, const Tensor& input,
+                                          double eps = 1e-3,
+                                          std::int64_t max_checks = 200) {
+  const TensorShape out_shape = layer.OutputShape(input.shape());
+  LinearProbe probe(out_shape);
+
+  (void)layer.Forward(input, /*train=*/false);
+  const Tensor analytic = layer.Backward(probe.grad());
+
+  GradCheckResult result;
+  const std::int64_t n = input.NumElements();
+  const std::int64_t stride = std::max<std::int64_t>(1, n / max_checks);
+  Tensor perturbed = input;
+  for (std::int64_t i = 0; i < n; i += stride) {
+    const auto idx = static_cast<std::size_t>(i);
+    const float saved = perturbed[idx];
+    perturbed[idx] = saved + static_cast<float>(eps);
+    const double up = probe.Value(layer.Forward(perturbed, false));
+    perturbed[idx] = saved - static_cast<float>(eps);
+    const double down = probe.Value(layer.Forward(perturbed, false));
+    perturbed[idx] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double a = analytic[idx];
+    const double abs_err = std::fabs(a - numeric);
+    const double rel_err =
+        abs_err / std::max(1.0, std::max(std::fabs(a), std::fabs(numeric)));
+    result.max_abs_err = std::max(result.max_abs_err, abs_err);
+    result.max_rel_err = std::max(result.max_rel_err, rel_err);
+    ++result.checked;
+  }
+  return result;
+}
+
+/// Verifies dL/dparam for every parameter of the layer.
+inline GradCheckResult CheckParamGradients(Layer& layer, const Tensor& input,
+                                           double eps = 1e-3,
+                                           std::int64_t max_checks = 120) {
+  const TensorShape out_shape = layer.OutputShape(input.shape());
+  LinearProbe probe(out_shape);
+
+  for (Param* p : layer.Params()) p->grad.SetZero();
+  (void)layer.Forward(input, /*train=*/false);
+  (void)layer.Backward(probe.grad());
+
+  GradCheckResult result;
+  for (Param* p : layer.Params()) {
+    const std::int64_t n = p->value.NumElements();
+    const std::int64_t stride = std::max<std::int64_t>(1, n / max_checks);
+    for (std::int64_t i = 0; i < n; i += stride) {
+      const auto idx = static_cast<std::size_t>(i);
+      const float saved = p->value[idx];
+      p->value[idx] = saved + static_cast<float>(eps);
+      const double up = probe.Value(layer.Forward(input, false));
+      p->value[idx] = saved - static_cast<float>(eps);
+      const double down = probe.Value(layer.Forward(input, false));
+      p->value[idx] = saved;
+      const double numeric = (up - down) / (2.0 * eps);
+      const double a = p->grad[idx];
+      const double abs_err = std::fabs(a - numeric);
+      const double rel_err =
+          abs_err /
+          std::max(1.0, std::max(std::fabs(a), std::fabs(numeric)));
+      result.max_abs_err = std::max(result.max_abs_err, abs_err);
+      result.max_rel_err = std::max(result.max_rel_err, rel_err);
+      ++result.checked;
+    }
+  }
+  return result;
+}
+
+}  // namespace exaclim::testing

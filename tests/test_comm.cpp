@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/world.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace exaclim {
+namespace {
+
+// Per-rank payload: rank-dependent values so reductions are checkable.
+std::vector<float> RankPayload(int rank, std::size_t n) {
+  std::vector<float> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = static_cast<float>(rank + 1) * 0.5f +
+              static_cast<float>(i) * 0.25f;
+  }
+  return data;
+}
+
+std::vector<float> ExpectedSum(int world, std::size_t n) {
+  std::vector<float> sum(n, 0.0f);
+  for (int r = 0; r < world; ++r) {
+    const auto p = RankPayload(r, n);
+    for (std::size_t i = 0; i < n; ++i) sum[i] += p[i];
+  }
+  return sum;
+}
+
+TEST(SimWorld, PingPong) {
+  SimWorld world(2);
+  world.Run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.SendValue(1, 5, 42);
+      EXPECT_EQ(comm.RecvValue<int>(1, 6), 43);
+    } else {
+      EXPECT_EQ(comm.RecvValue<int>(0, 5), 42);
+      comm.SendValue(0, 6, 43);
+    }
+  });
+  EXPECT_EQ(world.total_messages(), 2);
+  EXPECT_EQ(world.total_bytes(), 2 * static_cast<std::int64_t>(sizeof(int)));
+}
+
+TEST(SimWorld, TagMatchingOutOfOrder) {
+  SimWorld world(2);
+  world.Run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.SendValue(1, 10, 1.0f);
+      comm.SendValue(1, 20, 2.0f);
+    } else {
+      // Receive in reverse tag order: matching must skip the first
+      // message.
+      EXPECT_EQ(comm.RecvValue<float>(0, 20), 2.0f);
+      EXPECT_EQ(comm.RecvValue<float>(0, 10), 1.0f);
+    }
+  });
+}
+
+TEST(SimWorld, AnySourceReceivesFromAll) {
+  SimWorld world(5);
+  world.Run([](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<bool> seen(5, false);
+      for (int i = 0; i < 4; ++i) {
+        int src = -1;
+        const int payload = comm.RecvValue<int>(kAnySource, 7, &src);
+        EXPECT_EQ(payload, src * 10);
+        seen[static_cast<std::size_t>(src)] = true;
+      }
+      for (int r = 1; r < 5; ++r) EXPECT_TRUE(seen[static_cast<std::size_t>(r)]);
+    } else {
+      comm.SendValue(0, 7, comm.rank() * 10);
+    }
+  });
+}
+
+TEST(SimWorld, ExceptionOnOneRankPoisonsBlockedPeers) {
+  SimWorld world(3);
+  EXPECT_THROW(world.Run([](Communicator& comm) {
+                 if (comm.rank() == 1) throw Error("rank 1 died");
+                 // Other ranks block on a message that never comes; the
+                 // poison must wake them.
+                 (void)comm.RecvValue<int>(1, 99);
+               }),
+               Error);
+}
+
+TEST(SimWorld, ReusableAcrossRuns) {
+  SimWorld world(3);
+  for (int round = 0; round < 3; ++round) {
+    world.Run([](Communicator& comm) { Barrier(comm); });
+  }
+  SUCCEED();
+}
+
+TEST(SimWorld, RecvSizeMismatchThrows) {
+  SimWorld world(2);
+  EXPECT_THROW(world.Run([](Communicator& comm) {
+                 if (comm.rank() == 0) {
+                   comm.SendValue(1, 3, 1.0);  // 8 bytes
+                 } else {
+                   (void)comm.RecvValue<float>(0, 3);  // expects 4
+                 }
+               }),
+               Error);
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSizes, BarrierCompletes) {
+  SimWorld world(GetParam());
+  std::atomic<int> after{0};
+  world.Run([&](Communicator& comm) {
+    Barrier(comm);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), GetParam());
+}
+
+TEST_P(CollectiveSizes, BroadcastDistributesRootData) {
+  const int n = GetParam();
+  SimWorld world(n);
+  const int root = n > 2 ? 2 : 0;
+  world.Run([&](Communicator& comm) {
+    std::vector<float> data(17, comm.rank() == root ? 3.5f : 0.0f);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (comm.rank() == root) data[i] += static_cast<float>(i);
+    }
+    Broadcast(comm, root, data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      EXPECT_FLOAT_EQ(data[i], 3.5f + static_cast<float>(i));
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceSumsToRoot) {
+  const int n = GetParam();
+  SimWorld world(n);
+  const auto expected = ExpectedSum(n, 23);
+  world.Run([&](Communicator& comm) {
+    auto data = RankPayload(comm.rank(), 23);
+    Reduce(comm, 0, data);
+    if (comm.rank() == 0) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(data[i], expected[i], 1e-4f);
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceAllAlgorithmsAgree) {
+  const int n = GetParam();
+  const std::size_t len = 41;
+  const auto expected = ExpectedSum(n, len);
+  for (const auto algo : {AllreduceAlgo::kRing, AllreduceAlgo::kTree,
+                          AllreduceAlgo::kRecursiveDoubling}) {
+    SimWorld world(n);
+    world.Run([&](Communicator& comm) {
+      auto data = RankPayload(comm.rank(), len);
+      Allreduce(comm, data, algo);
+      for (std::size_t i = 0; i < len; ++i) {
+        EXPECT_NEAR(data[i], expected[i], 1e-3f)
+            << ToString(algo) << " n=" << n << " i=" << i;
+      }
+    });
+  }
+}
+
+TEST_P(CollectiveSizes, ReduceScatterThenAllgatherEqualsAllreduce) {
+  const int n = GetParam();
+  const std::size_t len = 37;  // deliberately not divisible by n
+  const auto expected = ExpectedSum(n, len);
+  SimWorld world(n);
+  world.Run([&](Communicator& comm) {
+    auto data = RankPayload(comm.rank(), len);
+    ReduceScatterRing(comm, data);
+    AllgatherRing(comm, data);
+    for (std::size_t i = 0; i < len; ++i) {
+      EXPECT_NEAR(data[i], expected[i], 1e-3f) << "i=" << i;
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ReduceScatterOwnedShardIsCorrect) {
+  const int n = GetParam();
+  const std::size_t len = 29;
+  const auto expected = ExpectedSum(n, len);
+  SimWorld world(n);
+  world.Run([&](Communicator& comm) {
+    auto data = RankPayload(comm.rank(), len);
+    ReduceScatterRing(comm, data);
+    // Rank r owns shard (r+1) mod n after the ring.
+    const auto shards = ComputeShards(len, n);
+    const auto& own = shards[static_cast<std::size_t>((comm.rank() + 1) % n)];
+    for (std::size_t i = own.offset; i < own.offset + own.count; ++i) {
+      EXPECT_NEAR(data[i], expected[i], 1e-3f);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 13));
+
+TEST(ComputeShards, EvenAndUneven) {
+  const auto even = ComputeShards(12, 4);
+  for (const auto& s : even) EXPECT_EQ(s.count, 3u);
+  const auto uneven = ComputeShards(10, 4);
+  EXPECT_EQ(uneven[0].count, 3u);
+  EXPECT_EQ(uneven[1].count, 3u);
+  EXPECT_EQ(uneven[2].count, 2u);
+  EXPECT_EQ(uneven[3].count, 2u);
+  std::size_t total = 0;
+  for (const auto& s : uneven) {
+    EXPECT_EQ(s.offset, total);
+    total += s.count;
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(ComputeShards, MorePartsThanElements) {
+  const auto shards = ComputeShards(2, 4);
+  EXPECT_EQ(shards[0].count, 1u);
+  EXPECT_EQ(shards[1].count, 1u);
+  EXPECT_EQ(shards[2].count, 0u);
+  EXPECT_EQ(shards[3].count, 0u);
+}
+
+TEST(Gather, ConcatenatesRankMajor) {
+  SimWorld world(4);
+  world.Run([](Communicator& comm) {
+    const std::vector<float> mine{static_cast<float>(comm.rank()),
+                                  static_cast<float>(comm.rank()) + 0.5f};
+    std::vector<float> out(comm.rank() == 1 ? 8 : 0);
+    Gather(comm, 1, mine, out);
+    if (comm.rank() == 1) {
+      for (int r = 0; r < 4; ++r) {
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(2 * r)],
+                        static_cast<float>(r));
+        EXPECT_FLOAT_EQ(out[static_cast<std::size_t>(2 * r + 1)],
+                        static_cast<float>(r) + 0.5f);
+      }
+    }
+  });
+}
+
+TEST(Topology, SummitMapping) {
+  const Topology summit{.ranks_per_node = 6};
+  EXPECT_EQ(summit.NodeOf(0), 0);
+  EXPECT_EQ(summit.NodeOf(5), 0);
+  EXPECT_EQ(summit.NodeOf(6), 1);
+  EXPECT_EQ(summit.LocalRank(8), 2);
+  EXPECT_EQ(summit.GlobalRank(2, 3), 15);
+  EXPECT_EQ(summit.NumNodes(27360), 4560);  // full Summit (Sec VII-B)
+}
+
+TEST(AllreduceCounters, RingUsesFewerBytesThanTreeAtScale) {
+  // Ring all-reduce moves 2*(n-1)/n of the data per rank; tree moves the
+  // whole buffer up and down the tree — at the root's links the tree is
+  // bandwidth-bound. Check aggregate byte counts reflect the known
+  // asymptotics.
+  const int n = 8;
+  const std::size_t len = 1024;
+  std::int64_t ring_bytes = 0, tree_bytes = 0;
+  {
+    SimWorld world(n);
+    world.Run([&](Communicator& comm) {
+      auto data = RankPayload(comm.rank(), len);
+      Allreduce(comm, data, AllreduceAlgo::kRing);
+    });
+    ring_bytes = world.total_bytes();
+  }
+  {
+    SimWorld world(n);
+    world.Run([&](Communicator& comm) {
+      auto data = RankPayload(comm.rank(), len);
+      Allreduce(comm, data, AllreduceAlgo::kTree);
+    });
+    tree_bytes = world.total_bytes();
+  }
+  // Ring total bytes = n * 2*(n-1)/n * len * 4 = 2*(n-1)*len*4.
+  EXPECT_EQ(ring_bytes, 2 * (n - 1) * static_cast<std::int64_t>(len) * 4);
+  // Tree: (n-1) sends for reduce + (n-1) for broadcast, each full length.
+  EXPECT_EQ(tree_bytes, 2 * (n - 1) * static_cast<std::int64_t>(len) * 4);
+  // Same totals, but the tree concentrates traffic: per-rank max matters,
+  // which netsim models; here we only validate totals.
+}
+
+}  // namespace
+}  // namespace exaclim

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/half.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace exaclim {
+namespace {
+
+// ---------------------------------------------------------------- Half ---
+
+TEST(Half, ExactSmallIntegers) {
+  for (int i = -2048; i <= 2048; ++i) {
+    const Half h(static_cast<float>(i));
+    EXPECT_EQ(h.ToFloat(), static_cast<float>(i)) << "i=" << i;
+  }
+}
+
+TEST(Half, KnownBitPatterns) {
+  EXPECT_EQ(Half(1.0f).bits(), 0x3c00u);
+  EXPECT_EQ(Half(-1.0f).bits(), 0xbc00u);
+  EXPECT_EQ(Half(0.5f).bits(), 0x3800u);
+  EXPECT_EQ(Half(2.0f).bits(), 0x4000u);
+  EXPECT_EQ(Half(65504.0f).bits(), 0x7bffu);  // max finite
+  EXPECT_EQ(Half(0.0f).bits(), 0x0000u);
+  EXPECT_EQ(Half(-0.0f).bits(), 0x8000u);
+}
+
+TEST(Half, OverflowToInfinity) {
+  EXPECT_TRUE(Half(65520.0f).IsInf());  // first value rounding to inf
+  EXPECT_TRUE(Half(1e6f).IsInf());
+  EXPECT_TRUE(Half(-1e6f).IsInf());
+  EXPECT_FALSE(Half(65504.0f).IsInf());
+  // 65519.996 rounds down to 65504 (nearest-even at the boundary).
+  EXPECT_EQ(Half(65519.0f).bits(), 0x7bffu);
+}
+
+TEST(Half, SubnormalsRoundTrip) {
+  const float min_sub = std::ldexp(1.0f, -24);
+  EXPECT_EQ(Half(min_sub).bits(), 0x0001u);
+  EXPECT_EQ(Half::MinSubnormal().ToFloat(), min_sub);
+  // Below half the smallest subnormal flushes to zero.
+  EXPECT_EQ(Half(min_sub / 4.0f).bits(), 0x0000u);
+  // Exactly half of min subnormal: round-to-nearest-even -> zero.
+  EXPECT_EQ(Half(min_sub / 2.0f).bits(), 0x0000u);
+  // Slightly above half rounds up to the min subnormal.
+  EXPECT_EQ(Half(min_sub * 0.51f).bits(), 0x0001u);
+}
+
+TEST(Half, NanPropagation) {
+  const Half h(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_TRUE(h.IsNan());
+  EXPECT_FALSE(h.IsFinite());
+  EXPECT_TRUE(std::isnan(h.ToFloat()));
+  EXPECT_FALSE(h == h);
+}
+
+TEST(Half, InfinityRoundTrip) {
+  const Half pos(std::numeric_limits<float>::infinity());
+  const Half neg(-std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(pos.IsInf());
+  EXPECT_TRUE(neg.IsInf());
+  EXPECT_EQ(pos.ToFloat(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(neg.ToFloat(), -std::numeric_limits<float>::infinity());
+}
+
+TEST(Half, RoundToNearestEven) {
+  // 1 + 2^-11 is exactly between 1.0 and the next half (1 + 2^-10):
+  // ties to even -> 1.0.
+  EXPECT_EQ(Half(1.0f + 1.0f / 2048.0f).bits(), Half(1.0f).bits());
+  // 1 + 3*2^-11 ties between 1+2^-10 and 1+2^-9 -> picks even (1+2^-9).
+  EXPECT_EQ(Half(1.0f + 3.0f / 2048.0f).bits(), Half(1.0f + 2.0f / 1024.0f).bits());
+}
+
+TEST(Half, AllBitPatternsRoundTripThroughFloat) {
+  // Every finite binary16 value converts to float and back bit-exactly.
+  for (std::uint32_t bits = 0; bits <= 0xffffu; ++bits) {
+    const Half h = Half::FromBits(static_cast<std::uint16_t>(bits));
+    if (h.IsNan()) continue;
+    const Half round_trip(h.ToFloat());
+    EXPECT_EQ(round_trip.bits(), h.bits()) << "bits=" << bits;
+  }
+}
+
+TEST(Half, RelativeErrorBound) {
+  Rng rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    const float v = rng.Uniform(-60000.0f, 60000.0f);
+    const float q = Half(v).ToFloat();
+    if (std::fabs(v) >= std::ldexp(1.0f, -14)) {  // normal range
+      // Round-to-nearest guarantees error <= |v| * u, u = 2^-11.
+      EXPECT_LE(std::fabs(q - v), std::fabs(v) * kHalfEpsilonRel * 1.0001f)
+          << "v=" << v;
+    }
+  }
+}
+
+TEST(Half, Arithmetic) {
+  EXPECT_EQ((Half(1.5f) + Half(2.5f)).ToFloat(), 4.0f);
+  EXPECT_EQ((Half(3.0f) * Half(2.0f)).ToFloat(), 6.0f);
+  EXPECT_EQ((-Half(2.0f)).ToFloat(), -2.0f);
+  Half acc(0.0f);
+  for (int i = 0; i < 10; ++i) acc += Half(0.25f);
+  EXPECT_EQ(acc.ToFloat(), 2.5f);
+}
+
+TEST(Half, AdditionSwampingShowsPrecisionLoss) {
+  // In binary16, 2048 + 1 == 2048: the core of the Sec V-B1 stability
+  // problem with extreme loss weights.
+  EXPECT_EQ((Half(2048.0f) + Half(1.0f)).ToFloat(), 2048.0f);
+  EXPECT_EQ((Half(2048.0f) + Half(2.0f)).ToFloat(), 2050.0f);
+}
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng base(7);
+  Rng s0 = base.Fork(0);
+  Rng s1 = base.Fork(1);
+  EXPECT_NE(s0.seed(), s1.seed());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.Uniform() == s1.Uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(9), b(9);
+  EXPECT_EQ(a.Fork(3).seed(), b.Fork(3).seed());
+}
+
+TEST(Rng, IntBounds) {
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.Int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  double sum = 0, sumsq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(2.0f, 3.0f);
+    sum += v;
+    sumsq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+// ---------------------------------------------------------- ThreadPool ---
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.ParallelFor(
+      0, hits.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+      },
+      16);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(
+      0, 10,
+      [&](std::size_t lo, std::size_t hi) {
+        calls.fetch_add(1);
+        EXPECT_EQ(lo, 0u);
+        EXPECT_EQ(hi, 10u);
+      },
+      1024);
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<double> values(50000);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::atomic<std::int64_t> parallel_sum{0};
+  pool.ParallelFor(
+      0, values.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        std::int64_t local = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          local += static_cast<std::int64_t>(values[i]);
+        }
+        parallel_sum.fetch_add(local);
+      },
+      128);
+  EXPECT_EQ(parallel_sum.load(), 50000ll * 50001ll / 2);
+}
+
+TEST(ThreadPool, ReentrantSequentialUse) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 1000,
+                     [&](std::size_t lo, std::size_t hi) {
+                       count.fetch_add(static_cast<int>(hi - lo));
+                     },
+                     8);
+    EXPECT_EQ(count.load(), 1000);
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);  // caller-only execution
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 100, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 100);
+}
+
+// ------------------------------------------------------------- Check ----
+
+TEST(Check, ThrowsWithContext) {
+  try {
+    EXACLIM_CHECK(1 == 2, "custom message " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom message 42"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(EXACLIM_CHECK(2 + 2 == 4, "unused"));
+}
+
+}  // namespace
+}  // namespace exaclim

@@ -1,0 +1,148 @@
+// Property sweeps over the convolution algorithm variants (Sec VI:
+// cuDNN's dynamic algorithm choice is the reason the paper traced the
+// API to count FLOPs): every algorithm must produce the same output,
+// matching an independent naive reference, for all geometry corners.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "nn/conv.hpp"
+
+namespace exaclim {
+namespace {
+
+// Independent reference implementation (straight from the definition,
+// sharing no code with nn/conv.cpp or nn/im2col.cpp).
+Tensor ReferenceConv(const Tensor& input, const Tensor& weight,
+                     const Conv2d::Options& o) {
+  const std::int64_t n = input.shape().n(), h = input.shape().h(),
+                     w = input.shape().w();
+  const std::int64_t pad = o.pad >= 0 ? o.pad : o.kernel / 2;
+  const std::int64_t eff_k = o.dilation * (o.kernel - 1) + 1;
+  const std::int64_t oh = (h + 2 * pad - eff_k) / o.stride + 1;
+  const std::int64_t ow = (w + 2 * pad - eff_k) / o.stride + 1;
+  Tensor out(TensorShape::NCHW(n, o.out_c, oh, ow));
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oc = 0; oc < o.out_c; ++oc) {
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox) {
+          double acc = 0.0;
+          for (std::int64_t ic = 0; ic < o.in_c; ++ic) {
+            for (std::int64_t ky = 0; ky < o.kernel; ++ky) {
+              for (std::int64_t kx = 0; kx < o.kernel; ++kx) {
+                const std::int64_t iy =
+                    oy * o.stride + ky * o.dilation - pad;
+                const std::int64_t ix =
+                    ox * o.stride + kx * o.dilation - pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                const float wv = weight[static_cast<std::size_t>(
+                    ((oc * o.in_c + ic) * o.kernel + ky) * o.kernel + kx)];
+                acc += static_cast<double>(wv) * input.At(b, ic, iy, ix);
+              }
+            }
+          }
+          out.At(b, oc, oy, ox) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct GeometryCase {
+  std::int64_t in_c, out_c, kernel, stride, pad, dilation;
+  std::int64_t h, w;
+};
+
+class ConvAlgorithmParity
+    : public ::testing::TestWithParam<std::tuple<GeometryCase, int>> {};
+
+TEST_P(ConvAlgorithmParity, MatchesNaiveReference) {
+  const auto [geo, algo_idx] = GetParam();
+  const auto algo = static_cast<ConvAlgorithm>(algo_idx);
+  Conv2d::Options opts{.in_c = geo.in_c, .out_c = geo.out_c,
+                       .kernel = geo.kernel, .stride = geo.stride,
+                       .pad = geo.pad, .dilation = geo.dilation,
+                       .bias = false, .algorithm = algo};
+  Rng rng(7);
+  Conv2d conv("c", opts, rng);
+  Rng xrng(11);
+  const Tensor x = Tensor::Uniform(
+      TensorShape::NCHW(2, geo.in_c, geo.h, geo.w), xrng, -1.0f, 1.0f);
+
+  const Tensor expected = ReferenceConv(x, conv.weight().value, opts);
+  const Tensor actual = conv.Forward(x, false);
+  ASSERT_EQ(actual.shape(), expected.shape());
+  for (std::int64_t i = 0; i < actual.NumElements(); ++i) {
+    EXPECT_NEAR(actual[static_cast<std::size_t>(i)],
+                expected[static_cast<std::size_t>(i)], 2e-4f)
+        << ToString(algo) << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometrySweep, ConvAlgorithmParity,
+    ::testing::Combine(
+        ::testing::Values(
+            GeometryCase{3, 4, 3, 1, 1, 1, 8, 9},    // plain 3x3
+            GeometryCase{2, 5, 1, 1, 0, 1, 7, 7},    // pointwise
+            GeometryCase{4, 2, 3, 2, 1, 1, 9, 10},   // strided
+            GeometryCase{2, 3, 3, 1, 2, 2, 8, 8},    // atrous d=2
+            GeometryCase{1, 2, 5, 1, 2, 1, 10, 10},  // 5x5 (Tiramisu mod)
+            GeometryCase{3, 3, 7, 2, 3, 1, 14, 14},  // stem 7x7/2
+            GeometryCase{2, 2, 3, 1, 6, 6, 9, 9}),   // extreme dilation
+        ::testing::Values(static_cast<int>(ConvAlgorithm::kAuto),
+                          static_cast<int>(ConvAlgorithm::kImplicitGemm),
+                          static_cast<int>(ConvAlgorithm::kDirect))));
+
+TEST(ConvAlgorithm, AutoSelectsDirectForPointwise) {
+  Rng rng(1);
+  Conv2d pointwise("p", {.in_c = 4, .out_c = 4, .kernel = 1, .pad = 0},
+                   rng);
+  EXPECT_EQ(pointwise.chosen_algorithm(), ConvAlgorithm::kDirect);
+  Conv2d spatial("s", {.in_c = 4, .out_c = 4, .kernel = 3}, rng);
+  EXPECT_EQ(spatial.chosen_algorithm(), ConvAlgorithm::kImplicitGemm);
+  Conv2d forced("f",
+                {.in_c = 4, .out_c = 4, .kernel = 3,
+                 .algorithm = ConvAlgorithm::kDirect},
+                rng);
+  EXPECT_EQ(forced.chosen_algorithm(), ConvAlgorithm::kDirect);
+}
+
+TEST(ConvAlgorithm, BackwardAgreesAcrossForwardAlgorithms) {
+  // The backward pass must produce identical gradients regardless of
+  // which forward algorithm ran.
+  std::vector<std::vector<float>> weight_grads;
+  for (const auto algo : {ConvAlgorithm::kImplicitGemm,
+                          ConvAlgorithm::kDirect}) {
+    Rng rng(5);
+    Conv2d conv("c",
+                {.in_c = 3, .out_c = 2, .kernel = 3, .bias = false,
+                 .algorithm = algo},
+                rng);
+    Rng xrng(6);
+    const Tensor x = Tensor::Uniform(TensorShape::NCHW(1, 3, 6, 6), xrng,
+                                     -1.0f, 1.0f);
+    const Tensor y = conv.Forward(x, true);
+    Rng grng(8);
+    const Tensor g = Tensor::Uniform(y.shape(), grng, -1.0f, 1.0f);
+    (void)conv.Backward(g);
+    weight_grads.emplace_back(conv.weight().grad.Data().begin(),
+                              conv.weight().grad.Data().end());
+  }
+  ASSERT_EQ(weight_grads[0].size(), weight_grads[1].size());
+  for (std::size_t i = 0; i < weight_grads[0].size(); ++i) {
+    EXPECT_NEAR(weight_grads[0][i], weight_grads[1][i], 1e-4f);
+  }
+}
+
+TEST(ConvAlgorithm, ToStringNames) {
+  EXPECT_STREQ(ToString(ConvAlgorithm::kAuto), "auto");
+  EXPECT_STREQ(ToString(ConvAlgorithm::kImplicitGemm), "implicit-gemm");
+  EXPECT_STREQ(ToString(ConvAlgorithm::kDirect), "direct");
+}
+
+}  // namespace
+}  // namespace exaclim

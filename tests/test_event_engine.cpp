@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/event_engine.hpp"
+
+namespace exaclim {
+namespace {
+
+TEST(EventEngine, ProcessesInTimeOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  engine.Schedule(3.0, [&](double) { order.push_back(3); });
+  engine.Schedule(1.0, [&](double) { order.push_back(1); });
+  engine.Schedule(2.0, [&](double) { order.push_back(2); });
+  EXPECT_DOUBLE_EQ(engine.Run(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventEngine, HandlersCanScheduleMoreEvents) {
+  EventEngine engine;
+  int fired = 0;
+  engine.Schedule(1.0, [&](double now) {
+    ++fired;
+    engine.Schedule(now + 1.0, [&](double) { ++fired; });
+  });
+  engine.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+}
+
+TEST(EventEngine, EqualTimesKeepFifoOrder) {
+  EventEngine engine;
+  std::vector<int> order;
+  engine.Schedule(1.0, [&](double) { order.push_back(0); });
+  engine.Schedule(1.0, [&](double) { order.push_back(1); });
+  engine.Schedule(1.0, [&](double) { order.push_back(2); });
+  engine.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventEngine, RejectsSchedulingIntoPast) {
+  EventEngine engine;
+  engine.Schedule(2.0, [&](double) {
+    EXPECT_THROW(engine.Schedule(1.0, [](double) {}), Error);
+  });
+  engine.Run();
+}
+
+// ----------------------------------------------------- SimulateOverlap --
+
+OverlapConfig BaseConfig() {
+  OverlapConfig c;
+  c.compute_seconds = 1.0;
+  c.bucket_ready_s = {0.25, 0.5, 0.75, 1.0};
+  c.bucket_bytes = {10.0, 10.0, 10.0, 10.0};
+  c.bandwidth = 1000.0;  // each transfer 0.01 s
+  c.latency = 0.0;
+  c.steps = 24;
+  return c;
+}
+
+TEST(SimulateOverlap, NoCommunicationGivesPureComputeStep) {
+  OverlapConfig c = BaseConfig();
+  c.bucket_bytes.clear();
+  c.bucket_ready_s.clear();
+  const auto r = SimulateOverlap(c);
+  EXPECT_NEAR(r.steady_step_seconds, 1.0, 1e-9);
+  EXPECT_NEAR(r.exposed_comm_seconds, 0.0, 1e-9);
+}
+
+TEST(SimulateOverlap, CheapCommunicationMostlyHidesWithoutLag) {
+  const auto r = SimulateOverlap(BaseConfig());
+  // Only the final bucket (ready exactly at compute end) is exposed.
+  EXPECT_NEAR(r.steady_step_seconds, 1.01, 1e-6);
+  EXPECT_NEAR(r.exposed_comm_seconds, 0.01, 1e-6);
+}
+
+TEST(SimulateOverlap, LagHidesTheLastBucket) {
+  OverlapConfig c = BaseConfig();
+  c.lag = 1;
+  const auto r = SimulateOverlap(c);
+  EXPECT_NEAR(r.steady_step_seconds, 1.0, 1e-6);
+  EXPECT_NEAR(r.exposed_comm_seconds, 0.0, 1e-6);
+}
+
+TEST(SimulateOverlap, NetworkBoundStepWhenCommDominates) {
+  OverlapConfig c = BaseConfig();
+  c.bandwidth = 10.0;  // each transfer 1 s; total comm 4 s >> compute
+  // Lag 0: the next step's compute (and bucket production) cannot start
+  // until the previous reductions finish, so the network idles for the
+  // first bucket's 0.25 s production time each step: period 4.25 s.
+  c.lag = 0;
+  EXPECT_NEAR(SimulateOverlap(c).steady_step_seconds, 4.25, 0.05);
+  // Lag 1 keeps two steps in flight; the queue never drains and the
+  // period is the pure network time, 4.0 s.
+  c.lag = 1;
+  const auto r = SimulateOverlap(c);
+  EXPECT_NEAR(r.steady_step_seconds, 4.0, 0.05);
+  EXPECT_GT(r.network_busy_fraction, 0.9);
+}
+
+TEST(SimulateOverlap, LagNeverSlowerThanNoLag) {
+  for (const double bw : {20.0, 100.0, 1000.0}) {
+    OverlapConfig c = BaseConfig();
+    c.bandwidth = bw;
+    c.lag = 0;
+    const double no_lag = SimulateOverlap(c).steady_step_seconds;
+    c.lag = 1;
+    const double lag = SimulateOverlap(c).steady_step_seconds;
+    EXPECT_LE(lag, no_lag + 1e-9) << "bw=" << bw;
+  }
+}
+
+TEST(SimulateOverlap, LatencyMakesManySmallBucketsWorseThanFewLarge) {
+  // The tensor-fusion rationale: same bytes, many buckets pay the
+  // per-message latency repeatedly.
+  OverlapConfig many = BaseConfig();
+  many.latency = 0.05;
+  many.bucket_ready_s.clear();
+  many.bucket_bytes.clear();
+  for (int i = 0; i < 20; ++i) {
+    many.bucket_ready_s.push_back(0.05 * (i + 1));
+    many.bucket_bytes.push_back(2.0);
+  }
+  OverlapConfig few = many;
+  few.bucket_ready_s = {0.5, 1.0};
+  few.bucket_bytes = {20.0, 20.0};
+  EXPECT_GT(SimulateOverlap(many).steady_step_seconds,
+            SimulateOverlap(few).steady_step_seconds);
+}
+
+TEST(SimulateOverlap, AgreesWithClosedFormExtremes) {
+  // The closed-form model in scale.cpp treats exposed comm as
+  // max(0, A - overlap_budget); the event simulation must agree at the
+  // extremes (A -> 0 and A >> C).
+  OverlapConfig c = BaseConfig();
+  c.bandwidth = 1e9;  // A ~ 0
+  EXPECT_NEAR(SimulateOverlap(c).exposed_comm_seconds, 0.0, 1e-6);
+  c.bandwidth = 4.0;  // A = 10 s >> C
+  const auto r = SimulateOverlap(c);
+  // Lag 0 adds the first bucket's production delay (0.25 s) per step.
+  EXPECT_NEAR(r.steady_step_seconds, 10.25, 0.05);
+}
+
+// ------------------------------------------------- BuildOverlapConfig --
+
+TEST(BuildOverlapConfig, BucketsCoverAllParameters) {
+  const ArchSpec spec = PaperTiramisuSpec(16);
+  const auto config = BuildOverlapConfig(spec, MachineModel::Summit(),
+                                         Precision::kFP32, 1.0,
+                                         4 << 20, 0);
+  double total_bytes = 0.0;
+  for (const double b : config.bucket_bytes) total_bytes += b;
+  EXPECT_NEAR(total_bytes, spec.TotalParams() * 4.0, 1.0);
+  // Readiness offsets are ascending and within the compute window.
+  for (std::size_t i = 1; i < config.bucket_ready_s.size(); ++i) {
+    EXPECT_GE(config.bucket_ready_s[i], config.bucket_ready_s[i - 1]);
+  }
+  EXPECT_LE(config.bucket_ready_s.back(), 1.0 + 1e-9);
+}
+
+TEST(BuildOverlapConfig, SmallerFusionMakesMoreBuckets) {
+  const ArchSpec spec = PaperDeepLabSpec(16);
+  const auto fused = BuildOverlapConfig(spec, MachineModel::Summit(),
+                                        Precision::kFP32, 1.0, 64 << 20, 0);
+  const auto split = BuildOverlapConfig(spec, MachineModel::Summit(),
+                                        Precision::kFP32, 1.0, 1 << 20, 0);
+  EXPECT_GT(split.bucket_bytes.size(), fused.bucket_bytes.size());
+}
+
+TEST(BuildOverlapConfig, EndToEndDeepLabStepMostlyOverlaps) {
+  // Full-network sanity: at Summit bandwidth the DeepLab gradient hides
+  // almost entirely behind the 1.15 s FP32 compute step.
+  const ArchSpec spec = PaperDeepLabSpec(16);
+  const auto config = BuildOverlapConfig(spec, MachineModel::Summit(),
+                                         Precision::kFP32, 1.149,
+                                         4 << 20, 1);
+  const auto r = SimulateOverlap(config);
+  EXPECT_LT(r.exposed_comm_seconds, 0.02);
+  EXPECT_NEAR(r.steady_step_seconds, 1.149, 0.03);
+}
+
+}  // namespace
+}  // namespace exaclim

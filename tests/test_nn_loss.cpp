@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gradcheck.hpp"
+#include "nn/loss.hpp"
+
+namespace exaclim {
+namespace {
+
+// Paper class frequencies (Sec V-B1): BG 98.2%, AR 1.7%, TC 0.1%.
+constexpr std::array<double, 3> kPaperFrequencies{0.982, 0.017, 0.001};
+
+Tensor RandomLogits(std::int64_t n, std::int64_t c, std::int64_t h,
+                    std::int64_t w, std::uint64_t seed = 1,
+                    float scale = 2.0f) {
+  Rng rng(seed);
+  return Tensor::Uniform(TensorShape::NCHW(n, c, h, w), rng, -scale, scale);
+}
+
+std::vector<std::uint8_t> RandomLabels(std::int64_t count, std::int64_t c,
+                                       std::uint64_t seed = 2) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> labels(static_cast<std::size_t>(count));
+  for (auto& l : labels) {
+    l = static_cast<std::uint8_t>(rng.Int(0, c - 1));
+  }
+  return labels;
+}
+
+TEST(MakeClassWeights, Schemes) {
+  const auto none = MakeClassWeights(kPaperFrequencies, WeightingScheme::kNone);
+  EXPECT_EQ(none, (std::vector<float>{1.0f, 1.0f, 1.0f}));
+
+  const auto inv =
+      MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverse);
+  EXPECT_NEAR(inv[0], 1.0 / 0.982, 1e-4);
+  EXPECT_NEAR(inv[2], 1000.0, 1e-1);
+
+  const auto sqrt_inv =
+      MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverseSqrt);
+  EXPECT_NEAR(sqrt_inv[2], 31.62, 0.01);
+}
+
+TEST(MakeClassWeights, PaperTCFalseNegativeRatio) {
+  // Sec VII-D: a TC false negative is penalised ~37x more than a false
+  // positive; with inverse-sqrt weights w_TC / w_BG = sqrt(0.982/0.001).
+  const auto w =
+      MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverseSqrt);
+  EXPECT_NEAR(w[2] / w[0], 31.3, 1.0);  // same order as the paper's 37x
+}
+
+TEST(MakeClassWeights, RejectsZeroFrequency) {
+  const std::array<double, 2> freq{1.0, 0.0};
+  EXPECT_THROW(MakeClassWeights(freq, WeightingScheme::kInverse), Error);
+}
+
+TEST(WeightedLoss, UniformLogitsGiveLogC) {
+  const Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 4, 4));
+  const auto labels = RandomLabels(16, 3);
+  const auto res = WeightedSoftmaxCrossEntropy(logits, labels, {});
+  EXPECT_NEAR(res.loss, std::log(3.0), 1e-5);
+}
+
+TEST(WeightedLoss, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 2, 2));
+  const std::vector<std::uint8_t> labels{0, 1, 2, 0};
+  for (std::int64_t p = 0; p < 4; ++p) {
+    logits[static_cast<std::size_t>(labels[static_cast<std::size_t>(p)] * 4 +
+                                    p)] = 20.0f;
+  }
+  const auto res = WeightedSoftmaxCrossEntropy(logits, labels, {});
+  EXPECT_LT(res.loss, 1e-6);
+  EXPECT_EQ(res.pixel_accuracy, 1.0);
+}
+
+TEST(WeightedLoss, GradientMatchesFiniteDifference) {
+  const std::int64_t n = 1, c = 3, h = 3, w = 3;
+  Tensor logits = RandomLogits(n, c, h, w, 5);
+  const auto labels = RandomLabels(n * h * w, c, 6);
+  SegmentationLossOptions opts;
+  opts.class_weights =
+      MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverseSqrt);
+
+  const auto res = WeightedSoftmaxCrossEntropy(logits, labels, opts);
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.NumElements(); i += 3) {
+    const auto idx = static_cast<std::size_t>(i);
+    const float saved = logits[idx];
+    logits[idx] = saved + static_cast<float>(eps);
+    const double up =
+        WeightedSoftmaxCrossEntropy(logits, labels, opts).loss;
+    logits[idx] = saved - static_cast<float>(eps);
+    const double down =
+        WeightedSoftmaxCrossEntropy(logits, labels, opts).loss;
+    logits[idx] = saved;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(res.grad_logits[idx], numeric,
+                1e-3 * std::max(1.0, std::fabs(numeric)))
+        << "i=" << i;
+  }
+}
+
+TEST(WeightedLoss, GradientSumsToZeroOverClasses) {
+  // softmax - onehot sums to zero across classes for each pixel.
+  const Tensor logits = RandomLogits(2, 3, 4, 4, 7);
+  const auto labels = RandomLabels(32, 3, 8);
+  const auto res = WeightedSoftmaxCrossEntropy(logits, labels, {});
+  const std::int64_t hw = 16;
+  for (std::int64_t b = 0; b < 2; ++b) {
+    for (std::int64_t p = 0; p < hw; ++p) {
+      double sum = 0;
+      for (std::int64_t k = 0; k < 3; ++k) {
+        sum += res.grad_logits[static_cast<std::size_t>((b * 3 + k) * hw + p)];
+      }
+      EXPECT_NEAR(sum, 0.0, 1e-7);
+    }
+  }
+}
+
+TEST(WeightedLoss, LossScaleMultipliesGradientOnly) {
+  const Tensor logits = RandomLogits(1, 3, 3, 3, 9);
+  const auto labels = RandomLabels(9, 3, 10);
+  SegmentationLossOptions base, scaled;
+  scaled.loss_scale = 128.0f;
+  const auto r0 = WeightedSoftmaxCrossEntropy(logits, labels, base);
+  const auto r1 = WeightedSoftmaxCrossEntropy(logits, labels, scaled);
+  EXPECT_DOUBLE_EQ(r0.loss, r1.loss);
+  for (std::int64_t i = 0; i < r0.grad_logits.NumElements(); ++i) {
+    EXPECT_NEAR(r1.grad_logits[static_cast<std::size_t>(i)],
+                128.0f * r0.grad_logits[static_cast<std::size_t>(i)], 1e-6);
+  }
+}
+
+TEST(WeightedLoss, WeightingScalesPerClassContribution) {
+  // One pixel per class, weights {1, 10, 100}: the loss must be the
+  // weighted mean of the per-pixel CE values.
+  Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 1, 3));
+  const std::vector<std::uint8_t> labels{0, 1, 2};
+  SegmentationLossOptions opts;
+  opts.class_weights = {1.0f, 10.0f, 100.0f};
+  const auto res = WeightedSoftmaxCrossEntropy(logits, labels, opts);
+  EXPECT_NEAR(res.loss, std::log(3.0) * (1 + 10 + 100) / 3.0, 1e-4);
+}
+
+TEST(WeightedLoss, DegenerateBackgroundPredictorAccuracy) {
+  // Sec V-B1: an all-background predictor scores 98.2% pixel accuracy.
+  const std::int64_t pixels = 1000;
+  Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 1, pixels));
+  for (std::int64_t p = 0; p < pixels; ++p) {
+    logits[static_cast<std::size_t>(p)] = 10.0f;  // class 0 everywhere
+  }
+  std::vector<std::uint8_t> labels(pixels, 0);
+  for (std::int64_t p = 0; p < 17; ++p) labels[static_cast<std::size_t>(p)] = 1;
+  labels[17] = 2;
+  const auto res = WeightedSoftmaxCrossEntropy(logits, labels, {});
+  EXPECT_NEAR(res.pixel_accuracy, 0.982, 1e-3);
+}
+
+TEST(WeightedLoss, FP16InverseWeightsOverflowButSqrtDoesNot) {
+  // The Sec V-B1 stability result: with confidently-wrong predictions on
+  // rare-class pixels, inverse-frequency weights push per-pixel losses
+  // past the binary16 max (65504) while inverse-sqrt stays finite.
+  const std::int64_t pixels = 64;
+  Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 1, pixels));
+  std::vector<std::uint8_t> labels(pixels, 0);
+  for (std::int64_t p = 0; p < 4; ++p) {
+    labels[static_cast<std::size_t>(p)] = 2;  // TC pixels...
+    logits[static_cast<std::size_t>(0 * pixels + p)] = 40.0f;  // ...BG sure
+    logits[static_cast<std::size_t>(2 * pixels + p)] = -40.0f;
+  }
+
+  SegmentationLossOptions inv;
+  inv.precision = Precision::kFP16;
+  inv.class_weights =
+      MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverse);
+  const auto r_inv = WeightedSoftmaxCrossEntropy(logits, labels, inv);
+  EXPECT_GT(r_inv.nonfinite_loss_count, 0);  // 1000 * 80 > 65504
+
+  SegmentationLossOptions sqrt_opts = inv;
+  sqrt_opts.class_weights =
+      MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverseSqrt);
+  const auto r_sqrt = WeightedSoftmaxCrossEntropy(logits, labels, sqrt_opts);
+  EXPECT_EQ(r_sqrt.nonfinite_loss_count, 0);  // 31.6 * 80 well in range
+}
+
+TEST(WeightedLoss, FP16GradientUnderflowDetected) {
+  // Confident predictions make non-label softmax values tiny; divided by
+  // the pixel count they flush to zero in binary16. Loss scaling rescues
+  // the ones within 1024x of the representable range.
+  const std::int64_t pixels = 4096;
+  const Tensor logits = RandomLogits(1, 3, 64, 64, 11, 12.0f);
+  const auto labels = RandomLabels(pixels, 3, 12);
+  SegmentationLossOptions unscaled;
+  unscaled.precision = Precision::kFP16;
+  const auto r0 = WeightedSoftmaxCrossEntropy(logits, labels, unscaled);
+  EXPECT_GT(r0.flushed_grad_count, 0);
+
+  SegmentationLossOptions scaled = unscaled;
+  scaled.loss_scale = 1024.0f;
+  const auto r1 = WeightedSoftmaxCrossEntropy(logits, labels, scaled);
+  EXPECT_LT(r1.flushed_grad_count, r0.flushed_grad_count);
+}
+
+TEST(WeightedLoss, RejectsBadShapes) {
+  const Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 2, 2));
+  EXPECT_THROW(WeightedSoftmaxCrossEntropy(
+                   logits, std::vector<std::uint8_t>(3, 0), {}),
+               Error);
+  SegmentationLossOptions opts;
+  opts.class_weights = {1.0f, 2.0f};  // wrong size
+  EXPECT_THROW(WeightedSoftmaxCrossEntropy(
+                   logits, std::vector<std::uint8_t>(4, 0), opts),
+               Error);
+  EXPECT_THROW(WeightedSoftmaxCrossEntropy(
+                   logits, std::vector<std::uint8_t>(4, 7), {}),
+               Error);  // label out of range
+}
+
+TEST(PredictClasses, ArgmaxPerPixel) {
+  Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 1, 2));
+  logits[static_cast<std::size_t>(0 * 2 + 0)] = 1.0f;  // pixel 0 -> class 0
+  logits[static_cast<std::size_t>(2 * 2 + 1)] = 5.0f;  // pixel 1 -> class 2
+  const auto pred = PredictClasses(logits);
+  EXPECT_EQ(pred[0], 0);
+  EXPECT_EQ(pred[1], 2);
+}
+
+}  // namespace
+}  // namespace exaclim

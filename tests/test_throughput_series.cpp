@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "netsim/throughput_series.hpp"
+
+namespace exaclim {
+namespace {
+
+ScaleSimulator Summit() {
+  ScaleOptions o;
+  o.machine = MachineModel::Summit();
+  o.spec = PaperDeepLabSpec(16);
+  o.precision = Precision::kFP16;
+  o.local_batch = 2;
+  o.lag = 1;
+  o.anchor_samples_per_sec = 2.67;
+  o.anchor_tf_per_sample = 14.41;
+  return ScaleSimulator(o);
+}
+
+TEST(ThroughputSeries, MedianTracksClosedFormModel) {
+  const ScaleSimulator sim = Summit();
+  const auto series = SampleThroughputSeries(sim, 1536, 60, 7);
+  const ScalePoint p = sim.Simulate(1536);
+  // The stochastic median sits near the closed-form expectation (the
+  // closed form uses E[max], the realised median of max is close).
+  EXPECT_NEAR(series.summary.median, p.images_per_sec,
+              0.05 * p.images_per_sec);
+}
+
+TEST(ThroughputSeries, CentralCIIsAsymmetricAndOrdered) {
+  const auto series = SampleThroughputSeries(Summit(), 6144, 80, 11);
+  EXPECT_LT(series.summary.lo, series.summary.median);
+  EXPECT_GT(series.summary.hi, series.summary.median);
+  // Throughput noise is bounded above by the deterministic step floor:
+  // the distribution is left-skewed (slow steps, never faster-than-ideal
+  // ones beyond the straggler-free floor).
+  EXPECT_GT(series.summary.hi - series.summary.lo, 0.0);
+}
+
+TEST(ThroughputSeries, DeterministicPerSeed) {
+  const ScaleSimulator sim = Summit();
+  const auto a = SampleThroughputSeries(sim, 96, 30, 3);
+  const auto b = SampleThroughputSeries(sim, 96, 30, 3);
+  EXPECT_EQ(a.images_per_sec, b.images_per_sec);
+  const auto c = SampleThroughputSeries(sim, 96, 30, 4);
+  EXPECT_NE(a.images_per_sec, c.images_per_sec);
+}
+
+TEST(ThroughputSeries, RelativeSpreadShrinksWithScale) {
+  // The max of many per-rank delays concentrates: at larger P the
+  // step-to-step variability of the max (and hence of throughput) is
+  // relatively smaller, even though its mean is larger.
+  const ScaleSimulator sim = Summit();
+  const auto small = SampleThroughputSeries(sim, 24, 100, 5);
+  const auto large = SampleThroughputSeries(sim, 6144, 100, 5);
+  const double spread_small =
+      (small.summary.hi - small.summary.lo) / small.summary.median;
+  const double spread_large =
+      (large.summary.hi - large.summary.lo) / large.summary.median;
+  EXPECT_LT(spread_large, spread_small);
+}
+
+TEST(ThroughputSeries, PflopsMedianUsesOpCountAnchor) {
+  const auto series = SampleThroughputSeries(Summit(), 27360, 40, 9);
+  // ~66000 images/s x 14.41 TF / 1000 ~ 950 PF/s.
+  EXPECT_GT(series.pflops_median, 850.0);
+  EXPECT_LT(series.pflops_median, 1050.0);
+}
+
+}  // namespace
+}  // namespace exaclim

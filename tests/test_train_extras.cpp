@@ -1,0 +1,126 @@
+// Tests for the epoch runner (Sec VI validation-overhead accounting) and
+// the strong-scaling mode of the at-scale model (Sec III-A).
+
+#include <gtest/gtest.h>
+
+#include "netsim/scale.hpp"
+#include "train/epoch.hpp"
+
+namespace exaclim {
+namespace {
+
+ClimateDataset::Options SmallData() {
+  ClimateDataset::Options d;
+  d.num_samples = 40;
+  d.generator.height = 32;
+  d.generator.width = 32;
+  d.channels = {kTMQ, kU850, kV850, kPSL};
+  return d;
+}
+
+TrainerOptions SmallTrainer() {
+  TrainerOptions o;
+  o.arch = TrainerOptions::Arch::kTiramisu;
+  o.tiramisu = Tiramisu::Config::Downscaled(4);
+  o.learning_rate = 2e-3f;
+  return o;
+}
+
+TEST(EpochRunner, LossFallsAcrossEpochs) {
+  const ClimateDataset dataset(SmallData());
+  TrainerOptions trainer = SmallTrainer();
+  trainer.learning_rate = 1e-3f;
+  trainer.local_batch = 2;
+  EpochRunnerOptions opts;
+  opts.epochs = 4;
+  opts.steps_per_epoch = 15;
+  opts.validation_samples = 2;
+  const auto result = RunEpochs(trainer, dataset, opts);
+  ASSERT_EQ(result.train_loss.size(), 4u);
+  ASSERT_EQ(result.validation_miou.size(), 4u);
+  EXPECT_LT(result.train_loss.back(), result.train_loss.front());
+}
+
+TEST(EpochRunner, ValidationOverheadIsSmallFraction) {
+  // Sec VI: the per-epoch validation pass is "negligible once amortized
+  // over the steps" — with epoch-sized step counts it stays a small
+  // fraction of wall time.
+  const ClimateDataset dataset(SmallData());
+  EpochRunnerOptions opts;
+  opts.epochs = 2;
+  opts.steps_per_epoch = 25;
+  opts.validation_samples = 2;
+  const auto result = RunEpochs(SmallTrainer(), dataset, opts);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_LT(result.ValidationFraction(), 0.25);
+}
+
+TEST(EpochRunner, AugmentedTrainingRuns) {
+  const ClimateDataset dataset(SmallData());
+  EpochRunnerOptions opts;
+  opts.epochs = 2;
+  opts.steps_per_epoch = 10;
+  opts.validation_samples = 2;
+  opts.augment = true;
+  opts.augment_options.meridional_channels = {2};
+  const auto result = RunEpochs(SmallTrainer(), dataset, opts);
+  for (const double l : result.train_loss) {
+    EXPECT_TRUE(std::isfinite(l));
+  }
+}
+
+// ------------------------------------------------------ StrongScaling ---
+
+ScaleOptions SummitDeepLab() {
+  // FP16 configuration (anchored local batch 2) so the strong-scaling
+  // sweep can shrink the per-GPU batch below the weak-scaling setting.
+  ScaleOptions o;
+  o.machine = MachineModel::Summit();
+  o.spec = PaperDeepLabSpec(16);
+  o.precision = Precision::kFP16;
+  o.local_batch = 2;
+  o.lag = 1;
+  o.anchor_samples_per_sec = 2.67;
+  o.anchor_tf_per_sample = 14.41;
+  return o;
+}
+
+TEST(StrongScaling, SingleGpuIsBaseline) {
+  ScaleSimulator sim(SummitDeepLab());
+  const auto p = sim.SimulateStrongScaling(1, 1024);
+  EXPECT_NEAR(p.efficiency, 1.0, 1e-9);
+}
+
+TEST(StrongScaling, EfficiencyDecaysFasterThanWeakScaling) {
+  // The Sec III-A rationale for preferring weak scaling: with a fixed
+  // global batch, per-GPU work shrinks while the fixed costs do not.
+  ScaleSimulator sim(SummitDeepLab());
+  // With more GPUs than anchored-batch-sized shares, the fixed per-step
+  // cost replicates across GPUs and efficiency collapses.
+  EXPECT_LT(sim.SimulateStrongScaling(4096, 4096).efficiency,
+            sim.SimulateStrongScaling(1024, 4096).efficiency);
+  EXPECT_LT(sim.SimulateStrongScaling(1024, 4096).efficiency,
+            sim.SimulateStrongScaling(256, 4096).efficiency);
+  // At the per-GPU-batch-of-1 point it is strictly below weak scaling at
+  // the same GPU count (which keeps the batch at the anchored size).
+  EXPECT_LT(sim.SimulateStrongScaling(4096, 4096).efficiency,
+            sim.Simulate(4096).efficiency);
+}
+
+TEST(StrongScaling, ThroughputStillImprovesBeforeTheWall) {
+  ScaleSimulator sim(SummitDeepLab());
+  const auto p256 = sim.SimulateStrongScaling(256, 4096);
+  const auto p1024 = sim.SimulateStrongScaling(1024, 4096);
+  EXPECT_GT(p1024.images_per_sec, p256.images_per_sec);
+  // Time-to-batch shrinks: that is the point of strong scaling when
+  // hyperparameters cap the global batch.
+  EXPECT_LT(p1024.step_seconds, p256.step_seconds);
+}
+
+TEST(StrongScaling, RejectsFewerSamplesThanGpus) {
+  ScaleSimulator sim(SummitDeepLab());
+  EXPECT_THROW((void)sim.SimulateStrongScaling(4096, 1024), Error);
+}
+
+}  // namespace
+}  // namespace exaclim
