@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_plane.dir/bench_control_plane.cpp.o"
+  "CMakeFiles/bench_control_plane.dir/bench_control_plane.cpp.o.d"
+  "bench_control_plane"
+  "bench_control_plane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_plane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_single_gpu.dir/bench_fig2_single_gpu.cpp.o"
+  "CMakeFiles/bench_fig2_single_gpu.dir/bench_fig2_single_gpu.cpp.o.d"
+  "bench_fig2_single_gpu"
+  "bench_fig2_single_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_single_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

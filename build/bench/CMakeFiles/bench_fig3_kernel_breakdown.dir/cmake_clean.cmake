@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_kernel_breakdown.dir/bench_fig3_kernel_breakdown.cpp.o"
+  "CMakeFiles/bench_fig3_kernel_breakdown.dir/bench_fig3_kernel_breakdown.cpp.o.d"
+  "bench_fig3_kernel_breakdown"
+  "bench_fig3_kernel_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_kernel_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_convergence.dir/bench_fig6_convergence.cpp.o"
+  "CMakeFiles/bench_fig6_convergence.dir/bench_fig6_convergence.cpp.o.d"
+  "bench_fig6_convergence"
+  "bench_fig6_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_iou.dir/bench_fig7_iou.cpp.o"
+  "CMakeFiles/bench_fig7_iou.dir/bench_fig7_iou.cpp.o.d"
+  "bench_fig7_iou"
+  "bench_fig7_iou.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_iou.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_comm.dir/bench_micro_comm.cpp.o"
+  "CMakeFiles/bench_micro_comm.dir/bench_micro_comm.cpp.o.d"
+  "bench_micro_comm"
+  "bench_micro_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

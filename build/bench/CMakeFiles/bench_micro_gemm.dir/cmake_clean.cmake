@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gemm.dir/bench_micro_gemm.cpp.o"
+  "CMakeFiles/bench_micro_gemm.dir/bench_micro_gemm.cpp.o.d"
+  "bench_micro_gemm"
+  "bench_micro_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staging_algorithm.dir/bench_staging_algorithm.cpp.o"
+  "CMakeFiles/bench_staging_algorithm.dir/bench_staging_algorithm.cpp.o.d"
+  "bench_staging_algorithm"
+  "bench_staging_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staging_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

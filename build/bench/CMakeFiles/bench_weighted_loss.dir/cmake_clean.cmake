@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weighted_loss.dir/bench_weighted_loss.cpp.o"
+  "CMakeFiles/bench_weighted_loss.dir/bench_weighted_loss.cpp.o.d"
+  "bench_weighted_loss"
+  "bench_weighted_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weighted_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_climate_segmentation.dir/climate_segmentation.cpp.o"
+  "CMakeFiles/example_climate_segmentation.dir/climate_segmentation.cpp.o.d"
+  "example_climate_segmentation"
+  "example_climate_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_climate_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

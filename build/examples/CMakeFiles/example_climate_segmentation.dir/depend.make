@@ -1,0 +1,2 @@
+# Empty dependencies file for example_climate_segmentation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_parallel.dir/model_parallel.cpp.o"
+  "CMakeFiles/example_model_parallel.dir/model_parallel.cpp.o.d"
+  "example_model_parallel"
+  "example_model_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

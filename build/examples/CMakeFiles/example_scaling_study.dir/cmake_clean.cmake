@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scaling_study.dir/scaling_study.cpp.o"
+  "CMakeFiles/example_scaling_study.dir/scaling_study.cpp.o.d"
+  "example_scaling_study"
+  "example_scaling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scaling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

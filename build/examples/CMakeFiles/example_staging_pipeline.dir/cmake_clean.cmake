@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_staging_pipeline.dir/staging_pipeline.cpp.o"
+  "CMakeFiles/example_staging_pipeline.dir/staging_pipeline.cpp.o.d"
+  "example_staging_pipeline"
+  "example_staging_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_staging_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

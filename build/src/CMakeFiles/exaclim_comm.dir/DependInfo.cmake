@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collectives.cpp" "src/CMakeFiles/exaclim_comm.dir/comm/collectives.cpp.o" "gcc" "src/CMakeFiles/exaclim_comm.dir/comm/collectives.cpp.o.d"
+  "/root/repo/src/comm/world.cpp" "src/CMakeFiles/exaclim_comm.dir/comm/world.cpp.o" "gcc" "src/CMakeFiles/exaclim_comm.dir/comm/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

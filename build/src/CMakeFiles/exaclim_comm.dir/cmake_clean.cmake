@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_comm.dir/comm/collectives.cpp.o"
+  "CMakeFiles/exaclim_comm.dir/comm/collectives.cpp.o.d"
+  "CMakeFiles/exaclim_comm.dir/comm/world.cpp.o"
+  "CMakeFiles/exaclim_comm.dir/comm/world.cpp.o.d"
+  "libexaclim_comm.a"
+  "libexaclim_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_common.dir/common/half.cpp.o"
+  "CMakeFiles/exaclim_common.dir/common/half.cpp.o.d"
+  "CMakeFiles/exaclim_common.dir/common/logging.cpp.o"
+  "CMakeFiles/exaclim_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/exaclim_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/exaclim_common.dir/common/thread_pool.cpp.o.d"
+  "libexaclim_common.a"
+  "libexaclim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

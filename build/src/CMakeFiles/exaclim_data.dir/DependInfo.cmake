@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/exaclim_data.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/exaclim_data.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/climate.cpp" "src/CMakeFiles/exaclim_data.dir/data/climate.cpp.o" "gcc" "src/CMakeFiles/exaclim_data.dir/data/climate.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/exaclim_data.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/exaclim_data.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/labeler.cpp" "src/CMakeFiles/exaclim_data.dir/data/labeler.cpp.o" "gcc" "src/CMakeFiles/exaclim_data.dir/data/labeler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_data.dir/data/augment.cpp.o"
+  "CMakeFiles/exaclim_data.dir/data/augment.cpp.o.d"
+  "CMakeFiles/exaclim_data.dir/data/climate.cpp.o"
+  "CMakeFiles/exaclim_data.dir/data/climate.cpp.o.d"
+  "CMakeFiles/exaclim_data.dir/data/dataset.cpp.o"
+  "CMakeFiles/exaclim_data.dir/data/dataset.cpp.o.d"
+  "CMakeFiles/exaclim_data.dir/data/labeler.cpp.o"
+  "CMakeFiles/exaclim_data.dir/data/labeler.cpp.o.d"
+  "libexaclim_data.a"
+  "libexaclim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

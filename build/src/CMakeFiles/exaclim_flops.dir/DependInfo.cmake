@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flops/cost.cpp" "src/CMakeFiles/exaclim_flops.dir/flops/cost.cpp.o" "gcc" "src/CMakeFiles/exaclim_flops.dir/flops/cost.cpp.o.d"
+  "/root/repo/src/flops/opspec.cpp" "src/CMakeFiles/exaclim_flops.dir/flops/opspec.cpp.o" "gcc" "src/CMakeFiles/exaclim_flops.dir/flops/opspec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_flops.dir/flops/cost.cpp.o"
+  "CMakeFiles/exaclim_flops.dir/flops/cost.cpp.o.d"
+  "CMakeFiles/exaclim_flops.dir/flops/opspec.cpp.o"
+  "CMakeFiles/exaclim_flops.dir/flops/opspec.cpp.o.d"
+  "libexaclim_flops.a"
+  "libexaclim_flops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

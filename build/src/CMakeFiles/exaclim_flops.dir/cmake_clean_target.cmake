@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexaclim_flops.a"
+)

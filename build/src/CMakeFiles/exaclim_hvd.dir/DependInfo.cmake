@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hvd/control_plane.cpp" "src/CMakeFiles/exaclim_hvd.dir/hvd/control_plane.cpp.o" "gcc" "src/CMakeFiles/exaclim_hvd.dir/hvd/control_plane.cpp.o.d"
+  "/root/repo/src/hvd/exchanger.cpp" "src/CMakeFiles/exaclim_hvd.dir/hvd/exchanger.cpp.o" "gcc" "src/CMakeFiles/exaclim_hvd.dir/hvd/exchanger.cpp.o.d"
+  "/root/repo/src/hvd/group.cpp" "src/CMakeFiles/exaclim_hvd.dir/hvd/group.cpp.o" "gcc" "src/CMakeFiles/exaclim_hvd.dir/hvd/group.cpp.o.d"
+  "/root/repo/src/hvd/hybrid.cpp" "src/CMakeFiles/exaclim_hvd.dir/hvd/hybrid.cpp.o" "gcc" "src/CMakeFiles/exaclim_hvd.dir/hvd/hybrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_hvd.dir/hvd/control_plane.cpp.o"
+  "CMakeFiles/exaclim_hvd.dir/hvd/control_plane.cpp.o.d"
+  "CMakeFiles/exaclim_hvd.dir/hvd/exchanger.cpp.o"
+  "CMakeFiles/exaclim_hvd.dir/hvd/exchanger.cpp.o.d"
+  "CMakeFiles/exaclim_hvd.dir/hvd/group.cpp.o"
+  "CMakeFiles/exaclim_hvd.dir/hvd/group.cpp.o.d"
+  "CMakeFiles/exaclim_hvd.dir/hvd/hybrid.cpp.o"
+  "CMakeFiles/exaclim_hvd.dir/hvd/hybrid.cpp.o.d"
+  "libexaclim_hvd.a"
+  "libexaclim_hvd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_hvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

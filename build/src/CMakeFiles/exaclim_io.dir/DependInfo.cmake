@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/ncf.cpp" "src/CMakeFiles/exaclim_io.dir/io/ncf.cpp.o" "gcc" "src/CMakeFiles/exaclim_io.dir/io/ncf.cpp.o.d"
+  "/root/repo/src/io/pipeline.cpp" "src/CMakeFiles/exaclim_io.dir/io/pipeline.cpp.o" "gcc" "src/CMakeFiles/exaclim_io.dir/io/pipeline.cpp.o.d"
+  "/root/repo/src/io/sample_io.cpp" "src/CMakeFiles/exaclim_io.dir/io/sample_io.cpp.o" "gcc" "src/CMakeFiles/exaclim_io.dir/io/sample_io.cpp.o.d"
+  "/root/repo/src/io/staging.cpp" "src/CMakeFiles/exaclim_io.dir/io/staging.cpp.o" "gcc" "src/CMakeFiles/exaclim_io.dir/io/staging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

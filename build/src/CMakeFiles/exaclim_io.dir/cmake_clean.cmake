@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_io.dir/io/ncf.cpp.o"
+  "CMakeFiles/exaclim_io.dir/io/ncf.cpp.o.d"
+  "CMakeFiles/exaclim_io.dir/io/pipeline.cpp.o"
+  "CMakeFiles/exaclim_io.dir/io/pipeline.cpp.o.d"
+  "CMakeFiles/exaclim_io.dir/io/sample_io.cpp.o"
+  "CMakeFiles/exaclim_io.dir/io/sample_io.cpp.o.d"
+  "CMakeFiles/exaclim_io.dir/io/staging.cpp.o"
+  "CMakeFiles/exaclim_io.dir/io/staging.cpp.o.d"
+  "libexaclim_io.a"
+  "libexaclim_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

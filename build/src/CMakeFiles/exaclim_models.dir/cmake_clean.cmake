@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_models.dir/models/deeplab.cpp.o"
+  "CMakeFiles/exaclim_models.dir/models/deeplab.cpp.o.d"
+  "CMakeFiles/exaclim_models.dir/models/resnet.cpp.o"
+  "CMakeFiles/exaclim_models.dir/models/resnet.cpp.o.d"
+  "CMakeFiles/exaclim_models.dir/models/tiramisu.cpp.o"
+  "CMakeFiles/exaclim_models.dir/models/tiramisu.cpp.o.d"
+  "libexaclim_models.a"
+  "libexaclim_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event_engine.cpp" "src/CMakeFiles/exaclim_netsim.dir/netsim/event_engine.cpp.o" "gcc" "src/CMakeFiles/exaclim_netsim.dir/netsim/event_engine.cpp.o.d"
+  "/root/repo/src/netsim/machine.cpp" "src/CMakeFiles/exaclim_netsim.dir/netsim/machine.cpp.o" "gcc" "src/CMakeFiles/exaclim_netsim.dir/netsim/machine.cpp.o.d"
+  "/root/repo/src/netsim/roofline.cpp" "src/CMakeFiles/exaclim_netsim.dir/netsim/roofline.cpp.o" "gcc" "src/CMakeFiles/exaclim_netsim.dir/netsim/roofline.cpp.o.d"
+  "/root/repo/src/netsim/scale.cpp" "src/CMakeFiles/exaclim_netsim.dir/netsim/scale.cpp.o" "gcc" "src/CMakeFiles/exaclim_netsim.dir/netsim/scale.cpp.o.d"
+  "/root/repo/src/netsim/throughput_series.cpp" "src/CMakeFiles/exaclim_netsim.dir/netsim/throughput_series.cpp.o" "gcc" "src/CMakeFiles/exaclim_netsim.dir/netsim/throughput_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_flops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_hvd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

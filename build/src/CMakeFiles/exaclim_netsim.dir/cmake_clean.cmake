@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_netsim.dir/netsim/event_engine.cpp.o"
+  "CMakeFiles/exaclim_netsim.dir/netsim/event_engine.cpp.o.d"
+  "CMakeFiles/exaclim_netsim.dir/netsim/machine.cpp.o"
+  "CMakeFiles/exaclim_netsim.dir/netsim/machine.cpp.o.d"
+  "CMakeFiles/exaclim_netsim.dir/netsim/roofline.cpp.o"
+  "CMakeFiles/exaclim_netsim.dir/netsim/roofline.cpp.o.d"
+  "CMakeFiles/exaclim_netsim.dir/netsim/scale.cpp.o"
+  "CMakeFiles/exaclim_netsim.dir/netsim/scale.cpp.o.d"
+  "CMakeFiles/exaclim_netsim.dir/netsim/throughput_series.cpp.o"
+  "CMakeFiles/exaclim_netsim.dir/netsim/throughput_series.cpp.o.d"
+  "libexaclim_netsim.a"
+  "libexaclim_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

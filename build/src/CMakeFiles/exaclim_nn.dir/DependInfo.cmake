@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/combine.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/combine.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/combine.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/im2col.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/im2col.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/norm.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/norm.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/CMakeFiles/exaclim_nn.dir/nn/pool.cpp.o" "gcc" "src/CMakeFiles/exaclim_nn.dir/nn/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

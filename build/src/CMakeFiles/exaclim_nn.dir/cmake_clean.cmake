@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_nn.dir/nn/activation.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/activation.cpp.o.d"
+  "CMakeFiles/exaclim_nn.dir/nn/combine.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/combine.cpp.o.d"
+  "CMakeFiles/exaclim_nn.dir/nn/conv.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/conv.cpp.o.d"
+  "CMakeFiles/exaclim_nn.dir/nn/im2col.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/im2col.cpp.o.d"
+  "CMakeFiles/exaclim_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/exaclim_nn.dir/nn/norm.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/norm.cpp.o.d"
+  "CMakeFiles/exaclim_nn.dir/nn/pool.cpp.o"
+  "CMakeFiles/exaclim_nn.dir/nn/pool.cpp.o.d"
+  "libexaclim_nn.a"
+  "libexaclim_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

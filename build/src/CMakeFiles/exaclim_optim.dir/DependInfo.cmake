@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optim/lag.cpp" "src/CMakeFiles/exaclim_optim.dir/optim/lag.cpp.o" "gcc" "src/CMakeFiles/exaclim_optim.dir/optim/lag.cpp.o.d"
+  "/root/repo/src/optim/larc.cpp" "src/CMakeFiles/exaclim_optim.dir/optim/larc.cpp.o" "gcc" "src/CMakeFiles/exaclim_optim.dir/optim/larc.cpp.o.d"
+  "/root/repo/src/optim/optimizer.cpp" "src/CMakeFiles/exaclim_optim.dir/optim/optimizer.cpp.o" "gcc" "src/CMakeFiles/exaclim_optim.dir/optim/optimizer.cpp.o.d"
+  "/root/repo/src/optim/schedule.cpp" "src/CMakeFiles/exaclim_optim.dir/optim/schedule.cpp.o" "gcc" "src/CMakeFiles/exaclim_optim.dir/optim/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

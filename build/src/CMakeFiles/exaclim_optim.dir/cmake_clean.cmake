@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_optim.dir/optim/lag.cpp.o"
+  "CMakeFiles/exaclim_optim.dir/optim/lag.cpp.o.d"
+  "CMakeFiles/exaclim_optim.dir/optim/larc.cpp.o"
+  "CMakeFiles/exaclim_optim.dir/optim/larc.cpp.o.d"
+  "CMakeFiles/exaclim_optim.dir/optim/optimizer.cpp.o"
+  "CMakeFiles/exaclim_optim.dir/optim/optimizer.cpp.o.d"
+  "CMakeFiles/exaclim_optim.dir/optim/schedule.cpp.o"
+  "CMakeFiles/exaclim_optim.dir/optim/schedule.cpp.o.d"
+  "libexaclim_optim.a"
+  "libexaclim_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

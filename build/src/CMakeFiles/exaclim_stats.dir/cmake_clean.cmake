@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_stats.dir/stats/stats.cpp.o"
+  "CMakeFiles/exaclim_stats.dir/stats/stats.cpp.o.d"
+  "libexaclim_stats.a"
+  "libexaclim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/cast.cpp" "src/CMakeFiles/exaclim_tensor.dir/tensor/cast.cpp.o" "gcc" "src/CMakeFiles/exaclim_tensor.dir/tensor/cast.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/CMakeFiles/exaclim_tensor.dir/tensor/gemm.cpp.o" "gcc" "src/CMakeFiles/exaclim_tensor.dir/tensor/gemm.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/exaclim_tensor.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/exaclim_tensor.dir/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_tensor.dir/tensor/cast.cpp.o"
+  "CMakeFiles/exaclim_tensor.dir/tensor/cast.cpp.o.d"
+  "CMakeFiles/exaclim_tensor.dir/tensor/gemm.cpp.o"
+  "CMakeFiles/exaclim_tensor.dir/tensor/gemm.cpp.o.d"
+  "CMakeFiles/exaclim_tensor.dir/tensor/tensor.cpp.o"
+  "CMakeFiles/exaclim_tensor.dir/tensor/tensor.cpp.o.d"
+  "libexaclim_tensor.a"
+  "libexaclim_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exaclim_train.dir/train/checkpoint.cpp.o"
+  "CMakeFiles/exaclim_train.dir/train/checkpoint.cpp.o.d"
+  "CMakeFiles/exaclim_train.dir/train/epoch.cpp.o"
+  "CMakeFiles/exaclim_train.dir/train/epoch.cpp.o.d"
+  "CMakeFiles/exaclim_train.dir/train/spatial_parallel.cpp.o"
+  "CMakeFiles/exaclim_train.dir/train/spatial_parallel.cpp.o.d"
+  "CMakeFiles/exaclim_train.dir/train/trainer.cpp.o"
+  "CMakeFiles/exaclim_train.dir/train/trainer.cpp.o.d"
+  "libexaclim_train.a"
+  "libexaclim_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exaclim_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_augment.dir/test_checkpoint_augment.cpp.o"
+  "CMakeFiles/test_checkpoint_augment.dir/test_checkpoint_augment.cpp.o.d"
+  "test_checkpoint_augment"
+  "test_checkpoint_augment.pdb"
+  "test_checkpoint_augment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_checkpoint_augment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_conv_algorithms.cpp" "tests/CMakeFiles/test_conv_algorithms.dir/test_conv_algorithms.cpp.o" "gcc" "tests/CMakeFiles/test_conv_algorithms.dir/test_conv_algorithms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/exaclim_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_flops.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_hvd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/exaclim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv_algorithms.dir/test_conv_algorithms.cpp.o"
+  "CMakeFiles/test_conv_algorithms.dir/test_conv_algorithms.cpp.o.d"
+  "test_conv_algorithms"
+  "test_conv_algorithms.pdb"
+  "test_conv_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

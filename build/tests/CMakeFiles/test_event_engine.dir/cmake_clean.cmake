@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_engine.dir/test_event_engine.cpp.o"
+  "CMakeFiles/test_event_engine.dir/test_event_engine.cpp.o.d"
+  "test_event_engine"
+  "test_event_engine.pdb"
+  "test_event_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

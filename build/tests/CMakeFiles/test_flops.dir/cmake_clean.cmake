@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flops.dir/test_flops.cpp.o"
+  "CMakeFiles/test_flops.dir/test_flops.cpp.o.d"
+  "test_flops"
+  "test_flops.pdb"
+  "test_flops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

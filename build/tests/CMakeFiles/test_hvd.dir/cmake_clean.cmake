@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hvd.dir/test_hvd.cpp.o"
+  "CMakeFiles/test_hvd.dir/test_hvd.cpp.o.d"
+  "test_hvd"
+  "test_hvd.pdb"
+  "test_hvd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hvd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

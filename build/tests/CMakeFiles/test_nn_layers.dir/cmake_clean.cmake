@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_layers.dir/test_nn_layers.cpp.o"
+  "CMakeFiles/test_nn_layers.dir/test_nn_layers.cpp.o.d"
+  "test_nn_layers"
+  "test_nn_layers.pdb"
+  "test_nn_layers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_loss.dir/test_nn_loss.cpp.o"
+  "CMakeFiles/test_nn_loss.dir/test_nn_loss.cpp.o.d"
+  "test_nn_loss"
+  "test_nn_loss.pdb"
+  "test_nn_loss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optim.dir/test_optim.cpp.o"
+  "CMakeFiles/test_optim.dir/test_optim.cpp.o.d"
+  "test_optim"
+  "test_optim.pdb"
+  "test_optim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spatial_parallel.dir/test_spatial_parallel.cpp.o"
+  "CMakeFiles/test_spatial_parallel.dir/test_spatial_parallel.cpp.o.d"
+  "test_spatial_parallel"
+  "test_spatial_parallel.pdb"
+  "test_spatial_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spatial_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

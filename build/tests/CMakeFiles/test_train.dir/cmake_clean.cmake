@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train.dir/test_train.cpp.o"
+  "CMakeFiles/test_train.dir/test_train.cpp.o.d"
+  "test_train"
+  "test_train.pdb"
+  "test_train[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

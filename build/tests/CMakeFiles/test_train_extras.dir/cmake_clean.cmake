@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_train_extras.dir/test_train_extras.cpp.o"
+  "CMakeFiles/test_train_extras.dir/test_train_extras.cpp.o.d"
+  "test_train_extras"
+  "test_train_extras.pdb"
+  "test_train_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_train_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

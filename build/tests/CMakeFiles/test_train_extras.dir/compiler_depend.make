@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_train_extras.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_checkpoint_augment[1]_include.cmake")
+include("/root/repo/build/tests/test_comm[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_conv_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_event_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_flops[1]_include.cmake")
+include("/root/repo/build/tests/test_hvd[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_netsim[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_loss[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_spatial_parallel[1]_include.cmake")
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_throughput_series[1]_include.cmake")
+include("/root/repo/build/tests/test_train[1]_include.cmake")
+include("/root/repo/build/tests/test_train_extras[1]_include.cmake")
