@@ -8,7 +8,6 @@
 //    exceeds consumption rate, the "GPU" never waits.
 
 #include <chrono>
-#include <mutex>
 #include <cstdio>
 #include <filesystem>
 #include <thread>
@@ -36,15 +35,21 @@ double RunPipeline(const std::vector<fs::path>& paths, int workers,
                                  paths.size()];
         // Under the HDF5-style lock, read AND decode serialise (the
         // library holds its global lock across the whole operation).
-        std::unique_lock<std::mutex> lock;
-        if (global_lock) lock = std::unique_lock(NcfGlobalLock());
-        const ClimateSample s = ReadSampleFile(path, /*use_global_lock=*/false);
-        std::this_thread::sleep_for(std::chrono::milliseconds(2));
-        Batch b;
-        b.fields = s.fields.Reshaped(TensorShape::NCHW(
-            1, kNumClimateChannels, s.height, s.width));
-        b.labels = s.labels;
-        return b;
+        const auto read_one = [&] {
+          const ClimateSample s =
+              ReadSampleFile(path, /*use_global_lock=*/false);
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          Batch b;
+          b.fields = s.fields.Reshaped(TensorShape::NCHW(
+              1, kNumClimateChannels, s.height, s.width));
+          b.labels = s.labels;
+          return b;
+        };
+        if (global_lock) {
+          MutexLock lock(NcfGlobalLock());
+          return read_one();
+        }
+        return read_one();
       },
       total, {.workers = workers, .prefetch_depth = 8});
   std::int64_t count = 0;

@@ -58,15 +58,15 @@ SimWorld::~SimWorld() = default;
 void SimWorld::Deliver(int dst, Message message) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   {
-    std::lock_guard lock(box.mutex);
+    MutexLock lock(box.mutex);
     box.messages.push_back(std::move(message));
   }
-  box.cv.notify_all();
+  box.cv.NotifyAll();
 }
 
 SimWorld::Message SimWorld::Take(int dst, int src, int tag) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
-  std::unique_lock lock(box.mutex);
+  MutexLock lock(box.mutex);
   for (;;) {
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if ((src == kAnySource || it->src == src) && it->tag == tag) {
@@ -80,14 +80,14 @@ SimWorld::Message SimWorld::Take(int dst, int src, int tag) {
                   ": world poisoned while waiting for message (src=" +
                   std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
     }
-    box.cv.wait(lock);
+    box.cv.Wait(lock);
   }
 }
 
 void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
   // Reset poison/counters from any previous run.
   for (auto& box : mailboxes_) {
-    std::lock_guard lock(box->mutex);
+    MutexLock lock(box->mutex);
     box->poisoned = false;
   }
   std::vector<Communicator> comms;
@@ -107,10 +107,10 @@ void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
         // deadlocking on a rank that died.
         for (auto& box : mailboxes_) {
           {
-            std::lock_guard lock(box->mutex);
+            MutexLock lock(box->mutex);
             box->poisoned = true;
           }
-          box->cv.notify_all();
+          box->cv.NotifyAll();
         }
       }
     });
@@ -125,7 +125,7 @@ void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
   }
   // Drain any leftover messages (e.g. from an aborted run).
   for (auto& box : mailboxes_) {
-    std::lock_guard lock(box->mutex);
+    MutexLock lock(box->mutex);
     box->messages.clear();
   }
   for (auto& error : errors) {

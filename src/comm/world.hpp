@@ -1,15 +1,16 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace exaclim {
 
@@ -107,10 +108,10 @@ class SimWorld {
   };
 
   struct Mailbox {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> messages;
-    bool poisoned = false;
+    Mutex mutex;
+    CondVar cv;
+    std::deque<Message> messages EXACLIM_GUARDED_BY(mutex);
+    bool poisoned EXACLIM_GUARDED_BY(mutex) = false;
   };
 
   void Deliver(int dst, Message message);

@@ -40,12 +40,46 @@ class CheckMessageBuilder {
 
 /// Precondition/invariant check: throws exaclim::Error with context on
 /// failure. Usable in both library and test code; always enabled.
+///
+/// `expr` is evaluated exactly once (stringification via #expr does not
+/// evaluate); `msg` operands are evaluated only on the failure path. The
+/// failure branch ends in the [[noreturn]] raise(), so the compiler knows
+/// control never continues past a failed check.
 #define EXACLIM_CHECK(expr, msg)                                            \
   do {                                                                      \
-    if (!(expr)) {                                                          \
+    if (!(expr)) [[unlikely]] {                                             \
       ::exaclim::detail::CheckMessageBuilder builder(#expr, __FILE__,       \
                                                      __LINE__);             \
       builder << msg; /* NOLINT */                                          \
       builder.raise();                                                      \
     }                                                                       \
   } while (false)
+
+/// Unconditional failure for unreachable code paths. Unlike
+/// EXACLIM_CHECK(false, ...) the expansion is a single statement whose
+/// tail is [[noreturn]], so callers need no dead `return`/`throw` after
+/// it to satisfy -Wreturn-type.
+#define EXACLIM_FATAL(msg)                                                  \
+  do {                                                                      \
+    ::exaclim::detail::CheckMessageBuilder builder("fatal", __FILE__,       \
+                                                   __LINE__);               \
+    builder << msg; /* NOLINT */                                            \
+    builder.raise();                                                        \
+  } while (false)
+
+/// Debug-only check: identical to EXACLIM_CHECK in Debug builds
+/// (including the sanitizer presets), compiled out in Release — the
+/// condition is NOT evaluated there, so it must be side-effect free.
+/// Define EXACLIM_FORCE_DCHECKS to keep them in optimized builds.
+#if !defined(NDEBUG) || defined(EXACLIM_FORCE_DCHECKS)
+#define EXACLIM_DCHECK_ENABLED 1
+#define EXACLIM_DCHECK(expr, msg) EXACLIM_CHECK(expr, msg)
+#else
+#define EXACLIM_DCHECK_ENABLED 0
+#define EXACLIM_DCHECK(expr, msg)                                           \
+  do {                                                                      \
+    if (false) {                                                            \
+      static_cast<void>(expr); /* compile, never run */                     \
+    }                                                                       \
+  } while (false)
+#endif

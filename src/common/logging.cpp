@@ -3,13 +3,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.hpp"
 
 namespace exaclim {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,7 +33,7 @@ void LogMessage(LogLevel level, const std::string& message) {
   static const Clock::time_point start = Clock::now();
   const double t =
       std::chrono::duration<double>(Clock::now() - start).count();
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   std::fprintf(stderr, "[%8.3f %-5s] %s\n", t, LevelName(level),
                message.c_str());
 }

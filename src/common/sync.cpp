@@ -1,0 +1,76 @@
+#include "common/sync.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace detail {
+
+#if EXACLIM_DCHECK_ENABLED
+
+namespace {
+// Ranks of the ranked mutexes the calling thread currently holds, in
+// acquisition order. Unranked mutexes (rank < 0) are not tracked.
+thread_local std::vector<int> t_held_ranks;
+}  // namespace
+
+void NoteLockAcquired(int rank) {
+  if (rank < 0) return;
+  if (!t_held_ranks.empty()) {
+    const int deepest = t_held_ranks.back();
+    EXACLIM_CHECK(rank > deepest,
+                  "lock-order violation: acquiring mutex rank "
+                      << rank << " while holding rank " << deepest
+                      << " (ranked mutexes must be taken in increasing "
+                         "rank order)");
+  }
+  t_held_ranks.push_back(rank);
+}
+
+void NoteLockRecorded(int rank) {
+  if (rank < 0) return;
+  t_held_ranks.push_back(rank);
+}
+
+void NoteLockReleased(int rank) {
+  if (rank < 0) return;
+  // Locks are usually released LIFO, but out-of-order release is legal —
+  // erase the most recent matching entry.
+  const auto it =
+      std::find(t_held_ranks.rbegin(), t_held_ranks.rend(), rank);
+  EXACLIM_CHECK(it != t_held_ranks.rend(),
+                "releasing mutex rank " << rank << " not held by thread");
+  t_held_ranks.erase(std::next(it).base());
+}
+
+int HeldRankedLocks() { return static_cast<int>(t_held_ranks.size()); }
+
+#else  // !EXACLIM_DCHECK_ENABLED
+
+void NoteLockAcquired(int) {}
+void NoteLockRecorded(int) {}
+void NoteLockReleased(int) {}
+int HeldRankedLocks() { return 0; }
+
+#endif
+
+}  // namespace detail
+
+#if EXACLIM_DCHECK_ENABLED
+
+ReentrancyGuard::Scope::Scope(ReentrancyGuard& guard, const char* where)
+    : guard_(guard) {
+  EXACLIM_CHECK(!guard_.busy_.exchange(true, std::memory_order_acq_rel),
+                "reentrant/concurrent call into " << where
+                << " on an object documented as single-caller");
+}
+
+ReentrancyGuard::Scope::~Scope() {
+  guard_.busy_.store(false, std::memory_order_release);
+}
+
+#endif  // EXACLIM_DCHECK_ENABLED
+
+}  // namespace exaclim

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/thread_annotations.hpp"
+
+// Debug-only lock-order bookkeeping; compiles to nothing in Release so
+// Mutex is exactly a std::mutex on the hot path. The acquire note runs
+// BEFORE the underlying lock (it checks acquisition *intent*, which is
+// what deadlock ordering is about), so a violation throws with the mutex
+// untouched.
+#if EXACLIM_DCHECK_ENABLED
+#define EXACLIM_NOTE_LOCK_INTENT(rank) \
+  ::exaclim::detail::NoteLockAcquired(rank)
+#define EXACLIM_NOTE_LOCK_RECORDED(rank) \
+  ::exaclim::detail::NoteLockRecorded(rank)
+#define EXACLIM_NOTE_LOCK_RELEASED(rank) \
+  ::exaclim::detail::NoteLockReleased(rank)
+#else
+#define EXACLIM_NOTE_LOCK_INTENT(rank) static_cast<void>(0)
+#define EXACLIM_NOTE_LOCK_RECORDED(rank) static_cast<void>(0)
+#define EXACLIM_NOTE_LOCK_RELEASED(rank) static_cast<void>(0)
+#endif
+
+namespace exaclim {
+
+namespace detail {
+// Debug-build lock-order checker (see sync.cpp). Every Mutex constructed
+// with a non-negative rank participates: a thread may only acquire a
+// ranked mutex whose rank is strictly greater than every ranked mutex it
+// already holds, so any potential cyclic lock order trips an
+// exaclim::Error deterministically instead of deadlocking rarely.
+// Compiled to no-ops in Release.
+void NoteLockAcquired(int rank);
+// Records a hold without the order check — for try-locks, which never
+// block and therefore cannot deadlock.
+void NoteLockRecorded(int rank);
+void NoteLockReleased(int rank);
+// Number of ranked locks the calling thread currently holds (test hook).
+int HeldRankedLocks();
+}  // namespace detail
+
+/// Annotated mutex. The only mutex type allowed outside this header
+/// (tools/lint.py enforces the rule) — wrapping std::mutex here is what
+/// lets Clang's -Wthread-safety prove every EXACLIM_GUARDED_BY field is
+/// accessed under its lock.
+class EXACLIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  /// A mutex with a lock-order rank. Debug builds enforce that ranked
+  /// mutexes are always acquired in strictly increasing rank order.
+  explicit Mutex(int rank) : rank_(rank) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() EXACLIM_ACQUIRE() {
+    EXACLIM_NOTE_LOCK_INTENT(rank_);
+    mu_.lock();
+  }
+
+  void Unlock() EXACLIM_RELEASE() {
+    EXACLIM_NOTE_LOCK_RELEASED(rank_);
+    mu_.unlock();
+  }
+
+  bool TryLock() EXACLIM_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    EXACLIM_NOTE_LOCK_RECORDED(rank_);
+    return true;
+  }
+
+  int rank() const { return rank_; }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+  const int rank_ = -1;  // -1 = unranked, exempt from order checking
+};
+
+/// RAII scoped lock over Mutex (std::lock_guard/std::unique_lock stand-in
+/// that the thread-safety analysis understands). Also the handle CondVar
+/// waits on, so waits go through std::condition_variable's fast path.
+class EXACLIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) EXACLIM_ACQUIRE(mu)
+      // Comma operand: note the acquisition intent before blocking on
+      // the mutex, so an order violation throws without holding it.
+      : mu_(mu), lock_((EXACLIM_NOTE_LOCK_INTENT(mu.rank()), mu.mu_)) {}
+
+  ~MutexLock() EXACLIM_RELEASE() {
+    EXACLIM_NOTE_LOCK_RELEASED(mu_.rank());
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock.
+///
+/// Call sites should spell the wait loop out so the analysis sees the
+/// guarded reads happen under the lock:
+///
+///   MutexLock lock(mu_);
+///   while (queue_.empty() && !stop_) cv_.Wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, and reacquires before return.
+  /// (The lock-order bookkeeping treats the hold as continuous: a wait
+  /// neither releases nor re-checks the rank, matching the invariant
+  /// that the caller still logically owns the mutex.)
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  /// Convenience predicate wait for un-annotated call sites (tests,
+  /// lambdas); annotated classes should prefer the explicit loop form.
+  template <typename Pred>
+  void Wait(MutexLock& lock, Pred&& pred) {
+    while (!pred()) Wait(lock);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Debug-build reentrancy detector for classes that are intentionally NOT
+/// thread-safe (one instance per rank/thread by design, e.g.
+/// GradientExchanger). Embed one and guard each entry point with
+/// EXACLIM_REENTRANCY_SCOPE; concurrent entry trips an exaclim::Error
+/// instead of silently corrupting state. Zero-size-ish and inert in
+/// Release.
+class ReentrancyGuard {
+ public:
+#if EXACLIM_DCHECK_ENABLED
+  class Scope {
+   public:
+    explicit Scope(ReentrancyGuard& guard, const char* where);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ReentrancyGuard& guard_;
+  };
+
+ private:
+  friend class Scope;
+  std::atomic<bool> busy_{false};
+#else
+  class Scope {
+   public:
+    explicit Scope(ReentrancyGuard&, const char*) {}
+  };
+#endif
+};
+
+#define EXACLIM_REENTRANCY_SCOPE(guard)                          \
+  ::exaclim::ReentrancyGuard::Scope exaclim_reentrancy_scope_( \
+      guard, __func__)
+
+}  // namespace exaclim

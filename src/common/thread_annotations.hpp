@@ -1,0 +1,78 @@
+#pragma once
+
+// Clang thread-safety-analysis attribute macros (no-ops on GCC/MSVC).
+//
+// Annotate shared state with the mutex that guards it and let the
+// compiler prove every access is made under that mutex:
+//
+//   exaclim::Mutex mu_;
+//   std::deque<Task> queue_ EXACLIM_GUARDED_BY(mu_);
+//
+//   void Push(Task t) {
+//     MutexLock lock(mu_);   // SCOPED_CAPABILITY — analysis sees the hold
+//     queue_.push_back(std::move(t));
+//   }
+//
+// Build with Clang and -Werror=thread-safety (wired up automatically by
+// the top-level CMakeLists) to turn missed-lock bugs into compile errors.
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html.
+
+#if defined(__clang__) && !defined(EXACLIM_NO_THREAD_SAFETY_ANALYSIS)
+#define EXACLIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EXACLIM_THREAD_ANNOTATION(x)
+#endif
+
+// On a class: instances of this type are lockable capabilities.
+#define EXACLIM_CAPABILITY(name) EXACLIM_THREAD_ANNOTATION(capability(name))
+
+// On a class: RAII object that acquires a capability at construction and
+// releases it at destruction (std::lock_guard-style).
+#define EXACLIM_SCOPED_CAPABILITY EXACLIM_THREAD_ANNOTATION(scoped_lockable)
+
+// On a data member: may only be read/written while holding `mu`.
+#define EXACLIM_GUARDED_BY(mu) EXACLIM_THREAD_ANNOTATION(guarded_by(mu))
+
+// On a pointer member: the pointed-to data is guarded by `mu`.
+#define EXACLIM_PT_GUARDED_BY(mu) EXACLIM_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+// On a function: caller must hold the listed capabilities (exclusively /
+// shared) for the duration of the call.
+#define EXACLIM_REQUIRES(...) \
+  EXACLIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EXACLIM_REQUIRES_SHARED(...) \
+  EXACLIM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+// On a function: acquires / releases the listed capabilities.
+#define EXACLIM_ACQUIRE(...) \
+  EXACLIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EXACLIM_ACQUIRE_SHARED(...) \
+  EXACLIM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define EXACLIM_RELEASE(...) \
+  EXACLIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EXACLIM_RELEASE_SHARED(...) \
+  EXACLIM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+// On a function: attempts acquisition; holds the capability iff the
+// return value equals `ret`.
+#define EXACLIM_TRY_ACQUIRE(ret, ...) \
+  EXACLIM_THREAD_ANNOTATION(try_acquire_capability(ret, __VA_ARGS__))
+
+// On a function: caller must NOT hold the listed capabilities (deadlock
+// prevention for functions that acquire them internally).
+#define EXACLIM_EXCLUDES(...) \
+  EXACLIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// On a function: returns a reference to the named capability.
+#define EXACLIM_RETURN_CAPABILITY(x) \
+  EXACLIM_THREAD_ANNOTATION(lock_returned(x))
+
+// On a function: asserts (at runtime) that the capability is already
+// held; informs the analysis without acquiring.
+#define EXACLIM_ASSERT_CAPABILITY(...) \
+  EXACLIM_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+// Escape hatch — use sparingly and leave a comment explaining why the
+// analysis cannot see the invariant.
+#define EXACLIM_NO_THREAD_SAFETY_ANALYSIS_ATTR \
+  EXACLIM_THREAD_ANNOTATION(no_thread_safety_analysis)

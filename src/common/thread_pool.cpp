@@ -1,9 +1,45 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace exaclim {
+
+namespace {
+
+/// Completion latch for one ParallelFor call. Heap-allocated and shared
+/// with every enqueued block so that a worker finishing the final block
+/// can still touch it after the caller's stack frame is gone — the caller
+/// may observe remaining == 0 and return while that worker is still
+/// inside NotifyAll (the classic waiting-destruction race; TSan flagged
+/// the stack-allocated predecessor).
+struct ForkJoinLatch {
+  Mutex mutex;
+  CondVar cv;
+  std::size_t remaining EXACLIM_GUARDED_BY(mutex);
+
+  explicit ForkJoinLatch(std::size_t n) : remaining(n) {}
+
+  void CountDown() EXACLIM_EXCLUDES(mutex) {
+    bool last = false;
+    {
+      MutexLock lock(mutex);
+      EXACLIM_DCHECK(remaining > 0, "latch counted below zero");
+      last = --remaining == 0;
+    }
+    if (last) cv.NotifyAll();
+  }
+
+  void Await() EXACLIM_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    while (remaining != 0) cv.Wait(lock);
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -19,22 +55,32 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::CheckQueueInvariants() const {
+  EXACLIM_DCHECK(dequeued_ <= enqueued_,
+                 "dequeued " << dequeued_ << " > enqueued " << enqueued_);
+  EXACLIM_DCHECK(tasks_.size() == enqueued_ - dequeued_,
+                 "queue holds " << tasks_.size() << " tasks but accounting "
+                                << "says " << (enqueued_ - dequeued_));
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(lock);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      ++dequeued_;
+      CheckQueueInvariants();
     }
     task();
   }
@@ -55,32 +101,30 @@ void ThreadPool::ParallelFor(
   }
 
   const std::size_t chunk = (total + blocks - 1) / blocks;
-  std::atomic<std::size_t> remaining{blocks - 1};
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  auto latch = std::make_shared<ForkJoinLatch>(blocks - 1);
 
-  for (std::size_t b = 1; b < blocks; ++b) {
-    const std::size_t lo = begin + b * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    {
-      std::lock_guard lock(mutex_);
-      tasks_.push([&, lo, hi] {
+  {
+    MutexLock lock(mutex_);
+    EXACLIM_DCHECK(!stop_, "ParallelFor on a stopped pool");
+    for (std::size_t b = 1; b < blocks; ++b) {
+      const std::size_t lo = begin + b * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      // `fn` is captured by reference: Await() below keeps the caller's
+      // frame alive until every block has finished running it. The latch
+      // is captured by value so stragglers inside CountDown stay safe.
+      tasks_.push([&fn, latch, lo, hi] {
         fn(lo, hi);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard done_lock(done_mutex);
-          done_cv.notify_one();
-        }
+        latch->CountDown();
       });
+      ++enqueued_;
     }
+    CheckQueueInvariants();
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   // The caller runs the first block itself, then waits out the rest.
   fn(begin, std::min(end, begin + chunk));
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] {
-    return remaining.load(std::memory_order_acquire) == 0;
-  });
+  latch->Await();
 }
 
 ThreadPool& ThreadPool::Global() {

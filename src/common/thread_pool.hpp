@@ -1,12 +1,13 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace exaclim {
 
@@ -31,19 +32,25 @@ class ThreadPool {
   /// `grain` is the minimum block size worth shipping to a worker.
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t, std::size_t)>& fn,
-                   std::size_t grain = 1024);
+                   std::size_t grain = 1024) EXACLIM_EXCLUDES(mutex_);
 
   /// Process-wide pool shared by tensor kernels.
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXACLIM_EXCLUDES(mutex_);
+
+  // Debug-build queue invariants; no-op in Release.
+  void CheckQueueInvariants() const EXACLIM_REQUIRES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar cv_;
+  std::queue<std::function<void()>> tasks_ EXACLIM_GUARDED_BY(mutex_);
+  bool stop_ EXACLIM_GUARDED_BY(mutex_) = false;
+  // Debug-build queue accounting: tasks_.size() == enqueued_ - dequeued_.
+  std::size_t enqueued_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::size_t dequeued_ EXACLIM_GUARDED_BY(mutex_) = 0;
 };
 
 /// Convenience wrapper over ThreadPool::Global().ParallelFor.

@@ -11,6 +11,21 @@ namespace {
 constexpr int kTagReady = 9100;
 constexpr int kTagOrder = 9101;
 
+// Debug-build postcondition shared by both control planes: the agreed
+// order must be a permutation of this rank's ready set, otherwise ranks
+// would launch collectives for mismatched tensors and deadlock.
+void DCheckIsPermutation([[maybe_unused]] std::span<const int> ready_ids,
+                         [[maybe_unused]] std::span<const int> order) {
+#if EXACLIM_DCHECK_ENABLED
+  std::vector<int> a(ready_ids.begin(), ready_ids.end());
+  std::vector<int> b(order.begin(), order.end());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXACLIM_DCHECK(a == b,
+                 "negotiated order is not a permutation of the ready set");
+#endif
+}
+
 }  // namespace
 
 // ---------------------------------------------------- FlatControlPlane --
@@ -45,6 +60,7 @@ std::vector<int> FlatControlPlane::NegotiateOrder(
   for (int r = 1; r < p; ++r) {
     comm.SendT(r, kTagOrder, std::span<const int>(order));
   }
+  DCheckIsPermutation(ready_ids, order);
   return order;
 }
 
@@ -107,6 +123,7 @@ std::vector<int> HierarchicalControlPlane::NegotiateOrder(
   for (const int child : children) {
     comm.SendT(child, kTagOrder, std::span<const int>(order));
   }
+  DCheckIsPermutation(ready_ids, order);
   return order;
 }
 

@@ -26,6 +26,7 @@ GradientExchanger::GradientExchanger(const ExchangerOptions& opts,
 
 void GradientExchanger::Exchange(Communicator& comm,
                                  const std::vector<Param*>& params) {
+  EXACLIM_REENTRANCY_SCOPE(reentrancy_);
   const auto n = static_cast<int>(params.size());
   last_tensors_ = n;
   last_fused_buffers_ = 0;

@@ -5,6 +5,7 @@
 
 #include "comm/world.hpp"
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "hvd/control_plane.hpp"
 #include "hvd/hybrid.hpp"
 #include "nn/layer.hpp"
@@ -66,6 +67,10 @@ class GradientExchanger {
   std::int64_t last_fused_buffers_ = 0;
   std::int64_t last_tensors_ = 0;
   int step_ = 0;
+  // One exchanger per rank by design; Debug builds trap two threads
+  // calling Exchange on the same instance (which would corrupt rng_ and
+  // the step counter without any TSan-visible lock).
+  ReentrancyGuard reentrancy_;
 };
 
 }  // namespace exaclim

@@ -25,8 +25,8 @@ T ReadScalar(std::ifstream& in) {
 
 }  // namespace
 
-std::mutex& NcfGlobalLock() {
-  static std::mutex lock;
+Mutex& NcfGlobalLock() {
+  static Mutex lock;
   return lock;
 }
 
@@ -129,8 +129,7 @@ std::int64_t NcfReader::Count(const std::string& name) const {
   for (const Entry& e : entries_) {
     if (e.name == name) return e.count;
   }
-  EXACLIM_CHECK(false, "no dataset named " << name << " in " << path_);
-  return 0;
+  EXACLIM_FATAL("no dataset named " << name << " in " << path_);
 }
 
 const NcfReader::Entry& NcfReader::Find(const std::string& name,
@@ -142,16 +141,20 @@ const NcfReader::Entry& NcfReader::Find(const std::string& name,
       return e;
     }
   }
-  EXACLIM_CHECK(false, "no dataset named " << name << " in " << path_);
-  throw Error("unreachable");
+  EXACLIM_FATAL("no dataset named " << name << " in " << path_);
 }
 
 std::vector<std::uint8_t> NcfReader::ReadPayload(const Entry& entry,
                                                  std::size_t elem_size) const {
-  std::unique_lock<std::mutex> lock;
   if (use_global_lock_) {
-    lock = std::unique_lock(NcfGlobalLock());
+    MutexLock lock(NcfGlobalLock());
+    return ReadPayloadUnlocked(entry, elem_size);
   }
+  return ReadPayloadUnlocked(entry, elem_size);
+}
+
+std::vector<std::uint8_t> NcfReader::ReadPayloadUnlocked(
+    const Entry& entry, std::size_t elem_size) const {
   std::ifstream in(path_, std::ios::binary);
   EXACLIM_CHECK(in.good(), "cannot open " << path_);
   std::vector<std::uint8_t> payload(

@@ -1,11 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <filesystem>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace exaclim {
 
@@ -23,7 +24,7 @@ namespace exaclim {
 /// The process-wide serialisation lock used by NcfReader's global-lock
 /// mode. Exposed so callers can emulate holding the HDF5 library lock
 /// across read *and* decode (the full Sec V-A2 pathology).
-std::mutex& NcfGlobalLock();
+Mutex& NcfGlobalLock();
 
 class NcfWriter {
  public:
@@ -70,6 +71,8 @@ class NcfReader {
   const Entry& Find(const std::string& name, int dtype) const;
   std::vector<std::uint8_t> ReadPayload(const Entry& entry,
                                         std::size_t elem_size) const;
+  std::vector<std::uint8_t> ReadPayloadUnlocked(const Entry& entry,
+                                                std::size_t elem_size) const;
 
   std::filesystem::path path_;
   bool use_global_lock_;

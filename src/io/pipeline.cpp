@@ -17,60 +17,89 @@ InputPipeline::InputPipeline(Producer producer, std::int64_t total,
 
 InputPipeline::~InputPipeline() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.NotifyAll();
+  not_empty_.NotifyAll();
   for (auto& w : workers_) w.join();
+}
+
+void InputPipeline::CheckQueueInvariants() const {
+  EXACLIM_DCHECK(
+      queue_.size() <= static_cast<std::size_t>(opts_.prefetch_depth),
+      "prefetch queue overflow: " << queue_.size() << " > depth "
+                                  << opts_.prefetch_depth);
+  EXACLIM_DCHECK(produced_ >= consumed_,
+                 "consumed " << consumed_ << " batches but only produced "
+                             << produced_);
+  EXACLIM_DCHECK(
+      produced_ - consumed_ == static_cast<std::int64_t>(queue_.size()),
+      "queue holds " << queue_.size() << " batches but accounting says "
+                     << (produced_ - consumed_));
+  EXACLIM_DCHECK(next_index_ <= total_ && produced_ <= next_index_,
+                 "index bookkeeping out of range: next=" << next_index_
+                                                         << " produced="
+                                                         << produced_);
 }
 
 void InputPipeline::WorkerLoop() {
   for (;;) {
     std::int64_t index;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (stop_ || next_index_ >= total_) return;
       index = next_index_++;
     }
     // Produce outside the lock — this is where the parallelism lives.
     Batch batch = producer_(index);
     {
-      std::unique_lock lock(mutex_);
-      not_full_.wait(lock, [this] {
-        return stop_ ||
-               queue_.size() <
-                   static_cast<std::size_t>(opts_.prefetch_depth);
-      });
+      MutexLock lock(mutex_);
+      while (!stop_ &&
+             queue_.size() >=
+                 static_cast<std::size_t>(opts_.prefetch_depth)) {
+        not_full_.Wait(lock);
+      }
       if (stop_) return;
       queue_.push_back(std::move(batch));
       ++produced_;
+      CheckQueueInvariants();
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   }
 }
 
 std::optional<Batch> InputPipeline::Next() {
-  std::unique_lock lock(mutex_);
-  not_empty_.wait(lock, [this] {
-    return !queue_.empty() || consumed_ + static_cast<std::int64_t>(
-                                              queue_.size()) >= total_ ||
-           stop_;
-  });
-  if (queue_.empty()) {
-    // All batches consumed (or shutting down).
-    return std::nullopt;
+  std::optional<Batch> batch;
+  {
+    MutexLock lock(mutex_);
+    while (queue_.empty() &&
+           consumed_ + static_cast<std::int64_t>(queue_.size()) < total_ &&
+           !stop_) {
+      not_empty_.Wait(lock);
+    }
+    if (queue_.empty()) {
+      // All batches consumed (or shutting down).
+      return std::nullopt;
+    }
+    batch = std::move(queue_.front());
+    queue_.pop_front();
+    ++consumed_;
+    CheckQueueInvariants();
+    if (consumed_ >= total_) {
+      // Exhausted: producers only NotifyOne per push, so with several
+      // consumer threads the one taking the final batch must wake the
+      // rest, or they block on not_empty_ forever (caught by
+      // PipelineStress.MultiProducerMultiConsumerDrainsExactlyOnce).
+      not_empty_.NotifyAll();
+    }
   }
-  Batch batch = std::move(queue_.front());
-  queue_.pop_front();
-  ++consumed_;
-  lock.unlock();
-  not_full_.notify_one();
+  not_full_.NotifyOne();
   return batch;
 }
 
 std::size_t InputPipeline::QueueDepth() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 

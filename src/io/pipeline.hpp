@@ -1,14 +1,14 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "data/dataset.hpp"
 
 namespace exaclim {
@@ -40,27 +40,31 @@ class InputPipeline {
 
   /// Blocks for the next batch; nullopt once all `total` are consumed.
   /// Batches may arrive out of index order (training shuffles anyway).
-  std::optional<Batch> Next();
+  std::optional<Batch> Next() EXACLIM_EXCLUDES(mutex_);
 
   /// Batches sitting ready in the queue (diagnostic: a persistently
   /// empty queue means the pipeline is the bottleneck).
-  std::size_t QueueDepth() const;
+  std::size_t QueueDepth() const EXACLIM_EXCLUDES(mutex_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXACLIM_EXCLUDES(mutex_);
+
+  // Debug-build queue invariants (bounded depth, counter consistency);
+  // no-op in Release.
+  void CheckQueueInvariants() const EXACLIM_REQUIRES(mutex_);
 
   Producer producer_;
   std::int64_t total_;
   Options opts_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Batch> queue_;
-  std::int64_t next_index_ = 0;
-  std::int64_t produced_ = 0;
-  std::int64_t consumed_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<Batch> queue_ EXACLIM_GUARDED_BY(mutex_);
+  std::int64_t next_index_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t produced_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t consumed_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  bool stop_ EXACLIM_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -10,12 +10,12 @@ namespace exaclim {
 // -------------------------------------------------------- MockGlobalFs --
 
 void MockGlobalFs::Put(int file_id, std::vector<std::byte> contents) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   files_[file_id] = std::move(contents);
 }
 
 std::vector<std::byte> MockGlobalFs::Read(int file_id) {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = files_.find(file_id);
   EXACLIM_CHECK(it != files_.end(), "no file " << file_id);
   ++read_counts_[file_id];
@@ -25,23 +25,23 @@ std::vector<std::byte> MockGlobalFs::Read(int file_id) {
 }
 
 std::int64_t MockGlobalFs::reads(int file_id) const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = read_counts_.find(file_id);
   return it == read_counts_.end() ? 0 : it->second;
 }
 
 std::int64_t MockGlobalFs::total_reads() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return total_reads_;
 }
 
 std::int64_t MockGlobalFs::total_bytes_read() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return total_bytes_;
 }
 
 std::size_t MockGlobalFs::file_count() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   return files_.size();
 }
 

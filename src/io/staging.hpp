@@ -2,11 +2,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "comm/world.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace exaclim {
 
@@ -26,11 +27,11 @@ class MockGlobalFs {
   std::size_t file_count() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<int, std::vector<std::byte>> files_;
-  std::map<int, std::int64_t> read_counts_;
-  std::int64_t total_reads_ = 0;
-  std::int64_t total_bytes_ = 0;
+  mutable Mutex mutex_;
+  std::map<int, std::vector<std::byte>> files_ EXACLIM_GUARDED_BY(mutex_);
+  std::map<int, std::int64_t> read_counts_ EXACLIM_GUARDED_BY(mutex_);
+  std::int64_t total_reads_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t total_bytes_ EXACLIM_GUARDED_BY(mutex_) = 0;
 };
 
 /// The Sec V-A1 distributed data-staging algorithm, run for real over the

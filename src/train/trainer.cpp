@@ -1,8 +1,7 @@
 #include "train/trainer.hpp"
 
-#include <mutex>
-
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace exaclim {
 
@@ -136,7 +135,7 @@ TrainRunResult RunDistributedTraining(const TrainerOptions& opts,
   TrainRunResult result;
   result.loss_history.assign(static_cast<std::size_t>(steps), 0.0);
   result.accuracy_history.assign(static_cast<std::size_t>(steps), 0.0);
-  std::mutex result_mutex;
+  Mutex result_mutex;
 
   SimWorld world(ranks);
   world.Run([&](Communicator& comm) {
@@ -155,7 +154,7 @@ TrainRunResult RunDistributedTraining(const TrainerOptions& opts,
       const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, indices);
       const auto step = trainer.Step(comm, batch);
       if (comm.rank() == 0) {
-        std::lock_guard lock(result_mutex);
+        MutexLock lock(result_mutex);
         result.loss_history[static_cast<std::size_t>(s)] = step.loss;
         result.accuracy_history[static_cast<std::size_t>(s)] =
             step.pixel_accuracy;

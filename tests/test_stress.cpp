@@ -1,0 +1,174 @@
+// Concurrency stress tests, labelled `stress` in CTest so the TSan
+// preset can select exactly these:
+//
+//     cmake --preset tsan && cmake --build --preset tsan -j
+//     ctest --preset tsan          # runs only -L stress
+//
+// They are also part of the regular suite — fast enough at thread scale.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "io/pipeline.hpp"
+#include "tensor/tensor.hpp"
+
+namespace exaclim {
+namespace {
+
+Batch MakeBatch(std::int64_t index) {
+  Batch b;
+  b.fields = Tensor(TensorShape::NCHW(1, 1, 2, 2));
+  b.fields.Data()[0] = static_cast<float>(index);
+  b.labels.assign(4, 0);
+  return b;
+}
+
+// Multi-producer (pipeline workers) / multi-consumer (threads calling
+// Next) drain: every batch is delivered exactly once across consumers.
+TEST(PipelineStress, MultiProducerMultiConsumerDrainsExactlyOnce) {
+  constexpr std::int64_t kTotal = 512;
+  constexpr int kConsumers = 6;
+  InputPipeline pipeline(MakeBatch, kTotal,
+                         {.workers = 6, .prefetch_depth = 4});
+
+  std::atomic<std::int64_t> delivered{0};
+  std::vector<std::int64_t> index_counts(kTotal);
+  Mutex counts_mu;
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto batch = pipeline.Next()) {
+        const auto index =
+            static_cast<std::int64_t>(batch->fields.Data()[0]);
+        {
+          MutexLock lock(counts_mu);
+          ++index_counts[static_cast<std::size_t>(index)];
+        }
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(delivered.load(), kTotal);
+  for (std::int64_t i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(index_counts[static_cast<std::size_t>(i)], 1)
+        << "batch " << i << " delivered wrong number of times";
+  }
+}
+
+// Regression for the shutdown path: destroy the pipeline while producers
+// are mid-flight (some blocked on a full queue, some inside the producer
+// function). Before the sync migration this was the TSan-visible window —
+// the destructor must win cleanly against every in-flight task.
+TEST(PipelineStress, DestructorBeatsInFlightProducers) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> produced{0};
+    {
+      InputPipeline pipeline(
+          [&](std::int64_t index) {
+            produced.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+            return MakeBatch(index);
+          },
+          /*total=*/10000, {.workers = 4, .prefetch_depth = 2});
+      // Consume a couple of batches, then drop the pipeline with workers
+      // blocked on the bounded queue.
+      ASSERT_TRUE(pipeline.Next().has_value());
+      ASSERT_TRUE(pipeline.Next().has_value());
+    }
+    EXPECT_GT(produced.load(), 0);
+    EXPECT_LT(produced.load(), 10000) << "pipeline ran to completion; "
+                                         "shutdown path not exercised";
+  }
+}
+
+// Immediate destruction: no Next() call at all.
+TEST(PipelineStress, ImmediateDestructionIsClean) {
+  for (int round = 0; round < 50; ++round) {
+    InputPipeline pipeline(MakeBatch, /*total=*/1000,
+                           {.workers = 4, .prefetch_depth = 2});
+  }
+}
+
+// Regression for the ParallelFor completion-latch lifetime race: the
+// caller could return (destroying the stack latch) while the worker that
+// decremented it to zero was still signalling. Thousands of tiny
+// ParallelFor calls maximise the window; TSan flags the old layout.
+TEST(ThreadPoolStress, RapidForkJoinCycles) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> data(4096);
+  std::iota(data.begin(), data.end(), 0);
+  const std::int64_t expect =
+      std::accumulate(data.begin(), data.end(), std::int64_t{0});
+  for (int round = 0; round < 2000; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    pool.ParallelFor(
+        0, data.size(),
+        [&](std::size_t lo, std::size_t hi) {
+          std::int64_t local = 0;
+          for (std::size_t i = lo; i < hi; ++i) local += data[i];
+          sum.fetch_add(local, std::memory_order_relaxed);
+        },
+        /*grain=*/64);
+    ASSERT_EQ(sum.load(), expect);
+  }
+}
+
+// Concurrent ParallelFor callers sharing one pool (the global-pool usage
+// pattern in the tensor kernels).
+TEST(ThreadPoolStress, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  std::vector<std::thread> callers;
+  std::vector<std::int64_t> sums(kCallers);
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int round = 0; round < 200; ++round) {
+        std::atomic<std::int64_t> sum{0};
+        pool.ParallelFor(
+            1, 1001,
+            [&](std::size_t lo, std::size_t hi) {
+              std::int64_t local = 0;
+              for (std::size_t i = lo; i < hi; ++i) {
+                local += static_cast<std::int64_t>(i);
+              }
+              sum.fetch_add(local, std::memory_order_relaxed);
+            },
+            /*grain=*/50);
+        sums[static_cast<std::size_t>(c)] = sum.load();
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (const auto s : sums) EXPECT_EQ(s, 500500);
+}
+
+// Pool destruction races worker wake-up: construct, submit one round,
+// destroy, repeatedly.
+TEST(ThreadPoolStress, RapidConstructDestroy) {
+  for (int round = 0; round < 100; ++round) {
+    ThreadPool pool(3);
+    std::atomic<int> touched{0};
+    pool.ParallelFor(
+        0, 256,
+        [&](std::size_t lo, std::size_t hi) {
+          touched.fetch_add(static_cast<int>(hi - lo),
+                            std::memory_order_relaxed);
+        },
+        /*grain=*/16);
+    EXPECT_EQ(touched.load(), 256);
+  }
+}
+
+}  // namespace
+}  // namespace exaclim

@@ -1,0 +1,197 @@
+#include "common/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace exaclim {
+namespace {
+
+TEST(Mutex, ExcludesConcurrentCriticalSections) {
+  Mutex mu;
+  int counter = 0;  // guarded by mu (runtime-verified below)
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+TEST(Mutex, TryLockReportsContention) {
+  Mutex mu;
+  ASSERT_TRUE(mu.TryLock());
+  std::thread contender([&] { EXPECT_FALSE(mu.TryLock()); });
+  contender.join();
+  mu.Unlock();
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(CondVar, WakesWaiterOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  int observed = -1;
+  std::thread waiter([&] {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(lock);
+    observed = 42;
+  });
+  {
+    MutexLock lock(mu);
+    ready = true;
+  }
+  cv.NotifyOne();
+  waiter.join();
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(CondVar, PredicateWaitConvenienceForm) {
+  Mutex mu;
+  CondVar cv;
+  int stage = 0;
+  std::thread producer([&] {
+    for (int s = 1; s <= 3; ++s) {
+      {
+        MutexLock lock(mu);
+        stage = s;
+      }
+      cv.NotifyAll();
+    }
+  });
+  {
+    MutexLock lock(mu);
+    cv.Wait(lock, [&] { return stage == 3; });
+    EXPECT_EQ(stage, 3);
+  }
+  producer.join();
+}
+
+// --------------------------------------------------- lock-order checker --
+
+TEST(LockOrder, IncreasingRankOrderIsAccepted) {
+  Mutex low(1);
+  Mutex high(2);
+  std::thread t([&] {
+    MutexLock l1(low);
+    MutexLock l2(high);
+    EXPECT_EQ(detail::HeldRankedLocks(), EXACLIM_DCHECK_ENABLED ? 2 : 0);
+  });
+  t.join();
+}
+
+TEST(LockOrder, DecreasingRankOrderTrapsInDebug) {
+  Mutex low(1);
+  Mutex high(2);
+  // Run in a throwaway thread: a violation leaves that thread's
+  // bookkeeping stack dirty, and thread_local state dies with it.
+  std::thread t([&] {
+#if EXACLIM_DCHECK_ENABLED
+    MutexLock l1(high);
+    EXPECT_THROW(low.Lock(), Error);
+#else
+    MutexLock l1(high);
+    low.Lock();  // checker compiled out: any order is accepted
+    low.Unlock();
+#endif
+  });
+  t.join();
+}
+
+TEST(LockOrder, UnrankedMutexesAreExempt) {
+  Mutex ranked(5);
+  Mutex unranked;
+  std::thread t([&] {
+    MutexLock l1(ranked);
+    MutexLock l2(unranked);  // rank -1 never participates in ordering
+    EXPECT_EQ(detail::HeldRankedLocks(), EXACLIM_DCHECK_ENABLED ? 1 : 0);
+  });
+  t.join();
+}
+
+// ------------------------------------------------------ ReentrancyGuard --
+
+TEST(ReentrancyGuard, TrapsReentrantEntryInDebug) {
+  ReentrancyGuard guard;
+  ReentrancyGuard::Scope outer(guard, "outer");
+#if EXACLIM_DCHECK_ENABLED
+  EXPECT_THROW(ReentrancyGuard::Scope inner(guard, "inner"), Error);
+#else
+  ReentrancyGuard::Scope inner(guard, "inner");  // inert in Release
+  SUCCEED();
+#endif
+}
+
+TEST(ReentrancyGuard, SequentialScopesAreFine) {
+  ReentrancyGuard guard;
+  { ReentrancyGuard::Scope s(guard, "first"); }
+  { ReentrancyGuard::Scope s(guard, "second"); }
+  SUCCEED();
+}
+
+// ------------------------------------------------- EXACLIM_CHECK/DCHECK --
+
+TEST(Check, EvaluatesConditionExactlyOnceOnSuccess) {
+  int evaluations = 0;
+  EXACLIM_CHECK(++evaluations > 0, "must pass");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, EvaluatesConditionExactlyOnceOnFailure) {
+  int evaluations = 0;
+  EXPECT_THROW(EXACLIM_CHECK(++evaluations < 0, "always fails"), Error);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, MessageOperandsNotEvaluatedOnSuccess) {
+  int message_evals = 0;
+  const auto expensive = [&] {
+    ++message_evals;
+    return "costly";
+  };
+  EXACLIM_CHECK(true, expensive());
+  EXPECT_EQ(message_evals, 0);
+}
+
+TEST(Check, FatalAlwaysThrowsWithContext) {
+  try {
+    EXACLIM_FATAL("unreachable branch " << 7);
+    FAIL() << "EXACLIM_FATAL returned";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unreachable branch 7"),
+              std::string::npos);
+  }
+}
+
+TEST(DCheck, ActiveExactlyInDebugBuilds) {
+#if EXACLIM_DCHECK_ENABLED
+  EXPECT_THROW(EXACLIM_DCHECK(false, "debug check"), Error);
+#else
+  EXPECT_NO_THROW(EXACLIM_DCHECK(false, "debug check"));
+#endif
+}
+
+TEST(DCheck, ConditionNotEvaluatedWhenDisabled) {
+  int evaluations = 0;
+  const auto bump = [&] {
+    ++evaluations;
+    return true;
+  };
+  EXACLIM_DCHECK(bump(), "side-effecting condition");
+  EXPECT_EQ(evaluations, EXACLIM_DCHECK_ENABLED ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace exaclim

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# The whole correctness gate in one command:
+#
+#   tools/ci.sh            # lint + tier-1 + ASan/UBSan (+ TSan stress)
+#   tools/ci.sh --fast     # lint + tier-1 only
+#
+# Stages:
+#   1. tools/lint.py repo rules (+ clang-tidy when installed)
+#   2. tier-1: Release build + full ctest suite      (preset: release)
+#   3. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
+#   4. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS=${JOBS:-$(nproc)}
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+run() {
+  echo
+  echo "==> $*"
+  "$@"
+}
+
+# ---- 1. lint -------------------------------------------------------------
+run python3 tools/lint.py
+if command -v clang-tidy > /dev/null 2>&1; then
+  run cmake --preset release
+  run cmake --build --preset release --target tidy
+else
+  echo "clang-tidy not installed; skipping the tidy stage"
+fi
+
+# ---- 2. tier-1 -----------------------------------------------------------
+run cmake --preset release
+run cmake --build --preset release -j "$JOBS"
+run ctest --preset release -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo
+  echo "ci.sh --fast: lint + tier-1 OK"
+  exit 0
+fi
+
+# ---- 3. ASan + UBSan -----------------------------------------------------
+run cmake --preset asan
+run cmake --build --preset asan -j "$JOBS"
+run env ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --preset asan -j "$JOBS"
+
+# ---- 4. TSan (stress-labelled tests) -------------------------------------
+run cmake --preset tsan
+run cmake --build --preset tsan -j "$JOBS"
+run env TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan -j "$JOBS"
+
+echo
+echo "ci.sh: all gates green (lint, tier-1, asan+ubsan, tsan-stress)"

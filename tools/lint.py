@@ -1,0 +1,242 @@
+#!/usr/bin/env python3
+"""Repo-rule lint checker for the exaclim codebase.
+
+Run from the repo root (the `lint` CMake target does this):
+
+    python3 tools/lint.py [--list-rules] [paths...]
+
+Rules (each can be suppressed on a specific line with `// lint:allow`):
+
+  naked-new          no naked `new` / `delete` in library code — use
+                     std::make_unique / std::vector / RAII owners.
+  raw-mutex          no std::mutex / std::condition_variable /
+                     std::lock_guard / std::unique_lock / std::scoped_lock
+                     outside src/common/sync.hpp. The annotated
+                     exaclim::Mutex / MutexLock / CondVar wrappers are what
+                     give Clang's thread-safety analysis visibility.
+  endl               no std::endl — it flushes; use '\n'.
+  pragma-once        every header starts with #pragma once.
+  include-path       quoted includes must resolve against src/ (catches
+                     stale paths and "../" escapes); system headers use
+                     angle brackets.
+  guarded-include    files using EXACLIM_GUARDED_BY / EXACLIM_REQUIRES
+                     must include common/thread_annotations.hpp
+                     (directly or via common/sync.hpp).
+
+Exit status: 0 when clean, 1 when any finding is reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIRS = ["src", "bench", "examples", "tests"]
+CPP_SUFFIXES = {".cpp", ".hpp"}
+
+ALLOW_MARKER = "lint:allow"
+
+# Files exempt from raw-mutex: the wrapper itself.
+RAW_MUTEX_ALLOWED = {Path("src/common/sync.hpp")}
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|"
+    r"condition_variable(_any)?|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock)\b"
+)
+NAKED_NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_:(]")
+NAKED_DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[A-Za-z_:(*]")
+ENDL_RE = re.compile(r"std::endl\b")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
+GUARDED_RE = re.compile(r"EXACLIM_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
+                        r"ACQUIRE|RELEASE|EXCLUDES|CAPABILITY)\b")
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Best-effort removal of string/char literals and // comments.
+
+    Block comments spanning lines are handled by the caller feeding us
+    pre-filtered lines; within a line we drop /* ... */ spans too.
+    """
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)  # keep token boundaries
+            continue
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c == "/" and i + 1 < n and line[i + 1] == "*":
+            end = line.find("*/", i + 2)
+            if end == -1:
+                break
+            i = end + 2
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class Linter:
+    def __init__(self) -> None:
+        self.findings: list[str] = []
+
+    def report(self, path: Path, lineno: int, rule: str, message: str) -> None:
+        self.findings.append(f"{path}:{lineno}: [{rule}] {message}")
+
+    # ------------------------------------------------------------- rules --
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(REPO_ROOT)
+        text = path.read_text(encoding="utf-8")
+        raw_lines = text.splitlines()
+
+        # Pre-filter block comments across lines.
+        code_lines: list[str] = []
+        in_block = False
+        for raw in raw_lines:
+            line = raw
+            if in_block:
+                end = line.find("*/")
+                if end == -1:
+                    code_lines.append("")
+                    continue
+                line = line[end + 2:]
+                in_block = False
+            stripped = strip_comments_and_strings(line)
+            # strip_comments drops unterminated /* spans; detect them to
+            # carry block-comment state forward.
+            opener = line.find("/*")
+            if opener != -1 and line.find("*/", opener + 2) == -1:
+                in_block = True
+            code_lines.append(stripped)
+
+        if path.suffix == ".hpp":
+            self.check_pragma_once(rel, raw_lines)
+        self.check_line_rules(rel, raw_lines, code_lines)
+        self.check_guarded_include(rel, text)
+
+    def check_pragma_once(self, rel: Path, raw_lines: list[str]) -> None:
+        for raw in raw_lines:
+            s = raw.strip()
+            if not s or s.startswith("//"):
+                continue
+            if s != "#pragma once":
+                self.report(rel, 1, "pragma-once",
+                            "header must start with #pragma once")
+            return
+
+    def check_line_rules(self, rel: Path, raw_lines: list[str],
+                         code_lines: list[str]) -> None:
+        for idx, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+            if ALLOW_MARKER in raw:
+                continue
+            if ENDL_RE.search(code):
+                self.report(rel, idx, "endl",
+                            "std::endl flushes the stream; use '\\n'")
+            if rel not in RAW_MUTEX_ALLOWED:
+                m = RAW_MUTEX_RE.search(code)
+                if m:
+                    self.report(
+                        rel, idx, "raw-mutex",
+                        f"raw std::{m.group(1)}; use exaclim::Mutex / "
+                        "MutexLock / CondVar from common/sync.hpp")
+            if NAKED_NEW_RE.search(code) or NAKED_DELETE_RE.search(code):
+                self.report(rel, idx, "naked-new",
+                            "naked new/delete; use std::make_unique or a "
+                            "container")
+            m = INCLUDE_RE.match(code)
+            if m:
+                self.check_include(rel, idx, m.group(1), m.group(2))
+
+    def check_include(self, rel: Path, lineno: int, form: str,
+                      target: str) -> None:
+        if form != '"':
+            return
+        candidates = [
+            REPO_ROOT / "src" / target,
+            REPO_ROOT / rel.parent / target,
+            REPO_ROOT / "tests" / target,
+        ]
+        if not any(c.is_file() for c in candidates):
+            self.report(rel, lineno, "include-path",
+                        f'quoted include "{target}" does not resolve '
+                        "against src/ or the including directory")
+        if ".." in Path(target).parts:
+            self.report(rel, lineno, "include-path",
+                        f'include "{target}" uses "..": spell the full '
+                        "module path instead")
+
+    def check_guarded_include(self, rel: Path, text: str) -> None:
+        if rel.name in ("thread_annotations.hpp",):
+            return
+        if not GUARDED_RE.search(text):
+            return
+        if ("thread_annotations.hpp" not in text
+                and "common/sync.hpp" not in text):
+            self.report(rel, 1, "guarded-include",
+                        "uses EXACLIM_* thread-safety annotations but "
+                        "includes neither common/thread_annotations.hpp "
+                        "nor common/sync.hpp")
+
+
+def iter_files(paths: list[str]) -> list[Path]:
+    if paths:
+        roots = [Path(p).resolve() for p in paths]
+    else:
+        roots = [REPO_ROOT / d for d in SRC_DIRS]
+    files: list[Path] = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+            continue
+        for p in sorted(root.rglob("*")):
+            if p.suffix in CPP_SUFFIXES and p.is_file():
+                files.append(p)
+    return files
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: src bench "
+                             "examples tests)")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print(__doc__)
+        return 0
+
+    linter = Linter()
+    files = iter_files(args.paths)
+    for path in files:
+        linter.lint_file(path)
+
+    if linter.findings:
+        for finding in linter.findings:
+            print(finding)
+        print(f"\ntools/lint.py: {len(linter.findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"tools/lint.py: OK ({len(files)} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
