@@ -155,7 +155,7 @@ int Main() {
         for (auto& i : idx) {
           i = rng.Int(0, decoder_data.size(DatasetSplit::kTrain) - 1);
         }
-        (void)trainer.StepLocal(
+        (void)trainer.Step(
             decoder_data.MakeBatch(DatasetSplit::kTrain, idx));
       }
       return trainer.Evaluate(decoder_data, DatasetSplit::kValidation, 5);
@@ -322,7 +322,7 @@ int Main() {
         for (auto& i : idx) {
           i = rng.Int(0, channel_data.size(DatasetSplit::kTrain) - 1);
         }
-        (void)trainer.StepLocal(
+        (void)trainer.Step(
             channel_data.MakeBatch(DatasetSplit::kTrain, idx));
       }
       const auto cm =

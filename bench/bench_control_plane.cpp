@@ -10,10 +10,12 @@
 
 #include <cstdio>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "hvd/control_plane.hpp"
 #include "netsim/scale.hpp"
+#include "obs/bench_report.hpp"
 
 namespace exaclim {
 namespace {
@@ -40,6 +42,7 @@ std::int64_t MeasureControllerLoad(bool hierarchical, int radix, int ranks,
 
 int Main() {
   const int tensors = 120;  // "over a hundred allreduce operations"
+  obs::BenchReport report("control_plane");
 
   std::printf(
       "Sec V-A3 — control plane: measured controller load at thread "
@@ -57,6 +60,10 @@ int Main() {
                 static_cast<long long>(hier),
                 static_cast<long long>(flat_model),
                 static_cast<long long>(hier_model));
+    report.AddScalar("flat_recv_" + std::to_string(ranks),
+                     static_cast<double>(flat));
+    report.AddScalar("hier_recv_" + std::to_string(ranks),
+                     static_cast<double>(hier));
   }
 
   std::printf(
@@ -102,9 +109,16 @@ int Main() {
   for (const int radix : {2, 3, 4, 6, 8}) {
     ScaleOptions o = base;
     o.control_radix = radix;
+    const double efficiency =
+        ScaleSimulator(o).Simulate(27360).efficiency * 100.0;
     std::printf("  r=%d: efficiency %.2f%%, control %.3f ms/step\n", radix,
-                ScaleSimulator(o).Simulate(27360).efficiency * 100.0,
-                ScaleSimulator(o).ControlSeconds(27360) * 1e3);
+                efficiency, ScaleSimulator(o).ControlSeconds(27360) * 1e3);
+    report.AddScalar("efficiency_27360_r" + std::to_string(radix),
+                     efficiency);
+  }
+  const auto json_path = report.WriteJsonFile();
+  if (!json_path.empty()) {
+    std::printf("\nwrote %s\n", json_path.string().c_str());
   }
   return 0;
 }

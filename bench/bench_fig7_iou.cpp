@@ -55,7 +55,7 @@ EvalResult TrainAndEvaluate(const ClimateDataset& dataset,
     for (auto& i : idx) {
       i = rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1);
     }
-    (void)trainer->StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+    (void)trainer->Step(dataset.MakeBatch(DatasetSplit::kTrain, idx));
   }
   const ConfusionMatrix cm =
       trainer->Evaluate(dataset, DatasetSplit::kValidation, 8);

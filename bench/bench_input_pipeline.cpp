@@ -6,10 +6,14 @@
 //    parallelism scales the production rate;
 //  * a prefetch queue decouples the consumer: as long as production rate
 //    exceeds consumption rate, the "GPU" never waits.
+//
+// Emits BENCH_input_pipeline.json (median + p16/p84 over repeated runs)
+// for the bench-smoke CI stage.
 
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +21,8 @@
 #include "io/ncf.hpp"
 #include "io/pipeline.hpp"
 #include "io/sample_io.hpp"
+#include "obs/bench_report.hpp"
+#include "stats/stats.hpp"
 
 namespace exaclim {
 namespace {
@@ -24,8 +30,13 @@ namespace {
 namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
 
-double RunPipeline(const std::vector<fs::path>& paths, int workers,
-                   bool global_lock, int repeats) {
+struct PipelineRun {
+  double samples_per_sec = 0.0;
+  PipelineStats stats;
+};
+
+PipelineRun RunPipeline(const std::vector<fs::path>& paths, int workers,
+                        bool global_lock, int repeats) {
   const std::int64_t total =
       static_cast<std::int64_t>(paths.size()) * repeats;
   const auto start = Clock::now();
@@ -56,7 +67,25 @@ double RunPipeline(const std::vector<fs::path>& paths, int workers,
   while (pipeline.Next()) ++count;
   const double seconds =
       std::chrono::duration<double>(Clock::now() - start).count();
-  return static_cast<double>(count) / seconds;
+  PipelineRun run;
+  run.samples_per_sec = static_cast<double>(count) / seconds;
+  run.stats = pipeline.Stats();
+  return run;
+}
+
+// Median throughput over `rounds` runs, recorded into the bench report.
+double MeasureConfig(obs::BenchReport& report, std::string_view metric,
+                     const std::vector<fs::path>& paths, int workers,
+                     bool global_lock) {
+  constexpr int kRounds = 3;
+  std::vector<double> rates;
+  rates.reserve(kRounds);
+  for (int r = 0; r < kRounds; ++r) {
+    rates.push_back(
+        RunPipeline(paths, workers, global_lock, 6).samples_per_sec);
+  }
+  report.AddSeries(metric, rates);
+  return Summarize(rates).median;
 }
 
 }  // namespace
@@ -74,15 +103,20 @@ int Main() {
     WriteSampleFile(paths.back(), s);
   }
 
+  obs::BenchReport report("input_pipeline");
+
   std::printf(
       "Sec V-A2 — input pipeline throughput (real NCF files, 2 ms decode "
-      "per sample)\n");
+      "per sample; median of 3 runs)\n");
   std::printf("  %7s %22s %22s\n", "workers", "HDF5-style lock [smp/s]",
               "lock-free [smp/s]");
   double locked_1 = 0, locked_4 = 0, free_1 = 0, free_4 = 0;
   for (const int workers : {1, 2, 4}) {
-    const double locked = RunPipeline(paths, workers, true, 6);
-    const double lock_free = RunPipeline(paths, workers, false, 6);
+    const std::string suffix = "_w" + std::to_string(workers);
+    const double locked =
+        MeasureConfig(report, "locked" + suffix, paths, workers, true);
+    const double lock_free =
+        MeasureConfig(report, "lock_free" + suffix, paths, workers, false);
     std::printf("  %7d %22.1f %22.1f\n", workers, locked, lock_free);
     if (workers == 1) {
       locked_1 = locked;
@@ -99,8 +133,11 @@ int Main() {
       "  lock-free scaling 1->4 workers: %.2fx (the multiprocessing "
       "fix)\n",
       locked_4 / locked_1, free_4 / free_1);
+  report.AddScalar("locked_scaling_1_to_4", locked_4 / locked_1);
+  report.AddScalar("lock_free_scaling_1_to_4", free_4 / free_1);
 
   // Prefetch-depth effect: a deep queue absorbs producer variability.
+  // The new PipelineStats surface shows the consumer-stall time directly.
   std::printf("\n  prefetch depth sweep (4 lock-free workers):\n");
   for (const int depth : {1, 2, 8}) {
     const auto start = Clock::now();
@@ -125,7 +162,19 @@ int Main() {
     }
     const double seconds =
         std::chrono::duration<double>(Clock::now() - start).count();
-    std::printf("    depth %d: %.1f samples/s\n", depth, count / seconds);
+    const PipelineStats stats = pipeline.Stats();
+    std::printf(
+        "    depth %d: %.1f samples/s (consumer waited %.0f ms total)\n",
+        depth, count / seconds, stats.wait_seconds * 1e3);
+    report.AddScalar("depth" + std::to_string(depth) + "_samples_per_s",
+                     count / seconds);
+    report.AddScalar("depth" + std::to_string(depth) + "_wait_s",
+                     stats.wait_seconds);
+  }
+
+  const auto json_path = report.WriteJsonFile();
+  if (!json_path.empty()) {
+    std::printf("\n  wrote %s\n", json_path.string().c_str());
   }
 
   fs::remove_all(dir);

@@ -61,7 +61,7 @@ Outcome Run(const ClimateDataset& dataset, WeightingScheme scheme,
           WeightedSoftmaxCrossEntropy(logits, batch.labels, lo)
               .nonfinite_loss_count;
     }
-    const auto r = trainer.StepLocal(batch);
+    const auto r = trainer.Step(batch);
     accuracy = r.pixel_accuracy;
     if (!r.update_applied) ++skipped;
   }

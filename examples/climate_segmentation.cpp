@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "data/labeler.hpp"
+#include "obs/obs.hpp"
 #include "train/trainer.hpp"
 
 namespace {
@@ -69,6 +70,10 @@ StormStats AnalyzeStorms(const std::vector<std::uint8_t>& mask,
 }  // namespace
 
 int main() {
+  // EXACLIM_TRACE=/tmp/trace.json enables step profiling: a Chrome-trace
+  // file plus the metrics report on exit (see README "Observability").
+  obs::EnableFromEnv();
+
   // Eventful synthetic climate with all 16 CAM5 variables.
   ClimateDataset::Options data;
   data.num_samples = 70;
@@ -99,7 +104,7 @@ int main() {
       i = rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1);
     }
     const auto r =
-        trainer.StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+        trainer.Step(dataset.MakeBatch(DatasetSplit::kTrain, idx));
     if ((s + 1) % 70 == 0) {
       std::printf("  step %3d  loss %.4f  acc %.1f%%\n", s + 1, r.loss,
                   r.pixel_accuracy * 100);
@@ -164,5 +169,7 @@ int main() {
       pred_stats.rivers, truth_stats.tc_precip, truth_stats.ar_precip,
       truth_stats.bg_precip, pred_stats.tc_precip, pred_stats.ar_precip,
       pred_stats.bg_precip);
+
+  obs::FinishFromEnv();
   return 0;
 }

@@ -57,7 +57,7 @@ int main() {
   for (int s = 0; s < 100; ++s) {
     std::vector<std::int64_t> idx{
         rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1)};
-    (void)trainer.StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+    (void)trainer.Step(dataset.MakeBatch(DatasetSplit::kTrain, idx));
   }
   const ConfusionMatrix cm =
       trainer.Evaluate(dataset, DatasetSplit::kValidation, 5);

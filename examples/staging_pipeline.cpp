@@ -15,11 +15,16 @@
 #include "io/pipeline.hpp"
 #include "io/sample_io.hpp"
 #include "io/staging.hpp"
+#include "obs/obs.hpp"
 #include "train/trainer.hpp"
 
 int main() {
   using namespace exaclim;
   namespace fs = std::filesystem;
+
+  // EXACLIM_TRACE=/tmp/trace.json profiles the staging phases and the
+  // pipeline/training steps below into one Chrome-trace timeline.
+  obs::EnableFromEnv();
 
   // ---- 1. "Simulation output": NCF files on the global filesystem.
   const fs::path dir = fs::temp_directory_path() / "exaclim_staging_demo";
@@ -113,15 +118,21 @@ int main() {
   int steps = 0;
   double loss = 0;
   while (auto batch = pipeline.Next()) {
-    loss = trainer.StepLocal(*batch).loss;
+    loss = trainer.Step(*batch).loss;
     ++steps;
   }
+  const PipelineStats stats = pipeline.Stats();
   std::printf(
       "trained %d steps straight off the staged pipeline; final loss "
-      "%.4f\n",
-      steps, loss);
+      "%.4f\n"
+      "pipeline: produced %lld, consumed %lld, producer time %.2f s, "
+      "consumer wait %.3f s\n",
+      steps, loss, static_cast<long long>(stats.produced),
+      static_cast<long long>(stats.consumed), stats.produce_seconds,
+      stats.wait_seconds);
 
   fs::remove_all(dir);
+  obs::FinishFromEnv();
   std::printf("done.\n");
   return 0;
 }

@@ -27,15 +27,15 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
-void LogMessage(LogLevel level, const std::string& message) {
+void LogMessage(LogLevel level, std::string_view message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
   using Clock = std::chrono::steady_clock;
   static const Clock::time_point start = Clock::now();
   const double t =
       std::chrono::duration<double>(Clock::now() - start).count();
   MutexLock lock(g_sink_mutex);
-  std::fprintf(stderr, "[%8.3f %-5s] %s\n", t, LevelName(level),
-               message.c_str());
+  std::fprintf(stderr, "[%8.3f %-5s] %.*s\n", t, LevelName(level),
+               static_cast<int>(message.size()), message.data());
 }
 
 }  // namespace exaclim

@@ -2,6 +2,8 @@
 
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 
 namespace exaclim {
 
@@ -14,7 +16,7 @@ LogLevel GetLogLevel();
 /// Thread-safe sink to stderr, prefixed with level and a monotonic
 /// timestamp. Kept intentionally minimal — experiments print their own
 /// tables to stdout; logging is for diagnostics only.
-void LogMessage(LogLevel level, const std::string& message);
+void LogMessage(LogLevel level, std::string_view message);
 
 namespace detail {
 
@@ -34,7 +36,45 @@ class LogLine {
   std::ostringstream stream_;
 };
 
+/// Formats alternating key/value arguments as "k1=v1 k2=v2 ...". Values
+/// go through operator<< so anything streamable works.
+template <typename... Args>
+std::string FormatKV(Args&&... args) {
+  static_assert(sizeof...(Args) % 2 == 0,
+                "FormatKV takes alternating key/value pairs");
+  std::ostringstream out;
+  int position = 0;
+  // maybe_unused: with an empty pack the fold never calls emit.
+  [[maybe_unused]] const auto emit = [&](const auto& part) {
+    if (position % 2 == 0) {
+      if (position > 0) out << ' ';
+      out << part << '=';
+    } else {
+      out << part;
+    }
+    ++position;
+  };
+  (emit(args), ...);
+  return out.str();
+}
+
 }  // namespace detail
+
+/// Structured one-line log entry from key/value pairs; the formatting
+/// cost is only paid when the level is enabled. Prefer this over
+/// free-text EXACLIM_LOG for anything a script might grep (the metrics
+/// report is emitted this way).
+template <typename... Args>
+void LogKV(LogLevel level, Args&&... args) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  LogMessage(level, detail::FormatKV(std::forward<Args>(args)...));
+}
+
 }  // namespace exaclim
 
 #define EXACLIM_LOG(level) ::exaclim::detail::LogLine(::exaclim::LogLevel::level)
+
+/// Structured logging: EXACLIM_LOG_KV(kInfo, "event", "staged", "files", n)
+/// -> "event=staged files=24".
+#define EXACLIM_LOG_KV(level, ...) \
+  ::exaclim::LogKV(::exaclim::LogLevel::level, __VA_ARGS__)

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
 namespace {
@@ -35,6 +36,10 @@ std::vector<int> FlatControlPlane::NegotiateOrder(
   const int p = comm.size();
   const auto n = static_cast<std::int64_t>(ready_ids.size());
   if (p == 1) return {ready_ids.begin(), ready_ids.end()};
+  // Readiness latency: how long this rank spends agreeing on the global
+  // collective order — the Sec V-A3 bottleneck metric.
+  obs::ScopedTimer timer("control.negotiate", "hvd", nullptr,
+                         obs::HistogramOrNull("control.negotiate_s"));
 
   if (comm.rank() != 0) {
     // Stream one readiness message per tensor to the controller, in this
@@ -86,6 +91,8 @@ std::vector<int> HierarchicalControlPlane::NegotiateOrder(
   const int p = comm.size();
   const auto n = static_cast<std::int64_t>(ready_ids.size());
   if (p == 1) return {ready_ids.begin(), ready_ids.end()};
+  obs::ScopedTimer timer("control.negotiate", "hvd", nullptr,
+                         obs::HistogramOrNull("control.negotiate_s"));
 
   const int rank = comm.rank();
   const auto children = Children(rank, radix_, p);

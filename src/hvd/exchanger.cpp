@@ -5,6 +5,7 @@
 
 #include "comm/collectives.hpp"
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
 
@@ -51,6 +52,8 @@ void GradientExchanger::Exchange(Communicator& comm,
       opts_.average ? 1.0f / static_cast<float>(comm.size()) : 1.0f;
   const int bpe = BytesPerElement(opts_.wire_precision);
 
+  EXACLIM_TRACE_SPAN("exchange.allreduce", "hvd");
+  std::int64_t total_bytes = 0;
   std::size_t pos = 0;
   int buffer_index = 0;
   std::vector<float> fusion;
@@ -107,10 +110,13 @@ void GradientExchanger::Exchange(Communicator& comm,
       off += static_cast<std::size_t>(g.NumElements());
     }
 
+    total_bytes += bytes;
     pos = end;
     ++buffer_index;
   }
   last_fused_buffers_ = buffer_index;
+  if (auto* c = obs::CounterOrNull("exchange.bytes")) c->Add(total_bytes);
+  if (auto* c = obs::CounterOrNull("exchange.buffers")) c->Add(buffer_index);
   ++step_;
 }
 

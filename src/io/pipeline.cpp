@@ -1,8 +1,29 @@
 #include "io/pipeline.hpp"
 
+#include <chrono>
+
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
+
+namespace {
+
+// Publishes a queue-depth change to the enabled observability sinks.
+// Called OUTSIDE the pipeline mutex: the gauge is an atomic and the
+// trace append takes only the caller's thread-buffer lock, but there is
+// no reason to serialise either against the queue.
+void PublishQueueDepth(std::size_t depth) {
+  if (auto* gauge = obs::GaugeOrNull("pipeline.queue_depth")) {
+    gauge->Set(static_cast<double>(depth));
+  }
+  if (auto* tracer = obs::Tracer()) {
+    tracer->RecordCounter("pipeline.queue_depth",
+                          static_cast<double>(depth));
+  }
+}
+
+}  // namespace
 
 InputPipeline::InputPipeline(Producer producer, std::int64_t total,
                              const Options& opts)
@@ -52,7 +73,14 @@ void InputPipeline::WorkerLoop() {
       index = next_index_++;
     }
     // Produce outside the lock — this is where the parallelism lives.
-    Batch batch = producer_(index);
+    double produce_seconds = 0.0;
+    Batch batch;
+    {
+      obs::ScopedTimer timer("pipeline.produce", "io", &produce_seconds,
+                             obs::HistogramOrNull("pipeline.produce_s"));
+      batch = producer_(index);
+    }
+    std::size_t depth = 0;
     {
       MutexLock lock(mutex_);
       while (!stop_ &&
@@ -63,21 +91,34 @@ void InputPipeline::WorkerLoop() {
       if (stop_) return;
       queue_.push_back(std::move(batch));
       ++produced_;
+      produce_seconds_ += produce_seconds;
+      depth = queue_.size();
       CheckQueueInvariants();
     }
     not_empty_.NotifyOne();
+    PublishQueueDepth(depth);
   }
 }
 
 std::optional<Batch> InputPipeline::Next() {
+  using Clock = std::chrono::steady_clock;
   std::optional<Batch> batch;
+  std::size_t depth = 0;
+  double wait_seconds = 0.0;
+  Clock::time_point wait_start{};
+  Clock::time_point wait_end{};
   {
     MutexLock lock(mutex_);
+    wait_start = Clock::now();
     while (queue_.empty() &&
            consumed_ + static_cast<std::int64_t>(queue_.size()) < total_ &&
            !stop_) {
       not_empty_.Wait(lock);
     }
+    wait_end = Clock::now();
+    wait_seconds =
+        std::chrono::duration<double>(wait_end - wait_start).count();
+    wait_seconds_ += wait_seconds;
     if (queue_.empty()) {
       // All batches consumed (or shutting down).
       return std::nullopt;
@@ -85,6 +126,7 @@ std::optional<Batch> InputPipeline::Next() {
     batch = std::move(queue_.front());
     queue_.pop_front();
     ++consumed_;
+    depth = queue_.size();
     CheckQueueInvariants();
     if (consumed_ >= total_) {
       // Exhausted: producers only NotifyOne per push, so with several
@@ -95,12 +137,30 @@ std::optional<Batch> InputPipeline::Next() {
     }
   }
   not_full_.NotifyOne();
+  if (auto* hist = obs::HistogramOrNull("pipeline.wait_s")) {
+    hist->Record(wait_seconds);
+  }
+  if (auto* tracer = obs::Tracer()) {
+    // Only materialise a span when the consumer actually stalled — this
+    // is the "GPU waiting on input" signal of Sec V-A2.
+    if (wait_seconds > 50e-6) {
+      tracer->RecordSpan("pipeline.wait", "io", wait_start, wait_end);
+    }
+  }
+  PublishQueueDepth(depth);
   return batch;
 }
 
-std::size_t InputPipeline::QueueDepth() const {
+PipelineStats InputPipeline::Stats() const {
   MutexLock lock(mutex_);
-  return queue_.size();
+  PipelineStats stats;
+  stats.total = total_;
+  stats.produced = produced_;
+  stats.consumed = consumed_;
+  stats.depth = queue_.size();
+  stats.produce_seconds = produce_seconds_;
+  stats.wait_seconds = wait_seconds_;
+  return stats;
 }
 
 }  // namespace exaclim

@@ -13,6 +13,19 @@
 
 namespace exaclim {
 
+/// Point-in-time snapshot of pipeline activity, the Sec V-A2 diagnostic
+/// surface: a persistently empty queue (depth 0, growing wait_seconds)
+/// means the producers are the bottleneck; a persistently full one means
+/// the consumer is.
+struct PipelineStats {
+  std::int64_t total = 0;         // batches this pipeline will produce
+  std::int64_t produced = 0;      // pushed into the queue so far
+  std::int64_t consumed = 0;      // handed to Next() callers so far
+  std::size_t depth = 0;          // batches sitting ready right now
+  double produce_seconds = 0.0;   // cumulative producer time, all workers
+  double wait_seconds = 0.0;      // cumulative consumer block time in Next
+};
+
 /// The optimised input pipeline of Sec V-A2: `workers` reader threads
 /// produce batches ahead of the consumer into a bounded prefetch queue
 /// (TensorFlow's dataset.prefetch), so the accelerator never waits while
@@ -42,9 +55,13 @@ class InputPipeline {
   /// Batches may arrive out of index order (training shuffles anyway).
   std::optional<Batch> Next() EXACLIM_EXCLUDES(mutex_);
 
-  /// Batches sitting ready in the queue (diagnostic: a persistently
-  /// empty queue means the pipeline is the bottleneck).
-  std::size_t QueueDepth() const EXACLIM_EXCLUDES(mutex_);
+  /// Consistent snapshot of the pipeline counters (replaces the old
+  /// QueueDepth() with the full produced/consumed/wait picture). When
+  /// observability is enabled the same numbers stream continuously into
+  /// the registry ("pipeline.queue_depth" gauge, "pipeline.produce_s" /
+  /// "pipeline.wait_s" histograms) and the trace (queue-depth counter
+  /// track).
+  PipelineStats Stats() const EXACLIM_EXCLUDES(mutex_);
 
  private:
   void WorkerLoop() EXACLIM_EXCLUDES(mutex_);
@@ -64,6 +81,8 @@ class InputPipeline {
   std::int64_t next_index_ EXACLIM_GUARDED_BY(mutex_) = 0;
   std::int64_t produced_ EXACLIM_GUARDED_BY(mutex_) = 0;
   std::int64_t consumed_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  double produce_seconds_ EXACLIM_GUARDED_BY(mutex_) = 0.0;
+  double wait_seconds_ EXACLIM_GUARDED_BY(mutex_) = 0.0;
   bool stop_ EXACLIM_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
 
@@ -62,61 +63,82 @@ std::map<int, std::vector<std::byte>> StageDataset(
     int num_files) {
   const int p = comm.size();
   const int rank = comm.rank();
+  EXACLIM_TRACE_SPAN("staging.stage_dataset", "io");
 
-  // Phase 1: tell every owner how many requests to expect from us.
-  std::vector<std::int64_t> requests_to(static_cast<std::size_t>(p), 0);
-  for (const int f : needs) {
-    EXACLIM_CHECK(f >= 0 && f < num_files, "file id out of range");
-    ++requests_to[static_cast<std::size_t>(OwnerOf(f, p))];
-  }
-  for (int o = 0; o < p; ++o) {
-    comm.SendValue(o, kTagRequestCount, requests_to[static_cast<std::size_t>(o)]);
-  }
+  // Phase 1 + 2: tell every owner how many requests to expect from us,
+  // then send the requests themselves (interleaving with serving, below,
+  // would be deadlock-free too since sends are buffered).
   std::int64_t expected_requests = 0;
-  for (int r = 0; r < p; ++r) {
-    expected_requests += comm.RecvValue<std::int64_t>(r, kTagRequestCount);
-  }
-
-  // Phase 2: send the requests (interleaved with serving, below, would
-  // deadlock-free too since sends are buffered).
-  for (const int f : needs) {
-    comm.SendValue(OwnerOf(f, p), kTagRequest, f);
+  {
+    obs::ScopedTimer phase("staging.request", "io", nullptr,
+                           obs::HistogramOrNull("staging.request_s"));
+    std::vector<std::int64_t> requests_to(static_cast<std::size_t>(p), 0);
+    for (const int f : needs) {
+      EXACLIM_CHECK(f >= 0 && f < num_files, "file id out of range");
+      ++requests_to[static_cast<std::size_t>(OwnerOf(f, p))];
+    }
+    for (int o = 0; o < p; ++o) {
+      comm.SendValue(o, kTagRequestCount,
+                     requests_to[static_cast<std::size_t>(o)]);
+    }
+    for (int r = 0; r < p; ++r) {
+      expected_requests += comm.RecvValue<std::int64_t>(r, kTagRequestCount);
+    }
+    for (const int f : needs) {
+      comm.SendValue(OwnerOf(f, p), kTagRequest, f);
+    }
   }
 
   // Phase 3: serve requests — read each requested file from the global
   // filesystem exactly once, then ship copies over the network.
-  std::map<int, std::vector<std::byte>> cache;
-  std::map<int, std::vector<int>> pending;  // file -> requesters, batched
-  for (std::int64_t i = 0; i < expected_requests; ++i) {
-    int src = -1;
-    const int f = comm.RecvValue<int>(kAnySource, kTagRequest, &src);
-    EXACLIM_CHECK(OwnerOf(f, p) == rank, "request routed to wrong owner");
-    pending[f].push_back(src);
-  }
-  for (auto& [f, requesters] : pending) {
-    const std::vector<std::byte> contents = fs.Read(f);  // exactly once
-    for (const int dst : requesters) {
-      // Prefix the payload with the file id so receivers can match.
-      std::vector<std::byte> framed(sizeof(int) + contents.size());
-      std::memcpy(framed.data(), &f, sizeof(int));
-      std::copy(contents.begin(), contents.end(),
-                framed.begin() + sizeof(int));
-      comm.Send(dst, kTagFile, framed);
+  {
+    obs::ScopedTimer phase("staging.serve", "io", nullptr,
+                           obs::HistogramOrNull("staging.serve_s"));
+    std::map<int, std::vector<int>> pending;  // file -> requesters, batched
+    for (std::int64_t i = 0; i < expected_requests; ++i) {
+      int src = -1;
+      const int f = comm.RecvValue<int>(kAnySource, kTagRequest, &src);
+      EXACLIM_CHECK(OwnerOf(f, p) == rank, "request routed to wrong owner");
+      pending[f].push_back(src);
+    }
+    std::int64_t bytes_sent = 0;
+    for (auto& [f, requesters] : pending) {
+      const std::vector<std::byte> contents = fs.Read(f);  // exactly once
+      for (const int dst : requesters) {
+        // Prefix the payload with the file id so receivers can match.
+        std::vector<std::byte> framed(sizeof(int) + contents.size());
+        std::memcpy(framed.data(), &f, sizeof(int));
+        std::copy(contents.begin(), contents.end(),
+                  framed.begin() + sizeof(int));
+        comm.Send(dst, kTagFile, framed);
+        bytes_sent += static_cast<std::int64_t>(framed.size());
+      }
+    }
+    if (auto* c = obs::CounterOrNull("staging.bytes_sent")) {
+      c->Add(bytes_sent);
     }
   }
 
   // Phase 4: collect our files.
   std::map<int, std::vector<std::byte>> staged;
-  for (std::size_t i = 0; i < needs.size(); ++i) {
-    const std::vector<std::byte> framed = comm.RecvAny(kAnySource, kTagFile);
-    EXACLIM_CHECK(framed.size() >= sizeof(int), "malformed file frame");
-    int f = 0;
-    std::memcpy(&f, framed.data(), sizeof(int));
-    staged[f].assign(framed.begin() + sizeof(int), framed.end());
+  {
+    obs::ScopedTimer phase("staging.collect", "io", nullptr,
+                           obs::HistogramOrNull("staging.collect_s"));
+    for (std::size_t i = 0; i < needs.size(); ++i) {
+      const std::vector<std::byte> framed =
+          comm.RecvAny(kAnySource, kTagFile);
+      EXACLIM_CHECK(framed.size() >= sizeof(int), "malformed file frame");
+      int f = 0;
+      std::memcpy(&f, framed.data(), sizeof(int));
+      staged[f].assign(framed.begin() + sizeof(int), framed.end());
+    }
   }
   EXACLIM_CHECK(staged.size() == needs.size(),
                 "staging delivered " << staged.size() << " files, needed "
                                      << needs.size());
+  if (auto* c = obs::CounterOrNull("staging.files_staged")) {
+    c->Add(static_cast<std::int64_t>(staged.size()));
+  }
   return staged;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "flops/cost.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
 
@@ -34,6 +35,11 @@ OverlapResult SimulateOverlap(const OverlapConfig& config) {
   bool network_busy = false;
   std::deque<std::pair<int, std::size_t>> network_queue;  // (step, bucket)
   double network_busy_time = 0.0;
+  struct Transfer {
+    double start;
+    double duration;
+  };
+  std::vector<Transfer> transfers;  // for simulated-time trace export
 
   // Per-step bookkeeping.
   std::vector<std::size_t> buckets_done(static_cast<std::size_t>(config.steps), 0);
@@ -58,6 +64,7 @@ OverlapResult SimulateOverlap(const OverlapConfig& config) {
     network_busy = true;
     const double dt = transfer_time(bucket);
     network_busy_time += dt;
+    transfers.push_back({now, dt});
     engine.Schedule(now + dt, [&, step, bucket](double done_time) {
       network_busy = false;
       auto& done = buckets_done[static_cast<std::size_t>(step)];
@@ -123,6 +130,27 @@ OverlapResult SimulateOverlap(const OverlapConfig& config) {
 
   start_step(0.0, 0);
   const double end = engine.Run();
+
+  // Export the simulated timeline through the same Chrome-trace format
+  // the wall-clock instrumentation uses: compute spans on one lane,
+  // network transfers on the next. Simulated seconds map directly to
+  // trace microseconds.
+  if (auto* tracer = obs::Tracer()) {
+    constexpr double kUs = 1e6;
+    const int compute_tid = obs::TraceRecorder::kSimTid;
+    const int network_tid = obs::TraceRecorder::kSimTid + 1;
+    for (int s = 0; s < config.steps; ++s) {
+      const double started = step_started_at[static_cast<std::size_t>(s)];
+      const double done = compute_done_at[static_cast<std::size_t>(s)];
+      if (started < 0.0 || done < started) continue;
+      tracer->RecordSpanAt("sim.compute", "netsim", started * kUs,
+                           (done - started) * kUs, compute_tid);
+    }
+    for (const Transfer& t : transfers) {
+      tracer->RecordSpanAt("sim.transfer", "netsim", t.start * kUs,
+                           t.duration * kUs, network_tid);
+    }
+  }
 
   // Steady-state step time from the second half of the run.
   const int half = config.steps / 2;

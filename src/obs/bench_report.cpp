@@ -1,0 +1,69 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "stats/stats.hpp"
+
+namespace exaclim::obs {
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {}
+
+void BenchReport::AddSeries(std::string_view metric,
+                            std::span<const double> values) {
+  Entry entry;
+  entry.metric = metric;
+  entry.count = static_cast<std::int64_t>(values.size());
+  if (!values.empty()) {
+    const SeriesSummary s = Summarize(values);
+    entry.median = s.median;
+    entry.lo = s.lo;
+    entry.hi = s.hi;
+  }
+  entries_.push_back(std::move(entry));
+}
+
+void BenchReport::AddScalar(std::string_view metric, double value) {
+  Entry entry;
+  entry.metric = metric;
+  entry.count = 1;
+  entry.median = entry.lo = entry.hi = value;
+  entries_.push_back(std::move(entry));
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out =
+      "{\"bench\":\"" + name_ + "\",\"schema\":\"exaclim-bench-v1\",";
+  out += "\"metrics\":{";
+  char buf[160];
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "\n  \"%s\":{\"count\":%lld,\"median\":%.9g,\"lo\":%.9g,"
+                  "\"hi\":%.9g}",
+                  e.metric.c_str(), static_cast<long long>(e.count),
+                  e.median, e.lo, e.hi);
+    out += buf;
+  }
+  out += "\n}}\n";
+  return out;
+}
+
+std::filesystem::path BenchReport::WriteJsonFile() const {
+  std::filesystem::path dir = ".";
+  if (const char* env = std::getenv("EXACLIM_BENCH_DIR");
+      env != nullptr && *env != '\0') {
+    dir = env;
+  }
+  const std::filesystem::path path = dir / ("BENCH_" + name_ + ".json");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return {};
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return out ? path : std::filesystem::path{};
+}
+
+}  // namespace exaclim::obs

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exaclim::obs {
+
+/// Machine-readable bench output: every bench that calls WriteJsonFile
+/// drops a `BENCH_<name>.json` (schema "exaclim-bench-v1") next to its
+/// stdout table, so the BENCH trajectory is scriptable. Each metric is a
+/// {count, median, lo, hi} summary — series go through stats::Summarize
+/// (median + 0.16/0.84 percentiles, the Sec VI convention); scalars are
+/// stored with median == lo == hi.
+///
+/// tools/check_bench_json.py validates the schema; the `bench-smoke`
+/// stage of tools/ci.sh runs one bench and checks its file.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void AddSeries(std::string_view metric, std::span<const double> values);
+  void AddScalar(std::string_view metric, double value);
+
+  std::string ToJson() const;
+
+  /// Writes BENCH_<name>.json into $EXACLIM_BENCH_DIR (or the working
+  /// directory) and returns the path; empty path on I/O failure.
+  std::filesystem::path WriteJsonFile() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Entry {
+    std::string metric;
+    std::int64_t count = 0;
+    double median = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace exaclim::obs

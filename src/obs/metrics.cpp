@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "stats/stats.hpp"
+
+namespace exaclim::obs {
+
+// ------------------------------------------------------------ Histogram --
+
+void Histogram::Record(double value) {
+  MutexLock lock(mutex_);
+  samples_.push_back(value);
+}
+
+std::vector<double> Histogram::Samples() const {
+  MutexLock lock(mutex_);
+  return samples_;
+}
+
+HistogramSummary Histogram::Summary() const {
+  // Copy out under the lock, compute percentiles outside it.
+  const std::vector<double> samples = Samples();
+  HistogramSummary s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  if (samples.empty()) return s;
+  const auto [lo, hi] = std::minmax_element(samples.begin(), samples.end());
+  s.min = *lo;
+  s.max = *hi;
+  s.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+           static_cast<double>(samples.size());
+  const SeriesSummary series = Summarize(samples);
+  s.median = series.median;
+  s.p16 = series.lo;
+  s.p84 = series.hi;
+  return s;
+}
+
+// ------------------------------------------------------ MetricsRegistry --
+
+namespace {
+
+template <typename Map>
+auto* GetOrCreate(Map& map, std::string_view name) {
+  const auto it = map.find(name);
+  if (it != map.end()) return it->second.get();
+  using Metric = typename Map::mapped_type::element_type;
+  return map.emplace(std::string(name), std::make_unique<Metric>())
+      .first->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  MutexLock lock(mutex_);
+  return GetOrCreate(counters_, name);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  MutexLock lock(mutex_);
+  return GetOrCreate(gauges_, name);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  MutexLock lock(mutex_);
+  return GetOrCreate(histograms_, name);
+}
+
+std::string MetricsRegistry::Report() const {
+  // Snapshot the handle tables, then read the (internally synchronized)
+  // metrics without holding the registry lock.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+
+  std::string out;
+  char line[256];
+  for (const auto& [name, c] : counters) {
+    std::snprintf(line, sizeof(line), "counter    %-32s %lld\n", name.c_str(),
+                  static_cast<long long>(c->value()));
+    out += line;
+  }
+  for (const auto& [name, g] : gauges) {
+    std::snprintf(line, sizeof(line), "gauge      %-32s %.6g\n", name.c_str(),
+                  g->value());
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    const HistogramSummary s = h->Summary();
+    std::snprintf(line, sizeof(line),
+                  "histogram  %-32s count %lld  median %.6g  p16 %.6g  "
+                  "p84 %.6g  mean %.6g\n",
+                  name.c_str(), static_cast<long long>(s.count), s.median,
+                  s.p16, s.p84, s.mean);
+    out += line;
+  }
+  return out;
+}
+
+void MetricsRegistry::LogReport() const {
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, c] : counters) {
+    EXACLIM_LOG_KV(kInfo, "metric", name, "type", "counter", "value",
+                   c->value());
+  }
+  for (const auto& [name, g] : gauges) {
+    EXACLIM_LOG_KV(kInfo, "metric", name, "type", "gauge", "value",
+                   g->value());
+  }
+  for (const auto& [name, h] : histograms) {
+    const HistogramSummary s = h->Summary();
+    EXACLIM_LOG_KV(kInfo, "metric", name, "type", "histogram", "count",
+                   s.count, "median", s.median, "p16", s.p16, "p84", s.p84,
+                   "mean", s.mean);
+  }
+}
+
+}  // namespace exaclim::obs

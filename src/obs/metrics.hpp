@@ -1,0 +1,99 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace exaclim::obs {
+
+/// Monotonic event count (bytes exchanged, batches produced, skipped
+/// steps). Lock-free; safe to bump from any thread, including under
+/// other locks.
+class Counter {
+ public:
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, loss scale).
+/// Lock-free like Counter.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution summary following the Sec VI reporting convention:
+/// median with the central-68% interval from the 0.16/0.84 percentiles
+/// (computed through stats::Percentile, pinned by tests).
+struct HistogramSummary {
+  std::int64_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p16 = 0.0;
+  double p84 = 0.0;
+};
+
+/// Sample-retaining histogram: Record appends, Summary computes exact
+/// percentiles over everything recorded so far. Intended for per-step /
+/// per-batch timings (thousands of samples, not millions).
+class Histogram {
+ public:
+  void Record(double value) EXACLIM_EXCLUDES(mutex_);
+  HistogramSummary Summary() const EXACLIM_EXCLUDES(mutex_);
+  std::vector<double> Samples() const EXACLIM_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  std::vector<double> samples_ EXACLIM_GUARDED_BY(mutex_);
+};
+
+/// Thread-safe named-metric registry. Get* registers the metric on first
+/// use and returns a stable pointer — never invalidated while the
+/// registry lives — so hot paths can cache the handle and skip the name
+/// lookup entirely.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name) EXACLIM_EXCLUDES(mutex_);
+  Gauge* GetGauge(std::string_view name) EXACLIM_EXCLUDES(mutex_);
+  Histogram* GetHistogram(std::string_view name) EXACLIM_EXCLUDES(mutex_);
+
+  /// Compact human-readable table, one line per metric, sorted by name
+  /// within each kind (the "stdout report").
+  std::string Report() const EXACLIM_EXCLUDES(mutex_);
+
+  /// Structured form of Report(): one EXACLIM_LOG_KV line per metric at
+  /// kInfo, machine-greppable (`metric=<name> ... median=<v>`).
+  void LogReport() const EXACLIM_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_;
+  // std::less<> enables string_view lookups without allocating.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+      counters_ EXACLIM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+      gauges_ EXACLIM_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_ EXACLIM_GUARDED_BY(mutex_);
+};
+
+}  // namespace exaclim::obs

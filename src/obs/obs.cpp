@@ -1,0 +1,138 @@
+#include "obs/obs.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/sync.hpp"
+
+namespace exaclim::obs {
+
+namespace {
+
+// Owners live behind a mutex; the hot path reads only the raw atomics.
+Mutex g_mutex;
+std::unique_ptr<MetricsRegistry> g_metrics_owner
+    EXACLIM_GUARDED_BY(g_mutex);
+std::unique_ptr<TraceRecorder> g_tracer_owner EXACLIM_GUARDED_BY(g_mutex);
+std::string g_trace_path EXACLIM_GUARDED_BY(g_mutex);
+
+std::atomic<MetricsRegistry*> g_metrics{nullptr};
+std::atomic<TraceRecorder*> g_tracer{nullptr};
+
+}  // namespace
+
+void Enable(const Options& options) {
+  MutexLock lock(g_mutex);
+  if (options.metrics) {
+    if (!g_metrics_owner) g_metrics_owner = std::make_unique<MetricsRegistry>();
+    g_metrics.store(g_metrics_owner.get(), std::memory_order_release);
+  }
+  if (options.trace) {
+    if (!g_tracer_owner) g_tracer_owner = std::make_unique<TraceRecorder>();
+    g_tracer.store(g_tracer_owner.get(), std::memory_order_release);
+  }
+}
+
+void Disable() {
+  MutexLock lock(g_mutex);
+  g_metrics.store(nullptr, std::memory_order_release);
+  g_tracer.store(nullptr, std::memory_order_release);
+  g_metrics_owner.reset();
+  g_tracer_owner.reset();
+  g_trace_path.clear();
+}
+
+bool Enabled() {
+  return g_metrics.load(std::memory_order_acquire) != nullptr ||
+         g_tracer.load(std::memory_order_acquire) != nullptr;
+}
+
+MetricsRegistry* Metrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+TraceRecorder* Tracer() { return g_tracer.load(std::memory_order_acquire); }
+
+Counter* CounterOrNull(std::string_view name) {
+  MetricsRegistry* registry = Metrics();
+  return registry == nullptr ? nullptr : registry->GetCounter(name);
+}
+
+Gauge* GaugeOrNull(std::string_view name) {
+  MetricsRegistry* registry = Metrics();
+  return registry == nullptr ? nullptr : registry->GetGauge(name);
+}
+
+Histogram* HistogramOrNull(std::string_view name) {
+  MetricsRegistry* registry = Metrics();
+  return registry == nullptr ? nullptr : registry->GetHistogram(name);
+}
+
+// ----------------------------------------------------------- ScopedTimer --
+
+ScopedTimer::ScopedTimer(const char* name, const char* cat,
+                         double* out_seconds, Histogram* histogram)
+    : name_(name),
+      cat_(cat),
+      out_seconds_(out_seconds),
+      histogram_(histogram),
+      tracer_(Tracer()) {
+  if (tracer_ != nullptr || out_seconds_ != nullptr ||
+      histogram_ != nullptr) {
+    start_ = TraceRecorder::Clock::now();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (tracer_ == nullptr && out_seconds_ == nullptr &&
+      histogram_ == nullptr) {
+    return;
+  }
+  const auto end = TraceRecorder::Clock::now();
+  const double seconds =
+      std::chrono::duration<double>(end - start_).count();
+  if (out_seconds_ != nullptr) *out_seconds_ = seconds;
+  if (histogram_ != nullptr) histogram_->Record(seconds);
+  if (tracer_ != nullptr) tracer_->RecordSpan(name_, cat_, start_, end);
+}
+
+// ----------------------------------------------------------- env helpers --
+
+bool EnableFromEnv() {
+  const char* path = std::getenv("EXACLIM_TRACE");
+  if (path == nullptr || *path == '\0') return false;
+  Enable();
+  MutexLock lock(g_mutex);
+  g_trace_path = path;
+  return true;
+}
+
+void FinishFromEnv() {
+  std::string path;
+  {
+    MutexLock lock(g_mutex);
+    path = g_trace_path;
+  }
+  if (path.empty()) return;
+  if (MetricsRegistry* registry = Metrics()) {
+    const std::string report = registry->Report();
+    if (!report.empty()) {
+      std::printf("\n--- observability report ---\n%s", report.c_str());
+    }
+    registry->LogReport();
+  }
+  if (TraceRecorder* tracer = Tracer()) {
+    if (tracer->WriteJsonFile(path)) {
+      std::printf("trace written to %s (open in chrome://tracing)\n",
+                  path.c_str());
+    } else {
+      EXACLIM_LOG(kWarn) << "failed to write trace file " << path;
+    }
+  }
+  Disable();
+}
+
+}  // namespace exaclim::obs

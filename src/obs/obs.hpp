@@ -1,0 +1,81 @@
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace exaclim::obs {
+
+/// What Enable installs. Both default on; benches that only want the
+/// registry can switch the trace off.
+struct Options {
+  bool metrics = true;
+  bool trace = true;
+};
+
+/// Installs the process-global MetricsRegistry / TraceRecorder that the
+/// instrumented hot paths publish into. Off by default: every call site
+/// branches on a null handle, so a run that never calls Enable pays one
+/// relaxed atomic load per instrumentation point and nothing else.
+///
+/// Enable/Disable are phase-boundary operations (start of main, between
+/// test cases) — they must not race with threads actively recording.
+void Enable(const Options& options = {});
+void Disable();
+bool Enabled();
+
+/// Global handles; nullptr while disabled (the fast path).
+MetricsRegistry* Metrics();
+TraceRecorder* Tracer();
+
+/// Metric lookups that collapse to nullptr while disabled, so call
+/// sites read as `if (auto* c = CounterOrNull("x")) c->Add(n);`.
+Counter* CounterOrNull(std::string_view name);
+Gauge* GaugeOrNull(std::string_view name);
+Histogram* HistogramOrNull(std::string_view name);
+
+/// RAII wall-time span. On destruction it publishes the elapsed time to
+/// every sink it was given: `out_seconds` (always, for callers that
+/// surface timings through their API, e.g. StepResult), `histogram`
+/// (when non-null), and the global trace (when enabled). When all three
+/// sinks are absent the timer never reads the clock — the disabled-path
+/// cost is two null checks.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name, const char* cat = "exaclim",
+                       double* out_seconds = nullptr,
+                       Histogram* histogram = nullptr);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  double* out_seconds_;
+  Histogram* histogram_;
+  TraceRecorder* tracer_;
+  TraceRecorder::Clock::time_point start_;
+};
+
+/// Example/bench entry points: if EXACLIM_TRACE=<path> is set in the
+/// environment, EnableFromEnv turns observability on and remembers the
+/// path; FinishFromEnv writes the Chrome-trace JSON there, prints the
+/// compact metrics report to stdout, and disables again. Both are no-ops
+/// when the variable is unset, so instrumented examples behave exactly
+/// as before unless asked to trace.
+bool EnableFromEnv();
+void FinishFromEnv();
+
+}  // namespace exaclim::obs
+
+#define EXACLIM_OBS_CONCAT_INNER(a, b) a##b
+#define EXACLIM_OBS_CONCAT(a, b) EXACLIM_OBS_CONCAT_INNER(a, b)
+
+/// Traces the enclosing scope as a named span; no-op while observability
+/// is disabled.
+#define EXACLIM_TRACE_SPAN(name, cat)                                   \
+  ::exaclim::obs::ScopedTimer EXACLIM_OBS_CONCAT(exaclim_trace_span_,   \
+                                                 __COUNTER__)(name, cat)

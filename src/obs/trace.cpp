@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+namespace exaclim::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+
+// Per-thread cache of the buffer registered with a specific recorder.
+// Keyed by the recorder's process-unique id, so a recorder destroyed and
+// another constructed at the same address cannot alias.
+struct BufferCache {
+  std::uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local BufferCache t_buffer_cache;
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(g_next_recorder_id.fetch_add(1)), epoch_(Clock::now()) {}
+
+double TraceRecorder::NowMicros() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  if (t_buffer_cache.recorder_id == id_) {
+    return static_cast<ThreadBuffer*>(t_buffer_cache.buffer);
+  }
+  auto owned = std::make_unique<ThreadBuffer>();
+  ThreadBuffer* buffer = owned.get();
+  {
+    MutexLock lock(mutex_);
+    buffer->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(std::move(owned));
+  }
+  t_buffer_cache = {id_, buffer};
+  return buffer;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  event.tid = buffer->tid;
+  MutexLock lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordSpan(std::string_view name, std::string_view cat,
+                               Clock::time_point start,
+                               Clock::time_point end) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ph = 'X';
+  event.ts_us =
+      std::chrono::duration<double, std::micro>(start - epoch_).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - start).count();
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordCounter(std::string_view name, double value) {
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'C';
+  event.ts_us = NowMicros();
+  event.value = value;
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(std::string_view name,
+                                  std::string_view cat) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ph = 'i';
+  event.ts_us = NowMicros();
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordSpanAt(std::string_view name, std::string_view cat,
+                                 double ts_us, double dur_us, int tid) {
+  TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.ph = 'X';
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  // Bypass the thread-lane assignment: simulated lanes are explicit.
+  ThreadBuffer* buffer = LocalBuffer();
+  event.tid = tid;
+  MutexLock lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordCounterAt(std::string_view name, double value,
+                                    double ts_us, int tid) {
+  TraceEvent event;
+  event.name = name;
+  event.ph = 'C';
+  event.ts_us = ts_us;
+  event.value = value;
+  ThreadBuffer* buffer = LocalBuffer();
+  event.tid = tid;
+  MutexLock lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<ThreadBuffer*> buffers;
+  {
+    MutexLock lock(mutex_);
+    buffers.reserve(buffers_.size());
+    for (const auto& b : buffers_) buffers.push_back(b.get());
+  }
+  std::vector<TraceEvent> events;
+  for (ThreadBuffer* buffer : buffers) {
+    MutexLock lock(buffer->mutex);
+    events.insert(events.end(), buffer->events.begin(),
+                  buffer->events.end());
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return events;
+}
+
+std::string TraceRecorder::ToJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(out, e.name);
+    out += "\",\"cat\":\"";
+    AppendEscaped(out, e.cat.empty() ? std::string_view("exaclim")
+                                     : std::string_view(e.cat));
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    std::snprintf(buf, sizeof(buf), "\",\"pid\":1,\"tid\":%d,\"ts\":%.3f",
+                  e.tid, e.ts_us);
+    out += buf;
+    if (e.ph == 'X') {
+      std::snprintf(buf, sizeof(buf), ",\"dur\":%.3f", e.dur_us);
+      out += buf;
+    }
+    if (e.ph == 'C') {
+      std::snprintf(buf, sizeof(buf), ",\"args\":{\"value\":%.6g}", e.value);
+      out += buf;
+    } else {
+      out += ",\"args\":{}";
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    out += "}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteJsonFile(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string json = ToJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace exaclim::obs

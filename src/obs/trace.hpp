@@ -1,0 +1,92 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace exaclim::obs {
+
+/// One entry in the Chrome trace_event format (the JSON loaded by
+/// chrome://tracing / Perfetto). Only the event kinds the repo needs:
+///   'X' complete span (ts + dur), 'C' counter sample, 'i' instant.
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  double ts_us = 0.0;   // microseconds since the recorder's epoch
+  double dur_us = 0.0;  // 'X' only
+  int tid = 0;
+  double value = 0.0;   // 'C' only
+};
+
+/// Timestamped event collector with per-thread buffers: each recording
+/// thread registers its own buffer (owned by the recorder) on first use,
+/// so concurrent spans never contend on a global lock; Snapshot/ToJson
+/// merge and time-sort everything recorded so far.
+///
+/// Real threads get sequential tids in registration order. The *At
+/// variants take explicit timestamps and an explicit tid — that is how
+/// netsim exports simulated-time spans into the same trace, so a real
+/// run and a simulation are inspected with one tool (use tids >= kSimTid
+/// to keep simulated lanes visually separate).
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// First tid reserved for simulated-time lanes.
+  static constexpr int kSimTid = 9000;
+
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since this recorder was constructed.
+  double NowMicros() const;
+
+  /// Complete span on the calling thread's lane.
+  void RecordSpan(std::string_view name, std::string_view cat,
+                  Clock::time_point start, Clock::time_point end);
+  /// Counter sample (rendered as a stacked area track) at "now".
+  void RecordCounter(std::string_view name, double value);
+  /// Instant marker at "now" on the calling thread's lane.
+  void RecordInstant(std::string_view name, std::string_view cat);
+
+  /// Explicit-timestamp variants for simulated time (ts in microseconds
+  /// of simulated time, on an explicit lane).
+  void RecordSpanAt(std::string_view name, std::string_view cat,
+                    double ts_us, double dur_us, int tid);
+  void RecordCounterAt(std::string_view name, double value, double ts_us,
+                       int tid);
+
+  /// All events recorded so far, time-sorted.
+  std::vector<TraceEvent> Snapshot() const EXACLIM_EXCLUDES(mutex_);
+
+  /// chrome://tracing-loadable JSON document.
+  std::string ToJson() const;
+  bool WriteJsonFile(const std::filesystem::path& path) const;
+
+ private:
+  struct ThreadBuffer {
+    Mutex mutex;
+    int tid = 0;
+    std::vector<TraceEvent> events EXACLIM_GUARDED_BY(mutex);
+  };
+
+  ThreadBuffer* LocalBuffer() EXACLIM_EXCLUDES(mutex_);
+  void Append(TraceEvent event);
+
+  const std::uint64_t id_;  // process-unique; keys the thread-local cache
+  const Clock::time_point epoch_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+      EXACLIM_GUARDED_BY(mutex_);
+};
+
+}  // namespace exaclim::obs

@@ -33,7 +33,7 @@ EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
         AugmentBatch(batch, opts.augment_options, rng, dataset.height(),
                      dataset.width());
       }
-      loss_acc += trainer.StepLocal(batch).loss;
+      loss_acc += trainer.Step(batch).loss;
     }
     result.train_seconds +=
         std::chrono::duration<double>(Clock::now() - train_start).count();

@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/sync.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
 
@@ -64,49 +65,67 @@ std::int64_t RankTrainer::ParameterCount() const {
   return total;
 }
 
-RankTrainer::StepResult RankTrainer::StepImpl(Communicator* comm,
-                                              const Batch& batch) {
-  optimizer_->ZeroGrad();
-  const Tensor logits = model_->Forward(batch.fields, /*train=*/true);
+RankTrainer::StepResult RankTrainer::Step(const Batch& batch,
+                                          Communicator* comm) {
+  StepResult result;
+  obs::ScopedTimer step_timer("step", "train", &result.timings.total_seconds,
+                              obs::HistogramOrNull("step.total_s"));
 
-  SegmentationLossOptions loss_opts;
-  loss_opts.class_weights = class_weights_;
-  loss_opts.precision = opts_.precision;
-  const bool fp16 = opts_.precision == Precision::kFP16;
-  loss_opts.loss_scale = fp16 ? scaler_.scale() : 1.0f;
-  const SegmentationLossResult loss =
-      WeightedSoftmaxCrossEntropy(logits, batch.labels, loss_opts);
-  (void)model_->Backward(loss.grad_logits);
+  SegmentationLossResult loss;
+  {
+    obs::ScopedTimer timer("step.forward", "train",
+                           &result.timings.forward_seconds,
+                           obs::HistogramOrNull("step.forward_s"));
+    optimizer_->ZeroGrad();
+    const Tensor logits = model_->Forward(batch.fields, /*train=*/true);
+
+    SegmentationLossOptions loss_opts;
+    loss_opts.class_weights = class_weights_;
+    loss_opts.precision = opts_.precision;
+    loss_opts.loss_scale =
+        opts_.precision == Precision::kFP16 ? scaler_.scale() : 1.0f;
+    loss = WeightedSoftmaxCrossEntropy(logits, batch.labels, loss_opts);
+    result.loss_scale = loss_opts.loss_scale;
+  }
+  {
+    obs::ScopedTimer timer("step.backward", "train",
+                           &result.timings.backward_seconds,
+                           obs::HistogramOrNull("step.backward_s"));
+    (void)model_->Backward(loss.grad_logits);
+  }
 
   if (comm != nullptr) {
+    obs::ScopedTimer timer("step.exchange", "train",
+                           &result.timings.exchange_seconds,
+                           obs::HistogramOrNull("step.exchange_s"));
     exchanger_->Exchange(*comm, params_);
   }
 
-  StepResult result;
   result.loss = loss.loss;
   result.pixel_accuracy = loss.pixel_accuracy;
-  result.loss_scale = loss_opts.loss_scale;
 
   bool apply = true;
-  if (fp16) {
-    const bool finite = !optimizer_->HasNonFiniteGradient();
-    apply = scaler_.Update(finite);
-    if (apply) optimizer_->UnscaleGradients(loss_opts.loss_scale);
-  }
-  if (apply) {
-    optimizer_->Step();
+  {
+    obs::ScopedTimer timer("step.update", "train",
+                           &result.timings.update_seconds,
+                           obs::HistogramOrNull("step.update_s"));
+    if (opts_.precision == Precision::kFP16) {
+      const bool finite = !optimizer_->HasNonFiniteGradient();
+      apply = scaler_.Update(finite);
+      if (apply) optimizer_->UnscaleGradients(result.loss_scale);
+    }
+    if (apply) {
+      optimizer_->Step();
+    }
   }
   result.update_applied = apply;
+  if (auto* g = obs::GaugeOrNull("step.loss_scale")) {
+    g->Set(static_cast<double>(result.loss_scale));
+  }
+  if (!apply) {
+    if (auto* c = obs::CounterOrNull("step.skipped")) c->Increment();
+  }
   return result;
-}
-
-RankTrainer::StepResult RankTrainer::Step(Communicator& comm,
-                                          const Batch& batch) {
-  return StepImpl(&comm, batch);
-}
-
-RankTrainer::StepResult RankTrainer::StepLocal(const Batch& batch) {
-  return StepImpl(nullptr, batch);
 }
 
 ConfusionMatrix RankTrainer::Evaluate(const ClimateDataset& dataset,
@@ -152,7 +171,7 @@ TrainRunResult RunDistributedTraining(const TrainerOptions& opts,
         idx = shard[batch_rng.Index(shard.size())];
       }
       const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, indices);
-      const auto step = trainer.Step(comm, batch);
+      const auto step = trainer.Step(batch, &comm);
       if (comm.rank() == 0) {
         MutexLock lock(result_mutex);
         result.loss_history[static_cast<std::size_t>(s)] = step.loss;

@@ -54,19 +54,41 @@ class RankTrainer {
   RankTrainer(const TrainerOptions& opts,
               std::vector<float> class_weights, int rank);
 
+  /// Wall-clock breakdown of a single step, filled on every call (cheap
+  /// steady_clock reads). When observability is enabled the same numbers
+  /// also stream into the "step.*_s" histograms and the trace as nested
+  /// spans under "step".
+  struct StepTimings {
+    double forward_seconds = 0.0;
+    double backward_seconds = 0.0;
+    double exchange_seconds = 0.0;  // 0 when running without a communicator
+    double update_seconds = 0.0;
+    double total_seconds = 0.0;
+  };
+
   struct StepResult {
     double loss = 0.0;
     double pixel_accuracy = 0.0;
     bool update_applied = true;  // false: FP16 overflow skipped the step
     float loss_scale = 1.0f;
+    StepTimings timings;
   };
 
-  /// Synchronous step over `comm` (all ranks call collectively with
-  /// their own local batch).
-  StepResult Step(Communicator& comm, const Batch& batch);
+  /// One synchronous data-parallel training step. With a communicator,
+  /// all ranks call collectively with their own local batch and gradients
+  /// are exchanged; with `comm == nullptr` the step is local-only (single
+  /// process, no gradient exchange).
+  StepResult Step(const Batch& batch, Communicator* comm = nullptr);
 
-  /// Local-only step (single process, no gradient exchange).
-  StepResult StepLocal(const Batch& batch);
+  /// Deprecated: use Step(batch, &comm). Thin forwarding wrapper kept so
+  /// existing callers keep compiling.
+  StepResult Step(Communicator& comm, const Batch& batch) {
+    return Step(batch, &comm);
+  }
+
+  /// Deprecated: use Step(batch). Thin forwarding wrapper kept so
+  /// existing callers keep compiling.
+  StepResult StepLocal(const Batch& batch) { return Step(batch); }
 
   /// Runs inference over up to `max_samples` of a split, accumulating a
   /// confusion matrix (mean IoU is the Sec VII-D metric).
@@ -78,8 +100,6 @@ class RankTrainer {
   std::int64_t ParameterCount() const;
 
  private:
-  StepResult StepImpl(Communicator* comm, const Batch& batch);
-
   TrainerOptions opts_;
   std::vector<float> class_weights_;
   std::unique_ptr<Layer> model_;

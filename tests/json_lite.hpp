@@ -1,0 +1,197 @@
+#pragma once
+
+// Minimal recursive-descent JSON parser for tests: just enough to load
+// the Chrome-trace and bench-report documents the repo emits and assert
+// on their structure. Not a general-purpose parser (no \uXXXX escapes,
+// no streaming) — test-only code.
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace exaclim::testing {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+
+  const JsonValue* Find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+
+  double NumberOr(const std::string& key, double fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : fallback;
+  }
+
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const JsonValue* v = Find(key);
+    return v != nullptr && v->kind == Kind::kString ? v->string : fallback;
+  }
+};
+
+class JsonParser {
+ public:
+  /// Parses a complete document; nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<JsonValue> Parse(std::string_view text) {
+    JsonParser parser(text);
+    JsonValue value;
+    if (!parser.ParseValue(value)) return std::nullopt;
+    parser.SkipWhitespace();
+    if (parser.pos_ != parser.text_.size()) return std::nullopt;
+    return value;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          default: return false;  // \uXXXX unsupported
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      digits = true;
+      ++pos_;
+    }
+    if (!digits) return false;
+    out.kind = JsonValue::Kind::kNumber;
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      out.number = std::stod(token);
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+
+  bool ParseValue(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kObject;
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        SkipWhitespace();
+        if (!ParseString(key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(value)) return false;
+        out.object.emplace(std::move(key), std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.kind = JsonValue::Kind::kArray;
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(value)) return false;
+        out.array.push_back(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out.kind = JsonValue::Kind::kString;
+      return ParseString(out.string);
+    }
+    if (ConsumeLiteral("true")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (ConsumeLiteral("false")) {
+      out.kind = JsonValue::Kind::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (ConsumeLiteral("null")) {
+      out.kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace exaclim::testing

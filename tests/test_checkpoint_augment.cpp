@@ -227,7 +227,7 @@ TEST(Augment, TrainingWithAugmentationStillConverges) {
         rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1)};
     Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, idx);
     AugmentBatch(batch, aug, rng, 32, 32);
-    const auto r = trainer.StepLocal(batch);
+    const auto r = trainer.Step(batch);
     if (s < 8) head += r.loss;
     if (s >= steps - 8) tail += r.loss;
   }

@@ -114,7 +114,7 @@ TEST(Integration, FullDataPlaneToTraining) {
   int steps = 0;
   double first = 0, last = 0;
   while (auto batch = pipeline.Next()) {
-    const auto r = trainer.StepLocal(*batch);
+    const auto r = trainer.Step(*batch);
     if (steps == 0) first = r.loss;
     last = r.loss;
     ++steps;
@@ -166,7 +166,7 @@ TEST(Integration, CheckpointResumeContinuesTraining) {
     for (int s = 0; s < 30; ++s) {
       std::vector<std::int64_t> idx{
           rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1)};
-      (void)trainer.StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+      (void)trainer.Step(dataset.MakeBatch(DatasetSplit::kTrain, idx));
     }
     SaveCheckpoint(path, trainer.params());
     miou_at_checkpoint =
@@ -188,7 +188,7 @@ TEST(Integration, CheckpointResumeContinuesTraining) {
       std::vector<std::int64_t> idx{
           rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1)};
       const auto r =
-          trainer.StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+          trainer.Step(dataset.MakeBatch(DatasetSplit::kTrain, idx));
       EXPECT_TRUE(std::isfinite(r.loss));
     }
   }
@@ -209,7 +209,7 @@ TEST(Integration, HeuristicLabelsDriveLearnableSignal) {
   for (int s = 0; s < 80; ++s) {
     std::vector<std::int64_t> idx{
         rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1)};
-    (void)trainer.StepLocal(dataset.MakeBatch(DatasetSplit::kTrain, idx));
+    (void)trainer.Step(dataset.MakeBatch(DatasetSplit::kTrain, idx));
   }
   // Evaluate against the PLANTED truth, not the heuristic labels.
   ConfusionMatrix cm(kNumClimateClasses);

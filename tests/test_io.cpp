@@ -284,11 +284,17 @@ TEST(InputPipeline, PrefetchQueueBounded) {
   int count = 0;
   while (auto batch = pipeline.Next()) {
     max_queue.store(std::max<int>(max_queue.load(),
-                                  static_cast<int>(pipeline.QueueDepth())));
+                                  static_cast<int>(pipeline.Stats().depth)));
     ++count;
   }
   EXPECT_EQ(count, 50);
   EXPECT_LE(max_queue.load(), 3);
+  const PipelineStats stats = pipeline.Stats();
+  EXPECT_EQ(stats.total, 50);
+  EXPECT_EQ(stats.produced, 50);
+  EXPECT_EQ(stats.consumed, 50);
+  EXPECT_EQ(stats.depth, 0u);
+  EXPECT_GT(stats.produce_seconds, 0.0);  // producers sleep 1ms per batch
 }
 
 TEST(InputPipeline, ProducerParallelismHidesLatency) {

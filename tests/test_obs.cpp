@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "io/pipeline.hpp"
+#include "json_lite.hpp"
+#include "netsim/event_engine.hpp"
+#include "obs/obs.hpp"
+#include "stats/stats.hpp"
+#include "train/trainer.hpp"
+
+namespace exaclim {
+namespace {
+
+using testing::JsonParser;
+using testing::JsonValue;
+
+// ------------------------------------------------------------ registry --
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("bytes");
+  c->Add(100);
+  c->Increment();
+  EXPECT_EQ(c->value(), 101);
+
+  obs::Gauge* g = registry.GetGauge("depth");
+  g->Set(3.5);
+  EXPECT_EQ(g->value(), 3.5);
+}
+
+TEST(Metrics, HandlesAreStableAcrossLookups) {
+  obs::MetricsRegistry registry;
+  obs::Counter* first = registry.GetCounter("bytes");
+  // Register plenty of other metrics — the original handle must survive.
+  for (int i = 0; i < 64; ++i) {
+    (void)registry.GetCounter("other_" + std::to_string(i));
+    (void)registry.GetHistogram("hist_" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("bytes"), first);
+}
+
+TEST(Metrics, HistogramSummaryMatchesStatsPercentile) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.GetHistogram("step_s");
+  std::vector<double> samples;
+  // Deterministic but unsorted sample set.
+  for (int i = 0; i < 97; ++i) {
+    samples.push_back(static_cast<double>((i * 37) % 101));
+  }
+  for (const double s : samples) h->Record(s);
+
+  const obs::HistogramSummary summary = h->Summary();
+  EXPECT_EQ(summary.count, static_cast<std::int64_t>(samples.size()));
+  EXPECT_EQ(summary.min, *std::min_element(samples.begin(), samples.end()));
+  EXPECT_EQ(summary.max, *std::max_element(samples.begin(), samples.end()));
+  EXPECT_DOUBLE_EQ(summary.median, Percentile(samples, 0.5));
+  EXPECT_DOUBLE_EQ(summary.p16, Percentile(samples, 0.16));
+  EXPECT_DOUBLE_EQ(summary.p84, Percentile(samples, 0.84));
+  double mean = 0.0;
+  for (const double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  EXPECT_NEAR(summary.mean, mean, 1e-12);
+}
+
+TEST(Metrics, ReportListsEveryMetric) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("exchange.bytes")->Add(42);
+  registry.GetGauge("pipeline.queue_depth")->Set(2.0);
+  registry.GetHistogram("step.total_s")->Record(0.5);
+  const std::string report = registry.Report();
+  EXPECT_NE(report.find("exchange.bytes"), std::string::npos);
+  EXPECT_NE(report.find("pipeline.queue_depth"), std::string::npos);
+  EXPECT_NE(report.find("step.total_s"), std::string::npos);
+  EXPECT_NE(report.find("42"), std::string::npos);
+}
+
+// -------------------------------------------------------- global enable --
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::Disable(); }
+};
+
+TEST(Obs, DisabledHandlesAreNull) {
+  ASSERT_FALSE(obs::Enabled());
+  EXPECT_EQ(obs::Metrics(), nullptr);
+  EXPECT_EQ(obs::Tracer(), nullptr);
+  EXPECT_EQ(obs::CounterOrNull("x"), nullptr);
+  EXPECT_EQ(obs::GaugeOrNull("x"), nullptr);
+  EXPECT_EQ(obs::HistogramOrNull("x"), nullptr);
+}
+
+TEST_F(ObsTest, EnableInstallsGlobalHandles) {
+  obs::Enable();
+  EXPECT_TRUE(obs::Enabled());
+  ASSERT_NE(obs::Metrics(), nullptr);
+  ASSERT_NE(obs::Tracer(), nullptr);
+  obs::CounterOrNull("hits")->Increment();
+  EXPECT_EQ(obs::Metrics()->GetCounter("hits")->value(), 1);
+  obs::Disable();
+  EXPECT_EQ(obs::Metrics(), nullptr);
+  EXPECT_EQ(obs::CounterOrNull("hits"), nullptr);
+}
+
+TEST_F(ObsTest, ScopedTimerPublishesToEverySink) {
+  obs::Enable();
+  obs::Histogram* hist = obs::HistogramOrNull("timer_s");
+  double seconds = -1.0;
+  {
+    obs::ScopedTimer timer("unit.work", "test", &seconds, hist);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(seconds, 0.0);
+  const obs::HistogramSummary summary = hist->Summary();
+  EXPECT_EQ(summary.count, 1);
+  EXPECT_GT(summary.median, 0.0);
+  const auto events = obs::Tracer()->Snapshot();
+  const auto it = std::find_if(events.begin(), events.end(),
+                               [](const obs::TraceEvent& e) {
+                                 return e.name == "unit.work" && e.ph == 'X';
+                               });
+  ASSERT_NE(it, events.end());
+  EXPECT_EQ(it->cat, "test");
+  EXPECT_GT(it->dur_us, 0.0);
+}
+
+// ----------------------------------------------------------------- trace --
+
+// True when `inner` is wholly contained in `outer` on the same lane.
+bool SpanContains(const JsonValue& outer, const JsonValue& inner) {
+  const double slack = 0.5;  // microseconds, float rounding
+  return outer.NumberOr("tid", -1) == inner.NumberOr("tid", -2) &&
+         outer.NumberOr("ts", 1e30) - slack <= inner.NumberOr("ts", 0) &&
+         inner.NumberOr("ts", 0) + inner.NumberOr("dur", 0) <=
+             outer.NumberOr("ts", 0) + outer.NumberOr("dur", 0) + slack;
+}
+
+std::vector<const JsonValue*> EventsNamed(const JsonValue& doc,
+                                          const std::string& name) {
+  std::vector<const JsonValue*> out;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr) return out;
+  for (const JsonValue& e : events->array) {
+    if (e.StringOr("name", "") == name) out.push_back(&e);
+  }
+  return out;
+}
+
+TEST(Trace, JsonParsesAndSpansNest) {
+  obs::TraceRecorder recorder;
+  recorder.RecordSpanAt("outer", "test", 100.0, 900.0, 7);
+  recorder.RecordSpanAt("inner", "test", 200.0, 300.0, 7);
+  recorder.RecordCounterAt("queue", 3.0, 250.0, 7);
+
+  const auto doc = JsonParser::Parse(recorder.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->IsObject());
+
+  const auto outer = EventsNamed(*doc, "outer");
+  const auto inner = EventsNamed(*doc, "inner");
+  ASSERT_EQ(outer.size(), 1u);
+  ASSERT_EQ(inner.size(), 1u);
+  EXPECT_EQ(outer[0]->StringOr("ph", ""), "X");
+  EXPECT_TRUE(SpanContains(*outer[0], *inner[0]));
+
+  const auto counters = EventsNamed(*doc, "queue");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0]->StringOr("ph", ""), "C");
+  const JsonValue* args = counters[0]->Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->NumberOr("value", -1.0), 3.0);
+}
+
+TEST(Trace, EscapesSpecialCharactersInNames) {
+  obs::TraceRecorder recorder;
+  recorder.RecordSpanAt("weird \"name\"\n\\slash", "test", 0.0, 1.0, 1);
+  const auto doc = JsonParser::Parse(recorder.ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const auto events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->array.size(), 1u);
+  EXPECT_EQ(events->array[0].StringOr("name", ""), "weird \"name\"\n\\slash");
+}
+
+TEST(Trace, SnapshotIsTimeSortedAcrossThreads) {
+  obs::TraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 50; ++i) {
+        const auto start = obs::TraceRecorder::Clock::now();
+        recorder.RecordSpan("work", "test", start, start);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 200u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].ts_us, events[i].ts_us);
+  }
+  // Each recording thread got its own lane.
+  std::vector<int> tids;
+  for (const auto& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), 4u);
+}
+
+TEST(Trace, WriteJsonFileRoundTrips) {
+  obs::TraceRecorder recorder;
+  recorder.RecordSpanAt("span", "test", 10.0, 5.0, 1);
+  const auto path =
+      std::filesystem::temp_directory_path() / "exaclim_trace_test.json";
+  ASSERT_TRUE(recorder.WriteJsonFile(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::filesystem::remove(path);
+  const auto doc = JsonParser::Parse(buffer.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(EventsNamed(*doc, "span").size(), 1u);
+}
+
+// --------------------------------------------------------------- logging --
+
+TEST(Logging, FormatKVAlternatesKeysAndValues) {
+  EXPECT_EQ(detail::FormatKV("a", 1, "b", "x"), "a=1 b=x");
+  EXPECT_EQ(detail::FormatKV("loss", 0.5), "loss=0.5");
+  EXPECT_EQ(detail::FormatKV(), "");
+}
+
+// -------------------------------------------------------- instrumentation --
+
+TEST(StepTimings, PopulatedWithoutObservability) {
+  ASSERT_FALSE(obs::Enabled());
+  ClimateDataset::Options data_opts;
+  data_opts.num_samples = 12;
+  data_opts.generator.height = 32;
+  data_opts.generator.width = 32;
+  data_opts.channels = {kTMQ, kU850, kV850, kPSL};
+  ClimateDataset dataset(data_opts);
+  TrainerOptions opts;
+  opts.tiramisu = Tiramisu::Config::Downscaled(4);
+  const auto freq = dataset.MeasureFrequencies(4);
+  RankTrainer trainer(
+      opts, MakeClassWeights(freq, WeightingScheme::kInverseSqrt), 0);
+  const Batch batch =
+      dataset.MakeBatch(DatasetSplit::kTrain, std::vector<std::int64_t>{0});
+  const auto result = trainer.Step(batch);
+  EXPECT_GT(result.timings.forward_seconds, 0.0);
+  EXPECT_GT(result.timings.backward_seconds, 0.0);
+  EXPECT_GT(result.timings.update_seconds, 0.0);
+  EXPECT_EQ(result.timings.exchange_seconds, 0.0);  // local step
+  EXPECT_GE(result.timings.total_seconds,
+            result.timings.forward_seconds +
+                result.timings.backward_seconds +
+                result.timings.update_seconds);
+}
+
+TEST_F(ObsTest, EndToEndTraceHasNestedStepSpansAndQueueDepth) {
+  obs::Enable();
+
+  ClimateDataset::Options data_opts;
+  data_opts.num_samples = 12;
+  data_opts.generator.height = 32;
+  data_opts.generator.width = 32;
+  data_opts.channels = {kTMQ, kU850, kV850, kPSL};
+  ClimateDataset dataset(data_opts);
+  TrainerOptions opts;
+  opts.tiramisu = Tiramisu::Config::Downscaled(4);
+  opts.exchanger.transport = ReduceTransport::kMpiRing;
+  const auto freq = dataset.MeasureFrequencies(4);
+  const auto weights = MakeClassWeights(freq, WeightingScheme::kInverseSqrt);
+
+  constexpr std::int64_t kSteps = 3;
+  SimWorld world(2);
+  world.Run([&](Communicator& comm) {
+    RankTrainer trainer(opts, weights, comm.rank());
+    InputPipeline pipeline(
+        [&](std::int64_t index) {
+          return dataset.MakeBatch(
+              DatasetSplit::kTrain,
+              std::vector<std::int64_t>{index % dataset.size(
+                                                    DatasetSplit::kTrain)});
+        },
+        kSteps, {.workers = 2, .prefetch_depth = 2});
+    while (auto batch = pipeline.Next()) {
+      (void)trainer.Step(*batch, &comm);
+    }
+  });
+
+  // The registry saw the hvd and io instrumentation.
+  ASSERT_NE(obs::Metrics(), nullptr);
+  EXPECT_GT(obs::Metrics()->GetCounter("exchange.bytes")->value(), 0);
+  EXPECT_EQ(obs::Metrics()->GetHistogram("step.total_s")->Summary().count,
+            2 * kSteps);
+
+  const auto doc = JsonParser::Parse(obs::Tracer()->ToJson());
+  ASSERT_TRUE(doc.has_value());
+
+  const auto steps = EventsNamed(*doc, "step");
+  ASSERT_EQ(steps.size(), 2u * kSteps);
+  // Every per-phase span nests inside a "step" span on the same lane.
+  for (const char* phase :
+       {"step.forward", "step.backward", "step.exchange", "step.update"}) {
+    const auto spans = EventsNamed(*doc, phase);
+    ASSERT_EQ(spans.size(), 2u * kSteps) << phase;
+    for (const JsonValue* span : spans) {
+      const bool nested =
+          std::any_of(steps.begin(), steps.end(),
+                      [&](const JsonValue* s) {
+                        return SpanContains(*s, *span);
+                      });
+      EXPECT_TRUE(nested) << phase << " span not inside any step span";
+    }
+  }
+  // The exchange instrumentation nests one level deeper still.
+  const auto exchanges = EventsNamed(*doc, "exchange.allreduce");
+  ASSERT_EQ(exchanges.size(), 2u * kSteps);
+
+  // Queue-depth counter track from the input pipeline.
+  const auto depth = EventsNamed(*doc, "pipeline.queue_depth");
+  ASSERT_GE(depth.size(), 2u * kSteps);
+  for (const JsonValue* d : depth) {
+    EXPECT_EQ(d->StringOr("ph", ""), "C");
+    ASSERT_NE(d->Find("args"), nullptr);
+    EXPECT_GE(d->Find("args")->NumberOr("value", -1.0), 0.0);
+  }
+}
+
+TEST_F(ObsTest, SimulatedOverlapExportsSimLanes) {
+  obs::Enable();
+  OverlapConfig config;
+  config.steps = 6;
+  config.compute_seconds = 1.0;
+  config.bandwidth = 1e9;
+  config.latency = 1e-4;
+  config.bucket_bytes = {1e6, 1e6};
+  config.bucket_ready_s = {0.4, 0.9};
+  (void)SimulateOverlap(config);
+
+  const auto doc = JsonParser::Parse(obs::Tracer()->ToJson());
+  ASSERT_TRUE(doc.has_value());
+  const auto compute = EventsNamed(*doc, "sim.compute");
+  const auto transfer = EventsNamed(*doc, "sim.transfer");
+  EXPECT_EQ(compute.size(), 6u);
+  EXPECT_EQ(transfer.size(), 12u);
+  for (const JsonValue* e : compute) {
+    EXPECT_EQ(e->NumberOr("tid", -1), obs::TraceRecorder::kSimTid);
+  }
+  for (const JsonValue* e : transfer) {
+    EXPECT_EQ(e->NumberOr("tid", -1), obs::TraceRecorder::kSimTid + 1);
+  }
+}
+
+}  // namespace
+}  // namespace exaclim

@@ -17,6 +17,8 @@
 #include "common/thread_pool.hpp"
 #include "data/dataset.hpp"
 #include "io/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
 namespace exaclim {
@@ -167,6 +169,106 @@ TEST(ThreadPoolStress, RapidConstructDestroy) {
         },
         /*grain=*/16);
     EXPECT_EQ(touched.load(), 256);
+  }
+}
+
+// Metrics registry under concurrent registration and recording: threads
+// race to create the same handles (first-use registration) and hammer
+// them. Counters must not lose increments; handle pointers must agree.
+TEST(ObsStress, RegistryConcurrentRegistrationAndRecording) {
+  obs::MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<obs::Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      obs::Counter* counter = registry.GetCounter("shared.counter");
+      handles[static_cast<std::size_t>(t)] = counter;
+      obs::Gauge* gauge = registry.GetGauge("shared.gauge");
+      obs::Histogram* hist =
+          registry.GetHistogram("hist." + std::to_string(t % 3));
+      for (int i = 0; i < kIters; ++i) {
+        counter->Increment();
+        gauge->Set(static_cast<double>(i));
+        hist->Record(static_cast<double>(i));
+        // Interleave fresh registrations with hot recording.
+        if (i % 256 == 0) {
+          (void)registry.GetCounter("thread." + std::to_string(t));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared.counter")->value(),
+            static_cast<std::int64_t>(kThreads) * kIters);
+  for (const obs::Counter* h : handles) EXPECT_EQ(h, handles[0]);
+  std::int64_t hist_total = 0;
+  for (int b = 0; b < 3; ++b) {
+    hist_total +=
+        registry.GetHistogram("hist." + std::to_string(b))->Summary().count;
+  }
+  EXPECT_EQ(hist_total, static_cast<std::int64_t>(kThreads) * kIters);
+}
+
+// Trace recorder under concurrent span recording from many threads, with
+// Snapshot/ToJson readers racing the writers (the report is printed while
+// worker threads may still be recording).
+TEST(ObsStress, TraceRecorderConcurrentSpansAndSnapshots) {
+  obs::TraceRecorder recorder;
+  constexpr int kWriters = 6;
+  constexpr int kSpansPerWriter = 1500;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < kSpansPerWriter; ++i) {
+        const auto start = obs::TraceRecorder::Clock::now();
+        recorder.RecordSpan("stress.span", "test", start, start);
+        if (i % 100 == 0) recorder.RecordCounter("stress.counter", i);
+      }
+    });
+  }
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      (void)recorder.Snapshot();
+      (void)recorder.ToJson();
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  std::size_t spans = 0;
+  for (const auto& e : recorder.Snapshot()) {
+    if (e.name == "stress.span") ++spans;
+  }
+  EXPECT_EQ(spans, static_cast<std::size_t>(kWriters) * kSpansPerWriter);
+}
+
+// One recorder per round, many short-lived threads: exercises the
+// thread-local buffer cache across recorder generations (a stale cache
+// keyed only by address would alias a dead recorder's buffer).
+TEST(ObsStress, TraceRecorderGenerationsDoNotAliasThreadCache) {
+  for (int round = 0; round < 20; ++round) {
+    obs::TraceRecorder recorder;
+    // The main thread records into every generation: its cached buffer
+    // pointer from the previous (destroyed) recorder must not be reused.
+    recorder.RecordCounter("gen.counter", round);
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        const auto start = obs::TraceRecorder::Clock::now();
+        for (int i = 0; i < 50; ++i) {
+          recorder.RecordSpan("gen.span", "test", start, start);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(recorder.Snapshot().size(), 201u);
   }
 }
 

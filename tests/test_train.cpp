@@ -37,7 +37,7 @@ TEST(RankTrainer, LossDecreasesOnFixedBatch) {
   const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, idx);
   double first = 0, last = 0;
   for (int s = 0; s < 12; ++s) {
-    const auto r = trainer.StepLocal(batch);
+    const auto r = trainer.Step(batch);
     if (s == 0) first = r.loss;
     last = r.loss;
     EXPECT_TRUE(r.update_applied);
@@ -57,7 +57,7 @@ TEST(RankTrainer, DeepLabVariantTrains) {
       dataset.MakeBatch(DatasetSplit::kTrain, std::vector<std::int64_t>{1});
   double first = 0, last = 0;
   for (int s = 0; s < 8; ++s) {
-    const auto r = trainer.StepLocal(batch);
+    const auto r = trainer.Step(batch);
     if (s == 0) first = r.loss;
     last = r.loss;
   }
@@ -81,7 +81,7 @@ TEST(RankTrainer, ReplicasStayIdenticalAcrossRanks) {
       const std::vector<std::int64_t> idx{
           rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1)};
       const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, idx);
-      (void)trainer.Step(comm, batch);
+      (void)trainer.Step(batch, &comm);
     }
     auto& out = final_weights[static_cast<std::size_t>(comm.rank())];
     for (const Param* p : trainer.params()) {
@@ -107,7 +107,7 @@ TEST(RankTrainer, FP16TrainingRunsWithLossScaling) {
   double first = 0, last = 0;
   int applied = 0;
   for (int s = 0; s < 12; ++s) {
-    const auto r = trainer.StepLocal(batch);
+    const auto r = trainer.Step(batch);
     EXPECT_EQ(r.loss_scale, 256.0f);
     if (s == 0) first = r.loss;
     last = r.loss;

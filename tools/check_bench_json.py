@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Validates BENCH_<name>.json files against the exaclim-bench-v1 schema.
+
+Usage:
+    tools/check_bench_json.py BENCH_input_pipeline.json [more.json ...]
+
+Schema (emitted by obs::BenchReport):
+    {
+      "bench":  "<name>",
+      "schema": "exaclim-bench-v1",
+      "metrics": {
+        "<metric>": {"count": N, "median": x, "lo": x, "hi": x},
+        ...
+      }
+    }
+
+Checks: required keys present, count >= 1, lo <= median <= hi, all
+values finite. Exit code 0 when every file passes.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "exaclim-bench-v1"
+
+
+def check_file(path: str) -> list[str]:
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if not isinstance(doc.get("bench"), str) or not doc.get("bench"):
+        errors.append(f"{path}: missing or empty 'bench' name")
+    if doc.get("schema") != SCHEMA:
+        errors.append(
+            f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        return errors + [f"{path}: 'metrics' missing or empty"]
+
+    for name, entry in metrics.items():
+        where = f"{path}: metric {name!r}"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        missing = [k for k in ("count", "median", "lo", "hi")
+                   if k not in entry]
+        if missing:
+            errors.append(f"{where}: missing keys {missing}")
+            continue
+        count, median = entry["count"], entry["median"]
+        lo, hi = entry["lo"], entry["hi"]
+        if not isinstance(count, int) or count < 1:
+            errors.append(f"{where}: count must be an integer >= 1")
+        for key in ("median", "lo", "hi"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                errors.append(f"{where}: {key} is not a finite number")
+                break
+        else:
+            if not lo <= median <= hi:
+                errors.append(
+                    f"{where}: expected lo <= median <= hi, got "
+                    f"{lo} / {median} / {hi}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failures.extend(errors)
+        else:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["metrics"])
+            print(f"ok: {path} ({n} metrics)")
+    for e in failures:
+        print(f"FAIL: {e}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -7,8 +7,9 @@
 # Stages:
 #   1. tools/lint.py repo rules (+ clang-tidy when installed)
 #   2. tier-1: Release build + full ctest suite      (preset: release)
-#   3. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
-#   4. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
+#   3. bench-smoke: one bench run + BENCH_*.json schema validation
+#   4. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
+#   5. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -36,22 +37,30 @@ run cmake --preset release
 run cmake --build --preset release -j "$JOBS"
 run ctest --preset release -j "$JOBS"
 
+# ---- 3. bench-smoke ------------------------------------------------------
+# One representative bench must run, emit its BENCH_<name>.json next to
+# the build tree, and pass the exaclim-bench-v1 schema check.
+BENCH_DIR=$(mktemp -d)
+run env EXACLIM_BENCH_DIR="$BENCH_DIR" ./build/bench/bench_input_pipeline
+run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_*.json
+rm -rf "$BENCH_DIR"
+
 if [[ "$FAST" == 1 ]]; then
   echo
-  echo "ci.sh --fast: lint + tier-1 OK"
+  echo "ci.sh --fast: lint + tier-1 + bench-smoke OK"
   exit 0
 fi
 
-# ---- 3. ASan + UBSan -----------------------------------------------------
+# ---- 4. ASan + UBSan -----------------------------------------------------
 run cmake --preset asan
 run cmake --build --preset asan -j "$JOBS"
 run env ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --preset asan -j "$JOBS"
 
-# ---- 4. TSan (stress-labelled tests) -------------------------------------
+# ---- 5. TSan (stress-labelled tests) -------------------------------------
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$JOBS"
 run env TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan -j "$JOBS"
 
 echo
-echo "ci.sh: all gates green (lint, tier-1, asan+ubsan, tsan-stress)"
+echo "ci.sh: all gates green (lint, tier-1, bench-smoke, asan+ubsan, tsan-stress)"
