@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <exception>
+#include <limits>
+#include <string>
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace exaclim {
 
@@ -25,7 +28,11 @@ void Communicator::Send(int dst, int tag, std::span<const std::byte> data) {
 }
 
 int Communicator::Recv(int src, int tag, std::span<std::byte> data) {
-  SimWorld::Message message = world_->Take(rank_, src, tag);
+  SimWorld::Message message;
+  const RecvStatus status = world_->Take(rank_, src, tag, -1.0, &message);
+  EXACLIM_CHECK(status != RecvStatus::kPeerDead,
+                "rank " << rank_ << ": blocking Recv from dead rank " << src
+                        << " (tag " << tag << ") can never complete");
   EXACLIM_CHECK(message.payload.size() == data.size(),
                 "recv size mismatch: got " << message.payload.size()
                                            << " expected " << data.size()
@@ -37,10 +44,41 @@ int Communicator::Recv(int src, int tag, std::span<std::byte> data) {
 
 std::vector<std::byte> Communicator::RecvAny(int src, int tag,
                                              int* actual_src) {
-  SimWorld::Message message = world_->Take(rank_, src, tag);
+  SimWorld::Message message;
+  const RecvStatus status = world_->Take(rank_, src, tag, -1.0, &message);
+  EXACLIM_CHECK(status != RecvStatus::kPeerDead,
+                "rank " << rank_ << ": blocking RecvAny from dead rank "
+                        << src << " (tag " << tag
+                        << ") can never complete");
   if (actual_src != nullptr) *actual_src = message.src;
   ++messages_received_;
   return std::move(message.payload);
+}
+
+RecvResult Communicator::RecvTimeout(int src, int tag,
+                                     double timeout_seconds) {
+  SimWorld::Message message;
+  RecvResult result;
+  result.status = world_->Take(rank_, src, tag,
+                               std::max(timeout_seconds, 0.0), &message);
+  if (result.status == RecvStatus::kOk) {
+    result.src = message.src;
+    result.payload = std::move(message.payload);
+    ++messages_received_;
+  } else if (result.status == RecvStatus::kTimeout) {
+    FaultCounterBump("fault.comm.recv_timeouts");
+  } else {
+    FaultCounterBump("fault.comm.recv_peer_dead");
+  }
+  return result;
+}
+
+RecvResult Communicator::TryRecv(int src, int tag) {
+  return RecvTimeout(src, tag, 0.0);
+}
+
+bool Communicator::PeerDead(int rank) const {
+  return world_->RankDead(rank);
 }
 
 // ------------------------------------------------------------ SimWorld --
@@ -57,6 +95,27 @@ SimWorld::~SimWorld() = default;
 
 void SimWorld::Deliver(int dst, Message message) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  if (box.dead.load(std::memory_order_acquire)) {
+    FaultCounterBump("fault.comm.send_to_dead");
+    return;
+  }
+  // Fault points are consulted before any lock is taken: the injector
+  // has its own (unranked) mutex and the metric sink takes registry
+  // locks.
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.ArmedSiteCount() > 0) {
+    if (injector.ShouldInject("comm.drop")) {
+      FaultCounterBump("fault.comm.dropped_messages");
+      return;
+    }
+    if (injector.ShouldInject("comm.delay")) {
+      message.deliver_after =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 injector.DelaySeconds("comm.delay")));
+      FaultCounterBump("fault.comm.delayed_messages");
+    }
+  }
   {
     MutexLock lock(box.mutex);
     box.messages.push_back(std::move(message));
@@ -64,15 +123,29 @@ void SimWorld::Deliver(int dst, Message message) {
   box.cv.NotifyAll();
 }
 
-SimWorld::Message SimWorld::Take(int dst, int src, int tag) {
+RecvStatus SimWorld::Take(int dst, int src, int tag, double timeout_seconds,
+                          Message* out) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
+  const bool bounded = timeout_seconds >= 0.0;
+  const Clock::time_point deadline =
+      bounded ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(
+                                       timeout_seconds))
+              : Clock::time_point::max();
   MutexLock lock(box.mutex);
   for (;;) {
+    const Clock::time_point now = Clock::now();
+    // Scan for a matching, due message; track the earliest delayed match
+    // so the wait below wakes exactly when it becomes deliverable.
+    Clock::time_point earliest_due = Clock::time_point::max();
     for (auto it = box.messages.begin(); it != box.messages.end(); ++it) {
       if ((src == kAnySource || it->src == src) && it->tag == tag) {
-        Message message = std::move(*it);
-        box.messages.erase(it);
-        return message;
+        if (it->deliver_after <= now) {
+          *out = std::move(*it);
+          box.messages.erase(it);
+          return RecvStatus::kOk;
+        }
+        earliest_due = std::min(earliest_due, it->deliver_after);
       }
     }
     if (box.poisoned) {
@@ -80,15 +153,54 @@ SimWorld::Message SimWorld::Take(int dst, int src, int tag) {
                   ": world poisoned while waiting for message (src=" +
                   std::to_string(src) + ", tag=" + std::to_string(tag) + ")");
     }
-    box.cv.Wait(lock);
+    // A dead, message-less source can never satisfy the receive. (With
+    // kAnySource the caller's deadline is the only exit.)
+    if (src != kAnySource &&
+        mailboxes_[static_cast<std::size_t>(src)]->dead.load(
+            std::memory_order_acquire) &&
+        earliest_due == Clock::time_point::max()) {
+      return RecvStatus::kPeerDead;
+    }
+    Clock::time_point wake = std::min(deadline, earliest_due);
+    if (wake == Clock::time_point::max()) {
+      box.cv.Wait(lock);
+      continue;
+    }
+    if (now >= deadline) return RecvStatus::kTimeout;
+    const double wait_s =
+        std::chrono::duration<double>(wake - now).count();
+    box.cv.WaitFor(lock, wait_s);
   }
 }
 
+void SimWorld::KillRank(int rank) {
+  EXACLIM_CHECK(rank >= 0 && rank < size_, "kill of invalid rank " << rank);
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  box.dead.store(true, std::memory_order_release);
+  {
+    MutexLock lock(box.mutex);
+    box.messages.clear();
+  }
+  FaultCounterBump("fault.comm.rank_kills");
+  // Wake every waiter in the world: peers blocked in timed receives on
+  // this rank must re-check the dead flag and report kPeerDead now
+  // rather than at their deadline.
+  for (auto& other : mailboxes_) other->cv.NotifyAll();
+}
+
+bool SimWorld::RankDead(int rank) const {
+  EXACLIM_CHECK(rank >= 0 && rank < size_,
+                "liveness query for invalid rank " << rank);
+  return mailboxes_[static_cast<std::size_t>(rank)]->dead.load(
+      std::memory_order_acquire);
+}
+
 void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
-  // Reset poison/counters from any previous run.
+  // Reset poison/dead state from any previous run.
   for (auto& box : mailboxes_) {
     MutexLock lock(box->mutex);
     box->poisoned = false;
+    box->dead.store(false, std::memory_order_release);
   }
   std::vector<Communicator> comms;
   comms.reserve(static_cast<std::size_t>(size_));
@@ -99,6 +211,15 @@ void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     threads.emplace_back([&, r] {
+      // Launch-time rank death ("comm.kill.<rank>"): the rank is marked
+      // dead and its function never runs — the surviving ranks must make
+      // progress through their timeout/degradation paths.
+      FaultInjector& injector = FaultInjector::Global();
+      if (injector.ArmedSiteCount() > 0 &&
+          injector.ShouldInject("comm.kill." + std::to_string(r))) {
+        KillRank(r);
+        return;
+      }
       try {
         fn(comms[static_cast<std::size_t>(r)]);
       } catch (...) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -9,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -19,11 +22,31 @@ inline constexpr int kAnySource = -1;
 
 class SimWorld;
 
+/// Outcome of a deadline-based receive.
+enum class RecvStatus {
+  kOk,        // message delivered
+  kTimeout,   // deadline passed with no matching message
+  kPeerDead,  // the requested source rank is dead and sent nothing
+};
+
+struct RecvResult {
+  RecvStatus status = RecvStatus::kTimeout;
+  int src = -1;
+  std::vector<std::byte> payload;
+
+  bool ok() const { return status == RecvStatus::kOk; }
+};
+
 /// Per-rank handle into a SimWorld: blocking tagged point-to-point
 /// messaging, plus counters used by the control-plane experiments. All
 /// collectives (comm/collectives.hpp) are built on these primitives, the
 /// same way MPI collectives are built on sends — so the hierarchical
 /// Horovod algorithms in hvd/ genuinely execute their message patterns.
+///
+/// Fault semantics (DESIGN §8): Send to a dead rank is silently dropped;
+/// blocking Recv from a dead rank throws exaclim::Error (it can never
+/// complete); RecvTimeout/TryRecv report kPeerDead instead. The
+/// FaultInjector sites "comm.drop" / "comm.delay" act at delivery time.
 class Communicator {
  public:
   Communicator(SimWorld& world, int rank) : world_(&world), rank_(rank) {}
@@ -38,6 +61,17 @@ class Communicator {
   int Recv(int src, int tag, std::span<std::byte> data);
   /// Receives a message of unknown size (returns payload; sets src).
   std::vector<std::byte> RecvAny(int src, int tag, int* actual_src = nullptr);
+
+  /// Deadline-based receive: waits at most `timeout_seconds` for a
+  /// matching message. Never blocks past the deadline, so callers can
+  /// detect dead or unresponsive peers instead of hanging forever.
+  RecvResult RecvTimeout(int src, int tag, double timeout_seconds);
+  /// Non-blocking receive: returns immediately with whatever is queued.
+  RecvResult TryRecv(int src, int tag);
+
+  /// True when `rank` has been killed (SimWorld::KillRank or an armed
+  /// "comm.kill.<rank>" fault site).
+  bool PeerDead(int rank) const;
 
   // Typed convenience wrappers.
   template <typename T>
@@ -59,6 +93,20 @@ class Communicator {
     if (actual_src != nullptr) *actual_src = s;
     return value;
   }
+  /// Timed scalar receive; `*value` is written only on kOk.
+  template <typename T>
+  RecvStatus RecvValueTimeout(int src, int tag, double timeout_seconds,
+                              T* value, int* actual_src = nullptr) {
+    RecvResult r = RecvTimeout(src, tag, timeout_seconds);
+    if (!r.ok()) return r.status;
+    EXACLIM_CHECK(r.payload.size() == sizeof(T),
+                  "recv size mismatch: got " << r.payload.size()
+                                             << " expected " << sizeof(T)
+                                             << " (tag " << tag << ")");
+    std::memcpy(value, r.payload.data(), sizeof(T));
+    if (actual_src != nullptr) *actual_src = r.src;
+    return RecvStatus::kOk;
+  }
 
   std::int64_t messages_sent() const { return messages_sent_; }
   std::int64_t bytes_sent() const { return bytes_sent_; }
@@ -79,6 +127,11 @@ class Communicator {
 /// messages through per-destination mailboxes. The stand-in for MPI on
 /// this substrate — collective *algorithms* run for real; only transport
 /// time is left to netsim's analytic model.
+///
+/// Fault injection: SimWorld consults FaultInjector::Global() at two
+/// points — per-message delivery ("comm.drop" / "comm.delay") and per
+/// rank at Run entry ("comm.kill.<rank>", which marks the rank dead and
+/// never runs its function, emulating a node lost at job launch).
 class SimWorld {
  public:
   explicit SimWorld(int size);
@@ -94,6 +147,13 @@ class SimWorld {
   /// ranks finish or the world is poisoned.
   void Run(const std::function<void(Communicator&)>& fn);
 
+  /// Marks a rank dead mid-run: its queued messages are discarded, later
+  /// sends to it are dropped, and peers waiting on it are woken so their
+  /// timed receives can report kPeerDead. Safe to call from any rank's
+  /// thread. Dead flags reset at the next Run.
+  void KillRank(int rank);
+  bool RankDead(int rank) const;
+
   /// Total messages/bytes across all ranks in the last Run.
   std::int64_t total_messages() const { return total_messages_; }
   std::int64_t total_bytes() const { return total_bytes_; }
@@ -101,10 +161,15 @@ class SimWorld {
  private:
   friend class Communicator;
 
+  using Clock = std::chrono::steady_clock;
+
   struct Message {
     int src;
     int tag;
     std::vector<std::byte> payload;
+    // Injected-delay support: the message exists in the mailbox but is
+    // not matchable until this instant ("comm.delay" site).
+    Clock::time_point deliver_after{};
   };
 
   struct Mailbox {
@@ -112,10 +177,17 @@ class SimWorld {
     CondVar cv;
     std::deque<Message> messages EXACLIM_GUARDED_BY(mutex);
     bool poisoned EXACLIM_GUARDED_BY(mutex) = false;
+    // Readable without the mailbox lock (peers check it while holding
+    // their own mailbox mutex).
+    std::atomic<bool> dead{false};
   };
 
   void Deliver(int dst, Message message);
-  Message Take(int dst, int src, int tag);
+  /// Core matching loop. timeout_seconds < 0 waits forever. On kOk the
+  /// message is moved into *out. Throws exaclim::Error when the world is
+  /// poisoned while waiting.
+  RecvStatus Take(int dst, int src, int tag, double timeout_seconds,
+                  Message* out);
 
   int size_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

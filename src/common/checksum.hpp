@@ -1,0 +1,22 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace exaclim {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// in the checkpoint footer. `seed` is a previous Crc32 result, so large
+/// payloads can be checksummed incrementally:
+///
+///   std::uint32_t crc = Crc32(part1);
+///   crc = Crc32(part2, crc);
+std::uint32_t Crc32(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+inline std::uint32_t Crc32(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0) {
+  return Crc32(std::as_bytes(data), seed);
+}
+
+}  // namespace exaclim

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -128,6 +129,16 @@ class CondVar {
   template <typename Pred>
   void Wait(MutexLock& lock, Pred&& pred) {
     while (!pred()) Wait(lock);
+  }
+
+  /// Timed wait: blocks for at most `seconds`. Returns false on timeout,
+  /// true when notified (possibly spuriously — callers loop on their
+  /// predicate either way). The deadline-based receive paths
+  /// (Communicator::RecvTimeout) are built on this.
+  bool WaitFor(MutexLock& lock, double seconds) {
+    if (seconds <= 0.0) return false;
+    return cv_.wait_for(lock.lock_, std::chrono::duration<double>(seconds)) ==
+           std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

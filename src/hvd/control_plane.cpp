@@ -46,7 +46,7 @@ std::vector<int> FlatControlPlane::NegotiateOrder(
     // rank's local scheduling order.
     for (const int id : ready_ids) comm.SendValue(0, kTagReady, id);
     std::vector<int> order(static_cast<std::size_t>(n));
-    comm.RecvT(0, kTagOrder, std::span<int>(order));
+    comm.RecvT(0, kTagOrder, std::span<int>(order));  // fault: blocking-ok
     return order;
   }
 
@@ -57,7 +57,8 @@ std::vector<int> FlatControlPlane::NegotiateOrder(
   for (const int id : ready_ids) counts[id] = 1;  // own readiness
   std::int64_t expected = (p - 1) * n;
   while (expected-- > 0) {
-    const int id = comm.RecvValue<int>(kAnySource, kTagReady);
+    const int id =
+        comm.RecvValue<int>(kAnySource, kTagReady);  // fault: blocking-ok
     if (++counts[id] == p) order.push_back(id);
   }
   EXACLIM_CHECK(static_cast<std::int64_t>(order.size()) == n,
@@ -115,7 +116,8 @@ std::vector<int> HierarchicalControlPlane::NegotiateOrder(
   }
   std::int64_t expected = static_cast<std::int64_t>(children.size()) * n;
   while (expected-- > 0) {
-    const int id = comm.RecvValue<int>(kAnySource, kTagReady);
+    const int id =
+        comm.RecvValue<int>(kAnySource, kTagReady);  // fault: blocking-ok
     if (++counts[id] == needed) on_complete(id);
   }
 
@@ -125,7 +127,8 @@ std::vector<int> HierarchicalControlPlane::NegotiateOrder(
                   "root: incomplete readiness aggregation");
   } else {
     order.resize(static_cast<std::size_t>(n));
-    comm.RecvT(Parent(rank, radix_), kTagOrder, std::span<int>(order));
+    comm.RecvT(Parent(rank, radix_),  // fault: blocking-ok
+               kTagOrder, std::span<int>(order));
   }
   for (const int child : children) {
     comm.SendT(child, kTagOrder, std::span<const int>(order));

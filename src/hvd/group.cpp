@@ -36,7 +36,7 @@ void GroupBroadcast(Communicator& comm, const RankGroup& group,
     while (mask <= vrank) mask <<= 1;
     mask >>= 1;
     const int parent = group.WorldRank(((vrank - mask) + root_index) % n);
-    comm.RecvT(parent, tag, data);
+    comm.RecvT(parent, tag, data);  // fault: blocking-ok
   }
   int mask = 1;
   while (mask <= vrank) mask <<= 1;
@@ -63,7 +63,8 @@ void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
     }
     const int vsrc = vrank + mask;
     if (vsrc < n) {
-      comm.RecvT(group.WorldRank((vsrc + root_index) % n), tag,
+      comm.RecvT(group.WorldRank((vsrc + root_index) % n),  // fault: blocking-ok
+                 tag,
                  std::span<float>(incoming));
       AddInto(data, incoming);
     }
@@ -87,7 +88,8 @@ void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
     comm.SendT(next, tag + k,
                std::span<const float>(data.data() + s.offset, s.count));
-    comm.RecvT(prev, tag + k, std::span<float>(incoming.data(), r.count));
+    comm.RecvT(prev, tag + k,  // fault: blocking-ok
+               std::span<float>(incoming.data(), r.count));
     AddInto(std::span<float>(data.data() + r.offset, r.count),
             std::span<const float>(incoming.data(), r.count));
   }
@@ -98,7 +100,7 @@ void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
     comm.SendT(next, tag + n + k,
                std::span<const float>(data.data() + s.offset, s.count));
-    comm.RecvT(prev, tag + n + k,
+    comm.RecvT(prev, tag + n + k,  // fault: blocking-ok
                std::span<float>(data.data() + r.offset, r.count));
   }
 }

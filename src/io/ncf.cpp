@@ -125,11 +125,27 @@ bool NcfReader::Has(const std::string& name) const {
   return false;
 }
 
+// Recoverable lookup failure (DESIGN §8): callers probing for optional
+// datasets — e.g. a checkpoint loader meeting an older file layout — can
+// catch this, so the message lists what IS in the file to make the
+// mismatch diagnosable.
+[[noreturn]] void NcfReader::ThrowNoSuchDataset(
+    const std::string& name) const {
+  std::string present;
+  for (const Entry& e : entries_) {
+    if (!present.empty()) present += ", ";
+    present += e.name;
+  }
+  if (present.empty()) present = "<none>";
+  throw Error("no dataset named " + name + " in " + path_.string() +
+              " (present: " + present + ")");
+}
+
 std::int64_t NcfReader::Count(const std::string& name) const {
   for (const Entry& e : entries_) {
     if (e.name == name) return e.count;
   }
-  EXACLIM_FATAL("no dataset named " << name << " in " << path_);
+  ThrowNoSuchDataset(name);
 }
 
 const NcfReader::Entry& NcfReader::Find(const std::string& name,
@@ -141,7 +157,7 @@ const NcfReader::Entry& NcfReader::Find(const std::string& name,
       return e;
     }
   }
-  EXACLIM_FATAL("no dataset named " << name << " in " << path_);
+  ThrowNoSuchDataset(name);
 }
 
 std::vector<std::uint8_t> NcfReader::ReadPayload(const Entry& entry,

@@ -68,6 +68,7 @@ class NcfReader {
     std::int64_t count;
     std::int64_t offset;
   };
+  [[noreturn]] void ThrowNoSuchDataset(const std::string& name) const;
   const Entry& Find(const std::string& name, int dtype) const;
   std::vector<std::uint8_t> ReadPayload(const Entry& entry,
                                         std::size_t elem_size) const;

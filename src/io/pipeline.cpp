@@ -1,8 +1,11 @@
 #include "io/pipeline.hpp"
 
 #include <chrono>
+#include <exception>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace exaclim {
@@ -58,10 +61,13 @@ void InputPipeline::CheckQueueInvariants() const {
       produced_ - consumed_ == static_cast<std::int64_t>(queue_.size()),
       "queue holds " << queue_.size() << " batches but accounting says "
                      << (produced_ - consumed_));
-  EXACLIM_DCHECK(next_index_ <= total_ && produced_ <= next_index_,
-                 "index bookkeeping out of range: next=" << next_index_
-                                                         << " produced="
-                                                         << produced_);
+  EXACLIM_DCHECK(next_index_ <= total_ && produced_ + skipped_ <= next_index_,
+                 "index bookkeeping out of range: next="
+                     << next_index_ << " produced=" << produced_
+                     << " skipped=" << skipped_);
+  EXACLIM_DCHECK(
+      skipped_ == static_cast<std::int64_t>(producer_failures_),
+      "every skipped batch must come from a permanent producer failure");
 }
 
 void InputPipeline::WorkerLoop() {
@@ -72,15 +78,50 @@ void InputPipeline::WorkerLoop() {
       if (stop_ || next_index_ >= total_) return;
       index = next_index_++;
     }
-    // Produce outside the lock — this is where the parallelism lives.
+    // Produce outside the lock — this is where the parallelism lives. A
+    // throwing producer must never terminate this thread (that would
+    // std::terminate the process) or strand Next() callers: the batch is
+    // retried, then skipped with its exception parked for a consumer.
     double produce_seconds = 0.0;
-    Batch batch;
-    {
-      obs::ScopedTimer timer("pipeline.produce", "io", &produce_seconds,
-                             obs::HistogramOrNull("pipeline.produce_s"));
-      batch = producer_(index);
+    std::optional<Batch> batch;
+    std::exception_ptr error;
+    std::int64_t retries = 0;
+    for (int attempt = 0; attempt <= opts_.producer_retries; ++attempt) {
+      if (attempt > 0) {
+        ++retries;
+        FaultCounterBump("fault.pipeline.producer_retries");
+      }
+      try {
+        obs::ScopedTimer timer("pipeline.produce", "io", &produce_seconds,
+                               obs::HistogramOrNull("pipeline.produce_s"));
+        if (FaultInjector::Global().ShouldInject("pipeline.produce")) {
+          throw Error("injected fault: pipeline.produce of batch " +
+                      std::to_string(index));
+        }
+        batch = producer_(index);
+        error = nullptr;
+        break;
+      } catch (...) {
+        error = std::current_exception();
+      }
     }
     std::size_t depth = 0;
+    if (!batch.has_value()) {
+      FaultCounterBump("fault.pipeline.producer_failures");
+      {
+        MutexLock lock(mutex_);
+        ++skipped_;
+        ++producer_failures_;
+        producer_retries_ += retries;
+        produce_seconds_ += produce_seconds;
+        pending_errors_.push_back(error);
+        CheckQueueInvariants();
+      }
+      // Every waiter must re-evaluate: the skip may complete the total,
+      // and the parked error must reach some consumer.
+      not_empty_.NotifyAll();
+      continue;
+    }
     {
       MutexLock lock(mutex_);
       while (!stop_ &&
@@ -89,8 +130,9 @@ void InputPipeline::WorkerLoop() {
         not_full_.Wait(lock);
       }
       if (stop_) return;
-      queue_.push_back(std::move(batch));
+      queue_.push_back(std::move(*batch));
       ++produced_;
+      producer_retries_ += retries;
       produce_seconds_ += produce_seconds;
       depth = queue_.size();
       CheckQueueInvariants();
@@ -110,17 +152,24 @@ std::optional<Batch> InputPipeline::Next() {
   {
     MutexLock lock(mutex_);
     wait_start = Clock::now();
-    while (queue_.empty() &&
-           consumed_ + static_cast<std::int64_t>(queue_.size()) < total_ &&
-           !stop_) {
+    while (queue_.empty() && pending_errors_.empty() &&
+           consumed_ + skipped_ < total_ && !stop_) {
       not_empty_.Wait(lock);
     }
     wait_end = Clock::now();
     wait_seconds =
         std::chrono::duration<double>(wait_end - wait_start).count();
     wait_seconds_ += wait_seconds;
+    if (!pending_errors_.empty()) {
+      // A permanently failed batch: surface its exception exactly once.
+      // The MutexLock releases on unwind; the caller may catch and keep
+      // consuming the remaining batches.
+      std::exception_ptr err = pending_errors_.front();
+      pending_errors_.pop_front();
+      std::rethrow_exception(err);
+    }
     if (queue_.empty()) {
-      // All batches consumed (or shutting down).
+      // All batches consumed or skipped (or shutting down).
       return std::nullopt;
     }
     batch = std::move(queue_.front());
@@ -128,7 +177,7 @@ std::optional<Batch> InputPipeline::Next() {
     ++consumed_;
     depth = queue_.size();
     CheckQueueInvariants();
-    if (consumed_ >= total_) {
+    if (consumed_ + skipped_ >= total_) {
       // Exhausted: producers only NotifyOne per push, so with several
       // consumer threads the one taking the final batch must wake the
       // rest, or they block on not_empty_ forever (caught by
@@ -160,6 +209,9 @@ PipelineStats InputPipeline::Stats() const {
   stats.depth = queue_.size();
   stats.produce_seconds = produce_seconds_;
   stats.wait_seconds = wait_seconds_;
+  stats.producer_failures = producer_failures_;
+  stats.producer_retries = producer_retries_;
+  stats.skipped = skipped_;
   return stats;
 }
 

@@ -24,6 +24,12 @@ struct PipelineStats {
   std::size_t depth = 0;          // batches sitting ready right now
   double produce_seconds = 0.0;   // cumulative producer time, all workers
   double wait_seconds = 0.0;      // cumulative consumer block time in Next
+  // Fault-tolerance accounting (DESIGN §8): a producer exception is
+  // retried up to Options::producer_retries times; a batch that still
+  // fails is skipped and its exception surfaced on Next().
+  std::int64_t producer_failures = 0;  // batches permanently failed
+  std::int64_t producer_retries = 0;   // retry attempts across all batches
+  std::int64_t skipped = 0;            // batches never delivered
 };
 
 /// The optimised input pipeline of Sec V-A2: `workers` reader threads
@@ -42,6 +48,9 @@ class InputPipeline {
   struct Options {
     int workers = 4;
     int prefetch_depth = 4;
+    /// Extra attempts per batch after a producer exception before the
+    /// batch is skipped and the exception surfaced on Next().
+    int producer_retries = 2;
   };
 
   /// Produces batches for indices [0, total); producers run immediately.
@@ -51,8 +60,14 @@ class InputPipeline {
   InputPipeline(const InputPipeline&) = delete;
   InputPipeline& operator=(const InputPipeline&) = delete;
 
-  /// Blocks for the next batch; nullopt once all `total` are consumed.
-  /// Batches may arrive out of index order (training shuffles anyway).
+  /// Blocks for the next batch; nullopt once all `total` are consumed or
+  /// skipped. Batches may arrive out of index order (training shuffles
+  /// anyway).
+  ///
+  /// Fault surface: a producer exception that survives its retries never
+  /// terminates the worker thread or strands consumers — it is re-thrown
+  /// here, exactly once per failed batch. Callers may catch it and keep
+  /// calling Next() for the remaining batches.
   std::optional<Batch> Next() EXACLIM_EXCLUDES(mutex_);
 
   /// Consistent snapshot of the pipeline counters (replaces the old
@@ -78,9 +93,13 @@ class InputPipeline {
   CondVar not_full_;
   CondVar not_empty_;
   std::deque<Batch> queue_ EXACLIM_GUARDED_BY(mutex_);
+  std::deque<std::exception_ptr> pending_errors_ EXACLIM_GUARDED_BY(mutex_);
   std::int64_t next_index_ EXACLIM_GUARDED_BY(mutex_) = 0;
   std::int64_t produced_ EXACLIM_GUARDED_BY(mutex_) = 0;
   std::int64_t consumed_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t skipped_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t producer_failures_ EXACLIM_GUARDED_BY(mutex_) = 0;
+  std::int64_t producer_retries_ EXACLIM_GUARDED_BY(mutex_) = 0;
   double produce_seconds_ EXACLIM_GUARDED_BY(mutex_) = 0.0;
   double wait_seconds_ EXACLIM_GUARDED_BY(mutex_) = 0.0;
   bool stop_ EXACLIM_GUARDED_BY(mutex_) = false;

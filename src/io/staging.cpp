@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace exaclim {
@@ -16,6 +18,12 @@ void MockGlobalFs::Put(int file_id, std::vector<std::byte> contents) {
 }
 
 std::vector<std::byte> MockGlobalFs::Read(int file_id) {
+  // Transient-I/O-error fault point, consulted before the fs lock.
+  if (FaultInjector::Global().ShouldInject("fs.read")) {
+    FaultCounterBump("fault.fs.read_errors");
+    throw Error("injected fault: fs.read of file " +
+                std::to_string(file_id));
+  }
   MutexLock lock(mutex_);
   const auto it = files_.find(file_id);
   EXACLIM_CHECK(it != files_.end(), "no file " << file_id);
@@ -56,18 +64,41 @@ constexpr int kTagFile = 7302;
 
 int OwnerOf(int file_id, int world_size) { return file_id % world_size; }
 
+// Degraded-mode read: fetch one file of a failed owner's shard straight
+// from the global filesystem, retrying around transient fs.read faults.
+std::vector<std::byte> DegradedRead(MockGlobalFs& fs, int f,
+                                    const RetryPolicy& retry) {
+  std::vector<std::byte> contents;
+  const RetryOutcome outcome =
+      RunWithRetry(retry, "staging.degraded_read", [&] {
+        try {
+          contents = fs.Read(f);
+          return true;
+        } catch (const Error&) {
+          return false;
+        }
+      });
+  EXACLIM_CHECK(outcome.success, "degraded read of file "
+                                     << f << " still failing after "
+                                     << outcome.attempts << " attempts");
+  FaultCounterBump("fault.staging.degraded_files");
+  return contents;
+}
+
 }  // namespace
 
 std::map<int, std::vector<std::byte>> StageDataset(
     Communicator& comm, MockGlobalFs& fs, const std::set<int>& needs,
-    int num_files) {
+    int num_files, const StagingFtOptions& ft) {
   const int p = comm.size();
   const int rank = comm.rank();
   EXACLIM_TRACE_SPAN("staging.stage_dataset", "io");
 
   // Phase 1 + 2: tell every owner how many requests to expect from us,
   // then send the requests themselves (interleaving with serving, below,
-  // would be deadlock-free too since sends are buffered).
+  // would be deadlock-free too since sends are buffered). Counts from a
+  // dead or unresponsive peer are taken as zero after timed re-waits —
+  // its requests, if any, are simply never served, and it degrades.
   std::int64_t expected_requests = 0;
   {
     obs::ScopedTimer phase("staging.request", "io", nullptr,
@@ -82,7 +113,20 @@ std::map<int, std::vector<std::byte>> StageDataset(
                      requests_to[static_cast<std::size_t>(o)]);
     }
     for (int r = 0; r < p; ++r) {
-      expected_requests += comm.RecvValue<std::int64_t>(r, kTagRequestCount);
+      std::int64_t count = 0;
+      RecvStatus status = RecvStatus::kTimeout;
+      for (int attempt = 0; attempt < ft.retry.max_attempts; ++attempt) {
+        status = comm.RecvValueTimeout(
+            r, kTagRequestCount,
+            ft.count_timeout_s + ft.retry.BackoffSeconds(attempt), &count);
+        if (status != RecvStatus::kTimeout) break;
+        FaultCounterBump("fault.staging.count_timeouts");
+      }
+      if (status == RecvStatus::kOk) {
+        expected_requests += count;
+      } else {
+        FaultCounterBump("fault.staging.unresponsive_peers");
+      }
     }
     for (const int f : needs) {
       comm.SendValue(OwnerOf(f, p), kTagRequest, f);
@@ -90,20 +134,57 @@ std::map<int, std::vector<std::byte>> StageDataset(
   }
 
   // Phase 3: serve requests — read each requested file from the global
-  // filesystem exactly once, then ship copies over the network.
+  // filesystem exactly once, then ship copies over the network. The
+  // drain is deadline-based: requests promised but never delivered (the
+  // requester died, or the message was dropped) are abandoned after
+  // backoff-escalated re-waits instead of blocking staging forever.
   {
     obs::ScopedTimer phase("staging.serve", "io", nullptr,
                            obs::HistogramOrNull("staging.serve_s"));
     std::map<int, std::vector<int>> pending;  // file -> requesters, batched
-    for (std::int64_t i = 0; i < expected_requests; ++i) {
+    std::int64_t received = 0;
+    int timeout_rounds = 0;
+    while (received < expected_requests) {
       int src = -1;
-      const int f = comm.RecvValue<int>(kAnySource, kTagRequest, &src);
-      EXACLIM_CHECK(OwnerOf(f, p) == rank, "request routed to wrong owner");
-      pending[f].push_back(src);
+      int f = 0;
+      const RecvStatus status = comm.RecvValueTimeout(
+          kAnySource, kTagRequest,
+          ft.serve_timeout_s + ft.retry.BackoffSeconds(timeout_rounds), &f,
+          &src);
+      if (status == RecvStatus::kOk) {
+        EXACLIM_CHECK(OwnerOf(f, p) == rank,
+                      "request routed to wrong owner");
+        pending[f].push_back(src);
+        ++received;
+        timeout_rounds = 0;
+        continue;
+      }
+      ++timeout_rounds;
+      if (timeout_rounds >= ft.retry.max_attempts) {
+        FaultCounterBump("fault.staging.abandoned_requests",
+                         expected_requests - received);
+        break;
+      }
     }
     std::int64_t bytes_sent = 0;
     for (auto& [f, requesters] : pending) {
-      const std::vector<std::byte> contents = fs.Read(f);  // exactly once
+      // Exactly one fs read per owned file on the healthy path; injected
+      // fs.read faults are retried, and a file that stays unreadable is
+      // skipped — its requesters recover through their degraded path.
+      std::vector<std::byte> contents;
+      const RetryOutcome outcome =
+          RunWithRetry(ft.retry, "staging.serve_read", [&] {
+            try {
+              contents = fs.Read(f);
+              return true;
+            } catch (const Error&) {
+              return false;
+            }
+          });
+      if (!outcome.success) {
+        FaultCounterBump("fault.staging.serve_failures");
+        continue;
+      }
       for (const int dst : requesters) {
         // Prefix the payload with the file id so receivers can match.
         std::vector<std::byte> framed(sizeof(int) + contents.size());
@@ -119,18 +200,62 @@ std::map<int, std::vector<std::byte>> StageDataset(
     }
   }
 
-  // Phase 4: collect our files.
+  // Phase 4: collect our files, tracking which owner still owes what.
+  // Dead owners are degraded around immediately; live-but-silent ones
+  // after ft.retry timeout rounds.
   std::map<int, std::vector<std::byte>> staged;
   {
     obs::ScopedTimer phase("staging.collect", "io", nullptr,
                            obs::HistogramOrNull("staging.collect_s"));
-    for (std::size_t i = 0; i < needs.size(); ++i) {
-      const std::vector<std::byte> framed =
-          comm.RecvAny(kAnySource, kTagFile);
-      EXACLIM_CHECK(framed.size() >= sizeof(int), "malformed file frame");
-      int f = 0;
-      std::memcpy(&f, framed.data(), sizeof(int));
-      staged[f].assign(framed.begin() + sizeof(int), framed.end());
+    std::map<int, std::set<int>> owed;  // owner -> files still missing
+    for (const int f : needs) owed[OwnerOf(f, p)].insert(f);
+
+    const auto degrade_owner = [&](int owner, const std::set<int>& files) {
+      EXACLIM_CHECK(ft.allow_degraded,
+                    "staging owner rank "
+                        << owner << " unreachable and degraded mode is off");
+      for (const int f : files) staged[f] = DegradedRead(fs, f, ft.retry);
+    };
+
+    int timeout_rounds = 0;
+    while (!owed.empty()) {
+      for (auto it = owed.begin(); it != owed.end();) {
+        if (comm.PeerDead(it->first)) {
+          degrade_owner(it->first, it->second);
+          it = owed.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      if (owed.empty()) break;
+      const RecvResult r = comm.RecvTimeout(
+          kAnySource, kTagFile,
+          ft.file_timeout_s + ft.retry.BackoffSeconds(timeout_rounds));
+      if (r.ok()) {
+        EXACLIM_CHECK(r.payload.size() >= sizeof(int),
+                      "malformed file frame");
+        int f = 0;
+        std::memcpy(&f, r.payload.data(), sizeof(int));
+        if (staged.find(f) != staged.end()) {
+          // Already satisfied (e.g. degraded just before a late frame).
+          FaultCounterBump("fault.staging.duplicate_files");
+          continue;
+        }
+        staged[f].assign(r.payload.begin() + sizeof(int), r.payload.end());
+        const auto oit = owed.find(OwnerOf(f, p));
+        if (oit != owed.end()) {
+          oit->second.erase(f);
+          if (oit->second.empty()) owed.erase(oit);
+        }
+        timeout_rounds = 0;
+        continue;
+      }
+      ++timeout_rounds;
+      FaultCounterBump("fault.staging.owner_timeouts");
+      if (timeout_rounds >= ft.retry.max_attempts) {
+        for (const auto& [owner, files] : owed) degrade_owner(owner, files);
+        owed.clear();
+      }
     }
   }
   EXACLIM_CHECK(staged.size() == needs.size(),

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "comm/world.hpp"
+#include "common/fault.hpp"
 #include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 
@@ -34,6 +35,26 @@ class MockGlobalFs {
   std::int64_t total_bytes_ EXACLIM_GUARDED_BY(mutex_) = 0;
 };
 
+/// Fault-tolerance knobs for StageDataset. The defaults are generous
+/// enough that a healthy run never trips them (the exactly-once property
+/// is preserved on the no-fault path); fault tests pass tighter values
+/// so dead/unresponsive-owner detection is fast.
+struct StagingFtOptions {
+  /// Wait for a peer's request-count message before assuming it is gone.
+  double count_timeout_s = 2.0;
+  /// Wait per drain round in the serve loop (incoming requests).
+  double serve_timeout_s = 2.0;
+  /// Wait per drain round in the collect loop (incoming files).
+  double file_timeout_s = 1.0;
+  /// Governs how many timeout rounds are re-waited (with escalating
+  /// backoff added to the round timeout) before degrading/abandoning.
+  RetryPolicy retry{};
+  /// When an owner stays unreachable: re-read its shard directly from
+  /// the global filesystem (naive mode for only the affected files).
+  /// With this off, an unreachable owner makes StageDataset throw.
+  bool allow_degraded = true;
+};
+
 /// The Sec V-A1 distributed data-staging algorithm, run for real over the
 /// comm substrate:
 ///  1. files are assigned to owner ranks round-robin, so the set of
@@ -45,9 +66,16 @@ class MockGlobalFs {
 ///     requester.
 /// Returns this rank's staged files (id -> contents). `needs` is this
 /// rank's required file set (the paper's ~1500 samples per node).
+///
+/// Fault tolerance (DESIGN §8): every receive is deadline-based, so a
+/// dead or unresponsive owner is detected by timeout, re-waited with
+/// backoff per `ft.retry`, and finally degraded around by reading the
+/// missing files straight from `fs` — the caller always gets its full
+/// `needs` set back (duplicated reads are confined to the failed shard).
+/// Recoveries publish "fault.staging.*" counters.
 std::map<int, std::vector<std::byte>> StageDataset(
     Communicator& comm, MockGlobalFs& fs, const std::set<int>& needs,
-    int num_files);
+    int num_files, const StagingFtOptions& ft = {});
 
 /// The naive baseline: every rank reads its whole subset straight from
 /// the filesystem (duplicating reads ~(ranks*files_per_rank/num_files)x).

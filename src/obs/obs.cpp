@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/sync.hpp"
 
@@ -22,6 +23,13 @@ std::string g_trace_path EXACLIM_GUARDED_BY(g_mutex);
 std::atomic<MetricsRegistry*> g_metrics{nullptr};
 std::atomic<TraceRecorder*> g_tracer{nullptr};
 
+// The common/fault.hpp metric bridge: common cannot link obs (obs sits
+// above it), so fault-layer counters arrive through this function
+// pointer. Null-safe when observability is disabled.
+void FaultSinkToRegistry(std::string_view name, std::int64_t delta) {
+  if (Counter* c = CounterOrNull(name)) c->Add(delta);
+}
+
 }  // namespace
 
 void Enable(const Options& options) {
@@ -34,6 +42,9 @@ void Enable(const Options& options) {
     if (!g_tracer_owner) g_tracer_owner = std::make_unique<TraceRecorder>();
     g_tracer.store(g_tracer_owner.get(), std::memory_order_release);
   }
+  // Leave installed across Disable(): the sink is a no-op without a live
+  // registry, and fault counters must survive Enable/Disable cycles.
+  SetFaultMetricSink(&FaultSinkToRegistry);
 }
 
 void Disable() {

@@ -1,24 +1,172 @@
 #include "train/checkpoint.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
 
+#include "common/checksum.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
 #include "io/ncf.hpp"
+#include "obs/obs.hpp"
 
 namespace exaclim {
 
-std::int64_t SaveCheckpoint(const std::filesystem::path& path,
-                            const std::vector<Param*>& params) {
-  NcfWriter writer(path);
-  for (const Param* p : params) {
-    writer.AddFloat(p->name, p->value.Data());
+namespace {
+
+// Footer appended after the NCF payload:
+//   [u32 magic "XCRC"] [u32 count] count * { u32 name_len, name, u32 crc }
+//   [u64 body_size] [char[4] "XCRC"]
+// The trailing 12 bytes make detection O(1) from the file tail; a file
+// without them is a pre-footer checkpoint and loads unverified.
+constexpr char kCrcMagic[4] = {'X', 'C', 'R', 'C'};
+constexpr std::size_t kCrcTailBytes = sizeof(std::uint64_t) + 4;
+
+constexpr const char* kMetaPrefix = "__meta__";
+
+void AppendScalar(std::vector<std::uint8_t>* out, const void* p,
+                  std::size_t n) {
+  const auto* bytes = static_cast<const std::uint8_t*>(p);
+  out->insert(out->end(), bytes, bytes + n);
+}
+
+std::uint32_t CrcOfFloats(std::span<const float> values) {
+  return Crc32(std::as_bytes(values));
+}
+
+// Parses the CRC footer of `path` if one is present. Returns true and
+// fills `crcs` when the file carries a (well-formed) footer; false for
+// legacy footer-less files. Throws on a mangled footer.
+bool ReadCrcFooter(const std::filesystem::path& path,
+                   std::map<std::string, std::uint32_t>* crcs) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXACLIM_CHECK(in.good(), "cannot open checkpoint " << path);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size < kCrcTailBytes) return false;
+
+  char tail_magic[4] = {};
+  std::uint64_t body_size = 0;
+  in.seekg(static_cast<std::streamoff>(file_size - kCrcTailBytes));
+  in.read(reinterpret_cast<char*>(&body_size), sizeof(body_size));
+  in.read(tail_magic, sizeof(tail_magic));
+  if (std::memcmp(tail_magic, kCrcMagic, 4) != 0) return false;  // legacy
+
+  EXACLIM_CHECK(body_size + kCrcTailBytes <= file_size,
+                "checkpoint " << path << " has truncated CRC footer");
+  std::vector<char> body(static_cast<std::size_t>(body_size));
+  in.seekg(
+      static_cast<std::streamoff>(file_size - kCrcTailBytes - body_size));
+  in.read(body.data(), static_cast<std::streamsize>(body.size()));
+  EXACLIM_CHECK(in.good(), "cannot read CRC footer of " << path);
+
+  std::size_t pos = 0;
+  const auto take = [&](void* dst, std::size_t n) {
+    EXACLIM_CHECK(pos + n <= body.size(),
+                  "checkpoint " << path << " has truncated CRC footer");
+    std::memcpy(dst, body.data() + pos, n);
+    pos += n;
+  };
+  char body_magic[4] = {};
+  take(body_magic, 4);
+  EXACLIM_CHECK(std::memcmp(body_magic, kCrcMagic, 4) == 0,
+                "checkpoint " << path << " has corrupt CRC footer");
+  std::uint32_t count = 0;
+  take(&count, sizeof(count));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t name_len = 0;
+    take(&name_len, sizeof(name_len));
+    std::string name(name_len, '\0');
+    take(name.data(), name_len);
+    std::uint32_t crc = 0;
+    take(&crc, sizeof(crc));
+    (*crcs)[std::move(name)] = crc;
   }
-  return writer.Finish();
+  return true;
+}
+
+}  // namespace
+
+std::int64_t SaveCheckpoint(const std::filesystem::path& path,
+                            const std::vector<Param*>& params,
+                            const std::map<std::string, double>& meta) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+
+  std::vector<std::pair<std::string, std::uint32_t>> crcs;
+  {
+    NcfWriter writer(tmp);
+    for (const Param* p : params) {
+      writer.AddFloat(p->name, p->value.Data());
+      crcs.emplace_back(p->name, CrcOfFloats(p->value.Data()));
+    }
+    for (const auto& [key, value] : meta) {
+      const float v = static_cast<float>(value);
+      const std::string name = kMetaPrefix + key;
+      writer.AddFloat(name, std::span<const float>(&v, 1));
+      crcs.emplace_back(name, CrcOfFloats(std::span<const float>(&v, 1)));
+    }
+    writer.Finish();
+  }
+
+  // Footer body, then self-locating tail.
+  std::vector<std::uint8_t> body;
+  AppendScalar(&body, kCrcMagic, 4);
+  const auto count = static_cast<std::uint32_t>(crcs.size());
+  AppendScalar(&body, &count, sizeof(count));
+  for (const auto& [name, crc] : crcs) {
+    const auto name_len = static_cast<std::uint32_t>(name.size());
+    AppendScalar(&body, &name_len, sizeof(name_len));
+    AppendScalar(&body, name.data(), name.size());
+    AppendScalar(&body, &crc, sizeof(crc));
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::app);
+    EXACLIM_CHECK(out.good(), "cannot append CRC footer to " << tmp);
+    out.write(reinterpret_cast<const char*>(body.data()),
+              static_cast<std::streamsize>(body.size()));
+    const auto body_size = static_cast<std::uint64_t>(body.size());
+    out.write(reinterpret_cast<const char*>(&body_size), sizeof(body_size));
+    out.write(kCrcMagic, 4);
+    EXACLIM_CHECK(out.good(), "short write of CRC footer to " << tmp);
+  }
+
+  // Crash-mid-write fault point: tear the temp file and abort before the
+  // rename — the previous checkpoint at `path` must survive untouched.
+  if (FaultInjector::Global().ShouldInject("checkpoint.write")) {
+    const auto full = std::filesystem::file_size(tmp);
+    std::filesystem::resize_file(tmp, full / 2);
+    FaultCounterBump("fault.checkpoint.write_failures");
+    throw Error("injected fault: checkpoint.write of " + path.string() +
+                " torn mid-write");
+  }
+
+  const auto bytes =
+      static_cast<std::int64_t>(std::filesystem::file_size(tmp));
+  std::filesystem::rename(tmp, path);  // atomic publish
+  if (auto* c = obs::CounterOrNull("checkpoint.saved")) c->Add(1);
+  return bytes;
 }
 
 void LoadCheckpoint(const std::filesystem::path& path,
-                    const std::vector<Param*>& params) {
+                    const std::vector<Param*>& params,
+                    std::map<std::string, double>* meta) {
+  std::map<std::string, std::uint32_t> crcs;
+  const bool verified = ReadCrcFooter(path, &crcs);
+
   NcfReader reader(path);
+  const auto check_crc = [&](const std::string& name,
+                             std::span<const float> values) {
+    if (!verified) return;
+    const auto it = crcs.find(name);
+    EXACLIM_CHECK(it != crcs.end(), "checkpoint " << path << " dataset "
+                                                  << name
+                                                  << " missing from CRC "
+                                                     "footer");
+    EXACLIM_CHECK(CrcOfFloats(values) == it->second,
+                  "checkpoint " << path << " dataset " << name
+                                << " failed CRC verification (corrupt?)");
+  };
+
   for (Param* p : params) {
     EXACLIM_CHECK(reader.Has(p->name),
                   "checkpoint " << path << " missing parameter " << p->name);
@@ -27,7 +175,19 @@ void LoadCheckpoint(const std::filesystem::path& path,
                       p->value.NumElements(),
                   "checkpoint size mismatch for " << p->name << ": file has "
                                                   << values.size());
+    check_crc(p->name, values);
     std::copy(values.begin(), values.end(), p->value.Data().begin());
+  }
+  if (meta != nullptr) {
+    const std::size_t prefix_len = std::string(kMetaPrefix).size();
+    for (const std::string& name : reader.Names()) {
+      if (name.rfind(kMetaPrefix, 0) != 0) continue;
+      const auto values = reader.ReadFloat(name);
+      EXACLIM_CHECK(values.size() == 1,
+                    "checkpoint meta " << name << " must be a scalar");
+      check_crc(name, values);
+      (*meta)[name.substr(prefix_len)] = static_cast<double>(values[0]);
+    }
   }
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
+#include <string>
 
 #include "nn/layer.hpp"
 
@@ -10,15 +12,36 @@ namespace exaclim {
 /// parameter, keyed by the parameter's name. The multi-hour Summit runs
 /// depended on checkpoint/restart; here it also lets the examples hand a
 /// trained model between processes.
+///
+/// Fault tolerance (DESIGN §8):
+///  - writes are atomic: the file is assembled at `path` + ".tmp" and
+///    renamed into place, so a crash mid-write can never corrupt the
+///    last good checkpoint;
+///  - every dataset's bytes are covered by a CRC32 footer appended after
+///    the NCF payload; LoadCheckpoint verifies it and throws a
+///    recoverable exaclim::Error on any mismatch (bit-flip, truncation),
+///    letting the caller fall back to an older checkpoint;
+///  - files written before the footer existed (a bare NCF container)
+///    still load — verification is skipped when no footer is present.
+///
+/// Scalar run metadata (e.g. the epoch index) rides along as float[1]
+/// datasets named "__meta__<key>", checksummed like everything else.
 
-/// Writes every Param's value (not gradients). Returns bytes written.
+/// Writes every Param's value (not gradients) plus `meta`, atomically,
+/// with a CRC32 footer. Returns bytes written. The "checkpoint.write"
+/// fault site simulates a crash mid-write: the temp file is torn and an
+/// Error thrown before the rename, preserving the previous checkpoint.
 std::int64_t SaveCheckpoint(const std::filesystem::path& path,
-                            const std::vector<Param*>& params);
+                            const std::vector<Param*>& params,
+                            const std::map<std::string, double>& meta = {});
 
 /// Loads values into the given params; every param must be present in
 /// the file with a matching element count (name-keyed, so architectures
-/// must match). Throws on any mismatch.
+/// must match). Verifies the CRC32 footer when present. Throws
+/// exaclim::Error on any mismatch or corruption. When `meta` is non-null
+/// it receives every "__meta__<key>" entry in the file.
 void LoadCheckpoint(const std::filesystem::path& path,
-                    const std::vector<Param*>& params);
+                    const std::vector<Param*>& params,
+                    std::map<std::string, double>* meta = nullptr);
 
 }  // namespace exaclim

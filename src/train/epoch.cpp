@@ -1,8 +1,12 @@
 #include "train/epoch.hpp"
 
 #include <chrono>
+#include <map>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/logging.hpp"
+#include "train/checkpoint.hpp"
 
 namespace exaclim {
 
@@ -11,18 +15,54 @@ EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
                             const EpochRunnerOptions& opts) {
   EXACLIM_CHECK(opts.epochs >= 1 && opts.steps_per_epoch >= 1,
                 "need at least one epoch and one step");
+  EXACLIM_CHECK(opts.checkpoint_every == 0 || !opts.checkpoint_path.empty(),
+                "periodic checkpointing needs a checkpoint_path");
   using Clock = std::chrono::steady_clock;
 
   const auto freq = dataset.MeasureFrequencies(16);
   RankTrainer trainer(
       trainer_opts, MakeClassWeights(freq, trainer_opts.weighting), 0);
-  Rng rng(trainer_opts.seed ^ 0xe90c4ull);
+  const Rng rng_base(trainer_opts.seed ^ 0xe90c4ull);
 
   EpochRunnerResult result;
-  for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+
+  // Resume: a good checkpoint restarts from the epoch after the one it
+  // recorded; a corrupt/truncated one is rejected and training restarts
+  // from scratch — restart-safety must never depend on a file that may
+  // itself be the casualty of the crash being recovered from.
+  if (opts.resume && !opts.checkpoint_path.empty() &&
+      std::filesystem::exists(opts.checkpoint_path)) {
+    std::map<std::string, double> meta;
+    try {
+      LoadCheckpoint(opts.checkpoint_path, trainer.params(), &meta);
+      const auto it = meta.find("epoch");
+      EXACLIM_CHECK(it != meta.end(),
+                    "checkpoint " << opts.checkpoint_path
+                                  << " carries no epoch index");
+      result.start_epoch = static_cast<int>(it->second);
+      result.resumed = true;
+    } catch (const Error& e) {
+      FaultCounterBump("fault.checkpoint.rejected");
+      EXACLIM_LOG(kWarn) << "ignoring unusable checkpoint "
+                         << opts.checkpoint_path << ": " << e.what();
+      result.start_epoch = 0;
+      result.resumed = false;
+    }
+  }
+
+  FaultInjector& injector = FaultInjector::Global();
+  for (int epoch = result.start_epoch; epoch < opts.epochs; ++epoch) {
+    // Epoch-indexed RNG stream: epoch N draws the same indices (and
+    // augmentations) whether reached directly or through a resume.
+    Rng rng = rng_base.Fork(epoch);
     const auto train_start = Clock::now();
     double loss_acc = 0.0;
     for (int s = 0; s < opts.steps_per_epoch; ++s) {
+      if (injector.ShouldInject("epoch.step")) {
+        FaultCounterBump("fault.epoch.step_kills");
+        throw Error("injected fault: epoch.step at epoch " +
+                    std::to_string(epoch) + " step " + std::to_string(s));
+      }
       std::vector<std::int64_t> idx(
           static_cast<std::size_t>(trainer_opts.local_batch));
       for (auto& i : idx) {
@@ -45,6 +85,22 @@ EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
     result.validation_seconds +=
         std::chrono::duration<double>(Clock::now() - val_start).count();
     result.validation_miou.push_back(cm.MeanIoU());
+
+    if (opts.checkpoint_every > 0 &&
+        (epoch + 1) % opts.checkpoint_every == 0) {
+      // A failed write (e.g. the injected checkpoint.write crash) costs
+      // the checkpoint, not the run: keep training on the last good one.
+      try {
+        std::map<std::string, double> meta;
+        meta["epoch"] = static_cast<double>(epoch + 1);
+        SaveCheckpoint(opts.checkpoint_path, trainer.params(), meta);
+        ++result.checkpoints_written;
+      } catch (const Error& e) {
+        FaultCounterBump("fault.checkpoint.save_failures");
+        EXACLIM_LOG(kWarn) << "checkpoint write failed at epoch " << epoch
+                           << ": " << e.what();
+      }
+    }
   }
   return result;
 }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <filesystem>
+
 #include "data/augment.hpp"
 #include "train/trainer.hpp"
 
@@ -17,13 +19,29 @@ struct EpochRunnerOptions {
   std::int64_t validation_samples = 4;
   bool augment = false;
   AugmentOptions augment_options{};
+
+  // Checkpoint/restart (DESIGN §8). With checkpoint_every > 0 and a
+  // non-empty path, a checksummed checkpoint (model params + epoch
+  // index) is written atomically after every Nth epoch. With resume on,
+  // an existing readable checkpoint restarts the run from the epoch
+  // after the one it recorded; a corrupt or unreadable one is rejected
+  // (counted as "fault.checkpoint.rejected") and training starts fresh.
+  // Per-epoch RNG streams are forked from the seed by epoch index, so a
+  // resumed run retraces the uninterrupted trajectory exactly as long as
+  // the optimizer itself is stateless (plain SGD, momentum 0, no LARC).
+  int checkpoint_every = 0;
+  std::filesystem::path checkpoint_path{};
+  bool resume = false;
 };
 
 struct EpochRunnerResult {
-  std::vector<double> train_loss;      // mean loss per epoch
-  std::vector<double> validation_miou; // per epoch
+  std::vector<double> train_loss;      // mean loss per epoch (from start_epoch)
+  std::vector<double> validation_miou; // per epoch (from start_epoch)
   double train_seconds = 0.0;
   double validation_seconds = 0.0;
+  int start_epoch = 0;          // first epoch actually run (resume offset)
+  int checkpoints_written = 0;
+  bool resumed = false;
 
   /// Fraction of wall time spent validating (the Sec VI overhead).
   double ValidationFraction() const {

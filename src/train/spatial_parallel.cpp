@@ -76,12 +76,12 @@ Tensor ExchangeHaloAndPad(Communicator& comm, const Tensor& slab,
       static_cast<std::size_t>(s.n() * s.c() * halo * s.w());
   if (rank > 0) {
     std::vector<float> above(halo_elems);
-    comm.RecvT(rank - 1, tag + 1, std::span<float>(above));
+    comm.RecvT(rank - 1, tag + 1, std::span<float>(above));  // fault: blocking-ok
     scatter_rows(above, 0);
   }
   if (rank + 1 < p) {
     std::vector<float> below(halo_elems);
-    comm.RecvT(rank + 1, tag, std::span<float>(below));
+    comm.RecvT(rank + 1, tag, std::span<float>(below));  // fault: blocking-ok
     scatter_rows(below, s.h() + halo);
   }
   return padded;
@@ -150,12 +150,14 @@ Tensor ExchangeHaloAndPadBackward(Communicator& comm,
     // The rank above holds the gradient for OUR top rows (its bottom
     // halo).
     std::vector<float> from_above(halo_elems);
-    comm.RecvT(rank - 1, tag + 1, std::span<float>(from_above));
+    comm.RecvT(rank - 1, tag + 1,  // fault: blocking-ok
+               std::span<float>(from_above));
     add_rows(from_above, 0);
   }
   if (rank + 1 < p) {
     std::vector<float> from_below(halo_elems);
-    comm.RecvT(rank + 1, tag, std::span<float>(from_below));
+    comm.RecvT(rank + 1, tag,  // fault: blocking-ok
+               std::span<float>(from_below));
     add_rows(from_below, h - halo);
   }
   return grad_slab;

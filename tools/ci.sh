@@ -10,6 +10,8 @@
 #   3. bench-smoke: one bench run + BENCH_*.json schema validation
 #   4. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
 #   5. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
+#   6. fault-smoke: fault suite re-run under TSan with a fixed
+#      EXACLIM_FAULTS spec (env-driven injection path, DESIGN §8)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -62,5 +64,14 @@ run cmake --preset tsan
 run cmake --build --preset tsan -j "$JOBS"
 run env TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan -j "$JOBS"
 
+# ---- 6. fault-smoke ------------------------------------------------------
+# Exercise the EXACLIM_FAULTS env path end to end under TSan: a rank
+# killed at launch (staging degrades around it) plus deterministic
+# producer faults (pipeline retries/skips). FaultSmoke asserts correct
+# staged bytes and nonzero fault.* counters under exactly this spec.
+run env TSAN_OPTIONS=halt_on_error=1 \
+  EXACLIM_FAULTS="comm.kill.1:1:7,pipeline.produce:1:11:4" \
+  ./build-tsan/tests/test_fault --gtest_filter='FaultSmoke.*'
+
 echo
-echo "ci.sh: all gates green (lint, tier-1, bench-smoke, asan+ubsan, tsan-stress)"
+echo "ci.sh: all gates green (lint, tier-1, bench-smoke, asan+ubsan, tsan-stress, fault-smoke)"

@@ -22,6 +22,12 @@ Rules (each can be suppressed on a specific line with `// lint:allow`):
   guarded-include    files using EXACLIM_GUARDED_BY / EXACLIM_REQUIRES
                      must include common/thread_annotations.hpp
                      (directly or via common/sync.hpp).
+  unbounded-recv     no unbounded Recv/RecvT/RecvAny/RecvValue in src/
+                     outside src/comm/: a blocking receive hangs forever
+                     on a dead peer (DESIGN §8). Use RecvTimeout /
+                     TryRecv / RecvValueTimeout, or annotate the line
+                     with `// fault: blocking-ok` where a blocking wait
+                     is intended (e.g. collectives over live ranks).
 
 Exit status: 0 when clean, 1 when any finding is reported.
 """
@@ -53,6 +59,10 @@ ENDL_RE = re.compile(r"std::endl\b")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s+(["<])([^">]+)[">]')
 GUARDED_RE = re.compile(r"EXACLIM_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|"
                         r"ACQUIRE|RELEASE|EXCLUDES|CAPABILITY)\b")
+# Unbounded receives (won't match RecvTimeout / TryRecv /
+# RecvValueTimeout, whose names diverge after the prefix).
+RECV_RE = re.compile(r"(\.|->)Recv(T|Any|Value)?\s*[<(]")
+BLOCKING_OK_MARKER = "fault: blocking-ok"
 
 
 def strip_comments_and_strings(line: str) -> str:
@@ -160,6 +170,16 @@ class Linter:
                 self.report(rel, idx, "naked-new",
                             "naked new/delete; use std::make_unique or a "
                             "container")
+            posix = rel.as_posix()
+            if (posix.startswith("src/")
+                    and not posix.startswith("src/comm/")
+                    and BLOCKING_OK_MARKER not in raw
+                    and RECV_RE.search(code)):
+                self.report(
+                    rel, idx, "unbounded-recv",
+                    "unbounded Recv blocks forever on a dead peer; use "
+                    "RecvTimeout/TryRecv or annotate "
+                    "`// fault: blocking-ok`")
             m = INCLUDE_RE.match(code)
             if m:
                 self.check_include(rel, idx, m.group(1), m.group(2))
