@@ -9,9 +9,15 @@
 // higher fraction of peak than FP16, FP16 still faster in samples/s —
 // reproduce (see EXPERIMENTS.md).
 
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
+#include "common/thread_pool.hpp"
 #include "netsim/roofline.hpp"
+#include "nn/conv.hpp"
+#include "obs/bench_report.hpp"
+#include "stats/stats.hpp"
 
 namespace exaclim {
 namespace {
@@ -22,6 +28,55 @@ struct PaperRow {
   double tf_per_sec;
   int peak_pct;
 };
+
+// Measured (not roofline-modelled) samples/s of one Tiramisu
+// growth-rate-32 conv layer on a 1/8-scale tile (96×144 of 768×1152),
+// forward+backward, in both conv-engine modes. This grounds the analytic
+// table above in what the substrate actually sustains and records the
+// engine's perf trajectory in BENCH_fig2_single_gpu.json.
+void MeasureSubstrate() {
+  obs::BenchReport report("fig2_single_gpu");
+  report.AddScalar("threads",
+                   static_cast<double>(ThreadPool::Global().size() + 1));
+
+  constexpr std::int64_t kBatch = 4;
+  constexpr int kRounds = 3;
+  Rng rng(12);
+  Conv2d conv("t", {.in_c = 32, .out_c = 32}, rng);
+  Rng xrng(13);
+  const Tensor x = Tensor::Uniform(TensorShape::NCHW(kBatch, 32, 96, 144),
+                                   xrng, -1, 1);
+  Rng grng(14);
+  const Tensor g = Tensor::Uniform(conv.OutputShape(x.shape()), grng, -1, 1);
+
+  std::printf(
+      "Measured substrate (Tiramisu growth-32 3x3 conv, 1/8-scale tile, "
+      "batch %lld, fwd+bwd):\n",
+      static_cast<long long>(kBatch));
+  using Clock = std::chrono::steady_clock;
+  for (const bool parallel : {false, true}) {
+    SetConvBatchParallel(parallel);
+    std::vector<double> rates;
+    rates.reserve(kRounds);
+    for (int r = 0; r <= kRounds; ++r) {
+      for (Param* p : conv.Params()) p->grad.SetZero();
+      const auto start = Clock::now();
+      (void)conv.Forward(x, true);
+      (void)conv.Backward(g);
+      const double s =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (r > 0) rates.push_back(static_cast<double>(kBatch) / s);  // r=0 warms up
+    }
+    const char* mode = parallel ? "batch-parallel" : "serial";
+    report.AddSeries(std::string("conv_tile_smp_per_s_") +
+                         (parallel ? "parallel" : "serial"),
+                     rates);
+    std::printf("  %-15s %8.2f smp/s\n", mode, Summarize(rates).median);
+  }
+  SetConvBatchParallel(true);
+  report.WriteJsonFile();
+  std::printf("\n");
+}
 
 void PrintRow(const char* network, const char* gpu, const char* precision,
               const SingleGpuPerformance& ours, const PaperRow& paper) {
@@ -76,8 +131,9 @@ int Main() {
       AnalyzeTraining(tiramisu16, Precision::kFP32, 1).ConvFlopsPerSample();
   std::printf("DeepLab/Tiramisu op-count ratio: ours %.2fx, paper %.2fx\n",
               ratio_ours, 14.41 / 4.188);
-  std::printf("Parameter counts: Tiramisu %.2fM, DeepLabv3+ %.2fM\n",
+  std::printf("Parameter counts: Tiramisu %.2fM, DeepLabv3+ %.2fM\n\n",
               tiramisu16.TotalParams() / 1e6, deeplab.TotalParams() / 1e6);
+  MeasureSubstrate();
   return 0;
 }
 

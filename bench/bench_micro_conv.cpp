@@ -1,9 +1,23 @@
 // Microbenchmarks of the convolution layer variants (plain, strided,
-// atrous, transposed) and the FP16 emulation overhead.
+// atrous, transposed) and the FP16 emulation overhead — plus the
+// batch-parallel engine comparison, which times forward+backward in both
+// engine modes and records them through BenchReport
+// (BENCH_micro_conv.json, the repo's conv perf-trajectory datapoint;
+// the ci.sh perf-smoke stage asserts parallel <= serial).
+//
+// Custom main: google-benchmark cases run first (skip them with
+// --benchmark_filter='-.*'), then the engine comparison.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "common/thread_pool.hpp"
 #include "nn/conv.hpp"
+#include "obs/bench_report.hpp"
+#include "stats/stats.hpp"
 
 namespace exaclim {
 namespace {
@@ -79,5 +93,78 @@ void BM_Conv2dForwardFP16Emulation(benchmark::State& state) {
 }
 BENCHMARK(BM_Conv2dForwardFP16Emulation);
 
+// ------------------------------------------ engine mode comparison -----
+
+using Clock = std::chrono::steady_clock;
+
+double TimeStepMs(Conv2d& conv, const Tensor& x, const Tensor& g) {
+  for (Param* p : conv.Params()) p->grad.SetZero();
+  const auto start = Clock::now();
+  (void)conv.Forward(x, true);
+  Tensor gx = conv.Backward(g);
+  benchmark::DoNotOptimize(gx.Raw());
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Times forward+backward of a Tiramisu-growth-scale 3x3 conv at several
+// batch sizes, serial batch walk vs batch-parallel engine.
+void RunEngineComparison() {
+  obs::BenchReport report("micro_conv");
+  report.AddScalar("threads",
+                   static_cast<double>(ThreadPool::Global().size() + 1));
+
+  constexpr int kRounds = 5;
+  std::printf(
+      "\nbatch-parallel conv engine (3x3 32->32 on 48x48, fwd+bwd, "
+      "median of %d):\n  %5s %12s %14s %9s\n",
+      kRounds, "batch", "serial [ms]", "parallel [ms]", "speedup");
+  for (const std::int64_t batch : {1, 4, 8}) {
+    Rng rng(2);
+    Conv2d conv("c", {.in_c = 32, .out_c = 32}, rng);
+    Rng xrng(3);
+    const Tensor x = Tensor::Uniform(TensorShape::NCHW(batch, 32, 48, 48),
+                                     xrng, -1, 1);
+    Rng grng(4);
+    const Tensor g =
+        Tensor::Uniform(conv.OutputShape(x.shape()), grng, -1, 1);
+
+    double medians[2] = {0, 0};
+    for (const bool parallel : {false, true}) {
+      SetConvBatchParallel(parallel);
+      (void)TimeStepMs(conv, x, g);  // warm-up (sizes the workspace)
+      std::vector<double> times;
+      times.reserve(kRounds);
+      for (int r = 0; r < kRounds; ++r) {
+        times.push_back(TimeStepMs(conv, x, g));
+      }
+      const std::string metric =
+          std::string("fwd_bwd_") + (parallel ? "parallel" : "serial") +
+          "_b" + std::to_string(batch) + "_ms";
+      report.AddSeries(metric, times);
+      medians[parallel ? 1 : 0] = Summarize(times).median;
+    }
+    SetConvBatchParallel(true);
+    const double speedup = medians[1] > 0 ? medians[0] / medians[1] : 0;
+    std::printf("  %5lld %12.3f %14.3f %8.2fx\n",
+                static_cast<long long>(batch), medians[0], medians[1],
+                speedup);
+    if (batch > 1) {
+      report.AddScalar("speedup_parallel_b" + std::to_string(batch),
+                       speedup);
+    }
+  }
+  const auto path = report.WriteJsonFile();
+  if (!path.empty()) std::printf("  wrote %s\n", path.string().c_str());
+}
+
 }  // namespace
 }  // namespace exaclim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  exaclim::RunEngineComparison();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
 
 #include "common/error.hpp"
@@ -9,6 +10,20 @@
 namespace exaclim {
 
 namespace {
+
+/// Depth of ParallelFor blocks currently executing on this thread. Any
+/// ParallelFor issued while this is non-zero runs inline (the nesting
+/// policy documented in the header); blocks == 1 degenerate calls do not
+/// count, so an inner kernel under a serial outer loop still gets the
+/// pool.
+thread_local int tls_parallel_depth = 0;
+
+struct ParallelRegionGuard {
+  ParallelRegionGuard() { ++tls_parallel_depth; }
+  ~ParallelRegionGuard() { --tls_parallel_depth; }
+  ParallelRegionGuard(const ParallelRegionGuard&) = delete;
+  ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
+};
 
 /// Completion latch for one ParallelFor call. Heap-allocated and shared
 /// with every enqueued block so that a worker finishing the final block
@@ -91,6 +106,11 @@ void ThreadPool::ParallelFor(
     const std::function<void(std::size_t, std::size_t)>& fn,
     std::size_t grain) {
   if (begin >= end) return;
+  if (tls_parallel_depth > 0) {
+    // Nested call from inside a parallel block: run inline (see header).
+    fn(begin, end);
+    return;
+  }
   const std::size_t total = end - begin;
   const std::size_t max_blocks = workers_.size() + 1;
   const std::size_t blocks =
@@ -113,7 +133,10 @@ void ThreadPool::ParallelFor(
       // frame alive until every block has finished running it. The latch
       // is captured by value so stragglers inside CountDown stay safe.
       tasks_.push([&fn, latch, lo, hi] {
-        fn(lo, hi);
+        {
+          ParallelRegionGuard region;
+          fn(lo, hi);
+        }
         latch->CountDown();
       });
       ++enqueued_;
@@ -123,12 +146,26 @@ void ThreadPool::ParallelFor(
   cv_.NotifyAll();
 
   // The caller runs the first block itself, then waits out the rest.
-  fn(begin, std::min(end, begin + chunk));
+  {
+    ParallelRegionGuard region;
+    fn(begin, std::min(end, begin + chunk));
+  }
   latch->Await();
 }
 
+bool ThreadPool::InParallelRegion() { return tls_parallel_depth > 0; }
+
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("EXACLIM_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        return static_cast<std::size_t>(v);
+      }
+    }
+    return std::size_t{0};  // hardware_concurrency
+  }());
   return pool;
 }
 

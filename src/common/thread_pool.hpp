@@ -30,11 +30,24 @@ class ThreadPool {
   /// Runs fn(begin, end) over disjoint sub-ranges of [begin, end) on the
   /// pool (and the calling thread), returning when every block is done.
   /// `grain` is the minimum block size worth shipping to a worker.
+  ///
+  /// Nesting policy: a ParallelFor issued from inside a running block of
+  /// another ParallelFor (any pool) executes fn(begin, end) inline on the
+  /// calling thread. Re-entering the pool from a worker would stack a
+  /// blocked latch wait behind the queued outer blocks and oversubscribe
+  /// the machine; inline execution keeps one level of parallelism live
+  /// with zero extra threads (DESIGN §9).
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t, std::size_t)>& fn,
                    std::size_t grain = 1024) EXACLIM_EXCLUDES(mutex_);
 
-  /// Process-wide pool shared by tensor kernels.
+  /// True while the calling thread is executing a ParallelFor block —
+  /// i.e. a nested ParallelFor from here would run inline.
+  static bool InParallelRegion();
+
+  /// Process-wide pool shared by tensor kernels. Sized from
+  /// EXACLIM_THREADS when set (a positive integer), else from
+  /// std::thread::hardware_concurrency().
   static ThreadPool& Global();
 
  private:

@@ -1,6 +1,15 @@
 #include "nn/activation.hpp"
 
+#include "common/thread_pool.hpp"
+
 namespace exaclim {
+namespace {
+
+// Pointwise kernels are memory-bound; blocks must be big enough that the
+// fork/join cost stays negligible.
+constexpr std::size_t kPointwiseGrain = 16384;
+
+}  // namespace
 
 // --------------------------------------------------------------- ReLU ---
 
@@ -8,12 +17,17 @@ Tensor ReLU::Forward(const Tensor& input, bool /*train*/) {
   input_shape_ = input.shape();
   Tensor output(input.shape());
   const std::size_t size = static_cast<std::size_t>(input.NumElements());
-  mask_.assign(size, false);
-  for (std::size_t i = 0; i < size; ++i) {
-    const bool active = input[i] > 0.0f;
-    mask_[i] = active;
-    output[i] = active ? input[i] : 0.0f;
-  }
+  mask_.resize(size);
+  ParallelFor(
+      0, size,
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          const bool active = input[i] > 0.0f;
+          mask_[i] = active ? 1 : 0;
+          output[i] = active ? input[i] : 0.0f;
+        }
+      },
+      kPointwiseGrain);
   MaybeQuantise(output);
   return output;
 }
@@ -22,9 +36,14 @@ Tensor ReLU::Backward(const Tensor& grad_output) {
   EXACLIM_CHECK(grad_output.shape() == input_shape_,
                 name() << ": grad shape mismatch");
   Tensor grad_input(input_shape_);
-  for (std::size_t i = 0; i < mask_.size(); ++i) {
-    grad_input[i] = mask_[i] ? grad_output[i] : 0.0f;
-  }
+  ParallelFor(
+      0, mask_.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          grad_input[i] = mask_[i] != 0 ? grad_output[i] : 0.0f;
+        }
+      },
+      kPointwiseGrain);
   MaybeQuantise(grad_input);
   return grad_input;
 }
@@ -61,9 +80,15 @@ Tensor Dropout::Backward(const Tensor& grad_output) {
                 name() << ": grad shape mismatch");
   if (!last_was_train_ || p_ == 0.0f) return grad_output;
   Tensor grad_input(input_shape_);
-  for (std::size_t i = 0; i < mask_.size(); ++i) {
-    grad_input[i] = grad_output[i] * mask_[i];
-  }
+  // (Forward stays serial: the mask is a sequential draw from rng_.)
+  ParallelFor(
+      0, mask_.size(),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          grad_input[i] = grad_output[i] * mask_[i];
+        }
+      },
+      kPointwiseGrain);
   MaybeQuantise(grad_input);
   return grad_input;
 }

@@ -20,7 +20,10 @@ class ReLU : public Layer {
   }
 
  private:
-  std::vector<bool> mask_;
+  // One byte per element (not vector<bool>): the forward pass fills the
+  // mask from parallel blocks, and bit-packing would make neighbouring
+  // writes race.
+  std::vector<unsigned char> mask_;
   TensorShape input_shape_;
 };
 

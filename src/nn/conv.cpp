@@ -8,7 +8,20 @@
 namespace exaclim {
 namespace {
 
-std::int64_t SamePad(std::int64_t kernel) { return kernel / 2; }
+// "Same" padding must grow with the dilated (effective) kernel, or an
+// ASPP-style dilated conv with the default pad silently shrinks its
+// spatial map.
+std::int64_t SamePad(std::int64_t kernel, std::int64_t dilation) {
+  return dilation * (kernel / 2);
+}
+
+// Per-image bias gradient contribution for one channel plane, as a float
+// (the canonical per-image rounding the shard accumulators chain).
+float PlaneSum(const float* plane, std::int64_t count) {
+  double acc = 0.0;
+  for (std::int64_t p = 0; p < count; ++p) acc += plane[p];
+  return static_cast<float>(acc);
+}
 
 // Naive direct convolution of one image (used when kDirect is forced on a
 // non-pointwise geometry): no patch buffer, pure loops.
@@ -60,7 +73,7 @@ Conv2d::Conv2d(std::string name, const Options& opts, Rng& rng)
     : Layer(std::move(name)),
       opts_([&] {
         Options o = opts;
-        if (o.pad < 0) o.pad = SamePad(o.kernel);
+        if (o.pad < 0) o.pad = SamePad(o.kernel, o.dilation);
         return o;
       }()),
       weight_(this->name() + ".weight",
@@ -130,36 +143,43 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
   Tensor output(out_shape);
   const Tensor& w = ComputeWeight();
   const ConvAlgorithm algo = chosen_algorithm();
-  std::vector<float> col;
-  if (algo == ConvAlgorithm::kImplicitGemm) {
-    col.resize(static_cast<std::size_t>(g.PatchSize()) * g.OutPixels());
-  }
+  const std::int64_t batch = input.shape().n();
+  const std::int64_t shards = ConvGradShards(batch);
+  const std::int64_t col_elems =
+      algo == ConvAlgorithm::kImplicitGemm ? g.PatchSize() * g.OutPixels()
+                                           : 0;
+  workspace_.Configure(shards, col_elems, /*grad_col_elems=*/0,
+                       /*weight_elems=*/0, /*bias_elems=*/0);
   const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_stride = opts_.out_c * g.OutPixels();
-  for (std::int64_t n = 0; n < input.shape().n(); ++n) {
-    if (algo == ConvAlgorithm::kImplicitGemm) {
-      Im2Col(g, input.Raw() + n * in_stride, col.data());
-      // out[out_c, P] = W[out_c, patch] @ col[patch, P]
-      Gemm(false, false, opts_.out_c, g.OutPixels(), g.PatchSize(), 1.0f,
-           w.Raw(), col.data(), 0.0f, output.Raw() + n * out_stride);
-    } else if (UsePointwiseFastPath()) {
-      // 1x1/stride-1: the activation map already IS the patch matrix.
-      Gemm(false, false, opts_.out_c, g.OutPixels(), g.in_c, 1.0f, w.Raw(),
-           input.Raw() + n * in_stride, 0.0f,
-           output.Raw() + n * out_stride);
-    } else {
-      DirectConvImage(g, opts_.out_c, input.Raw() + n * in_stride, w.Raw(),
-                      output.Raw() + n * out_stride);
-    }
-    if (bias_) {
-      float* out_n = output.Raw() + n * out_stride;
-      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
-        const float b = bias_->value[static_cast<std::size_t>(c)];
-        float* plane = out_n + c * g.OutPixels();
-        for (std::int64_t p = 0; p < g.OutPixels(); ++p) plane[p] += b;
+  RunConvShards(shards, [&](std::int64_t s) {
+    const ConvShardRange images = ShardImageRange(batch, shards, s);
+    for (std::int64_t n = images.lo; n < images.hi; ++n) {
+      if (algo == ConvAlgorithm::kImplicitGemm) {
+        float* col = workspace_.Col(s);
+        Im2Col(g, input.Raw() + n * in_stride, col);
+        // out[out_c, P] = W[out_c, patch] @ col[patch, P]
+        Gemm(false, false, opts_.out_c, g.OutPixels(), g.PatchSize(), 1.0f,
+             w.Raw(), col, 0.0f, output.Raw() + n * out_stride);
+      } else if (UsePointwiseFastPath()) {
+        // 1x1/stride-1: the activation map already IS the patch matrix.
+        Gemm(false, false, opts_.out_c, g.OutPixels(), g.in_c, 1.0f,
+             w.Raw(), input.Raw() + n * in_stride, 0.0f,
+             output.Raw() + n * out_stride);
+      } else {
+        DirectConvImage(g, opts_.out_c, input.Raw() + n * in_stride,
+                        w.Raw(), output.Raw() + n * out_stride);
+      }
+      if (bias_) {
+        float* out_n = output.Raw() + n * out_stride;
+        for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+          const float b = bias_->value[static_cast<std::size_t>(c)];
+          float* plane = out_n + c * g.OutPixels();
+          for (std::int64_t p = 0; p < g.OutPixels(); ++p) plane[p] += b;
+        }
       }
     }
-  }
+  });
   MaybeQuantise(output);
   return output;
 }
@@ -176,42 +196,54 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   // Backward always uses the GEMM formulation (cuDNN similarly selects
   // backward algorithms independently of the forward choice); the
   // pointwise fast path just skips the patch buffers.
+  //
+  // Weight/bias gradients go through per-shard accumulators merged by a
+  // fixed-order tree so the batch-parallel result is bit-identical to the
+  // serial walk (DESIGN §9).
   const bool pointwise = UsePointwiseFastPath();
-  std::vector<float> col, grad_col;
-  if (!pointwise) {
-    col.resize(static_cast<std::size_t>(g.PatchSize()) * g.OutPixels());
-    grad_col.resize(col.size());
-  }
+  const std::int64_t batch = in_shape.n();
+  const std::int64_t shards = ConvGradShards(batch);
+  const std::int64_t col_elems =
+      pointwise ? 0 : g.PatchSize() * g.OutPixels();
+  workspace_.Configure(shards, col_elems, col_elems,
+                       weight_.grad.NumElements(),
+                       bias_ ? opts_.out_c : 0);
+  workspace_.ZeroGradAccumulators();
   const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_stride = opts_.out_c * g.OutPixels();
 
-  for (std::int64_t n = 0; n < in_shape.n(); ++n) {
-    const float* gout = grad_output.Raw() + n * out_stride;
-    if (pointwise) {
-      Gemm(false, true, opts_.out_c, g.in_c, g.OutPixels(), 1.0f, gout,
-           cached_input_.Raw() + n * in_stride, 1.0f, weight_.grad.Raw());
-      Gemm(true, false, g.in_c, g.OutPixels(), opts_.out_c, 1.0f, w.Raw(),
-           gout, 0.0f, grad_input.Raw() + n * in_stride);
-    } else {
-      // Weight gradient: gW[out_c, patch] += gout[out_c, P] @ col^T.
-      Im2Col(g, cached_input_.Raw() + n * in_stride, col.data());
-      Gemm(false, true, opts_.out_c, g.PatchSize(), g.OutPixels(), 1.0f,
-           gout, col.data(), 1.0f, weight_.grad.Raw());
-      // Data gradient: gcol[patch, P] = W^T @ gout; scatter back.
-      Gemm(true, false, g.PatchSize(), g.OutPixels(), opts_.out_c, 1.0f,
-           w.Raw(), gout, 0.0f, grad_col.data());
-      Col2Im(g, grad_col.data(), grad_input.Raw() + n * in_stride);
-    }
-    if (bias_) {
-      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
-        const float* plane = gout + c * g.OutPixels();
-        double acc = 0.0;
-        for (std::int64_t p = 0; p < g.OutPixels(); ++p) acc += plane[p];
-        bias_->grad[static_cast<std::size_t>(c)] +=
-            static_cast<float>(acc);
+  RunConvShards(shards, [&](std::int64_t s) {
+    const ConvShardRange images = ShardImageRange(batch, shards, s);
+    float* wgrad = workspace_.WeightGrad(s);
+    float* bgrad = bias_ ? workspace_.BiasGrad(s) : nullptr;
+    for (std::int64_t n = images.lo; n < images.hi; ++n) {
+      const float* gout = grad_output.Raw() + n * out_stride;
+      if (pointwise) {
+        Gemm(false, true, opts_.out_c, g.in_c, g.OutPixels(), 1.0f, gout,
+             cached_input_.Raw() + n * in_stride, 1.0f, wgrad);
+        Gemm(true, false, g.in_c, g.OutPixels(), opts_.out_c, 1.0f,
+             w.Raw(), gout, 0.0f, grad_input.Raw() + n * in_stride);
+      } else {
+        // Weight gradient: gW[out_c, patch] += gout[out_c, P] @ col^T.
+        float* col = workspace_.Col(s);
+        float* grad_col = workspace_.GradCol(s);
+        Im2Col(g, cached_input_.Raw() + n * in_stride, col);
+        Gemm(false, true, opts_.out_c, g.PatchSize(), g.OutPixels(), 1.0f,
+             gout, col, 1.0f, wgrad);
+        // Data gradient: gcol[patch, P] = W^T @ gout; scatter back.
+        Gemm(true, false, g.PatchSize(), g.OutPixels(), opts_.out_c, 1.0f,
+             w.Raw(), gout, 0.0f, grad_col);
+        Col2Im(g, grad_col, grad_input.Raw() + n * in_stride);
+      }
+      if (bgrad != nullptr) {
+        for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+          bgrad[c] += PlaneSum(gout + c * g.OutPixels(), g.OutPixels());
+        }
       }
     }
-  }
+  });
+  workspace_.ReduceWeightGradInto(weight_.grad.Raw());
+  if (bias_) workspace_.ReduceBiasGradInto(bias_->grad.Raw());
   MaybeQuantise(grad_input);
   return grad_input;
 }
@@ -293,24 +325,33 @@ Tensor ConvTranspose2d::Forward(const Tensor& input, bool /*train*/) {
   Tensor output(out_shape);
   const Tensor& w = ComputeWeight();
   const std::int64_t pixels = input.shape().h() * input.shape().w();
-  std::vector<float> col(static_cast<std::size_t>(g.PatchSize()) * pixels);
+  const std::int64_t batch = input.shape().n();
+  const std::int64_t shards = ConvGradShards(batch);
+  workspace_.Configure(shards, g.PatchSize() * pixels, /*grad_col_elems=*/0,
+                       /*weight_elems=*/0, /*bias_elems=*/0);
   const std::int64_t in_stride = opts_.in_c * pixels;
   const std::int64_t out_stride = opts_.out_c * out_shape.h() * out_shape.w();
 
-  for (std::int64_t n = 0; n < input.shape().n(); ++n) {
-    // col[out_c*k*k, P] = W^T[out_c*k*k, in_c] @ x[in_c, P]
-    Gemm(true, false, g.PatchSize(), pixels, opts_.in_c, 1.0f, w.Raw(),
-         input.Raw() + n * in_stride, 0.0f, col.data());
-    Col2Im(g, col.data(), output.Raw() + n * out_stride);
-    if (bias_) {
-      float* out_n = output.Raw() + n * out_stride;
-      const std::int64_t plane = out_shape.h() * out_shape.w();
-      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
-        const float b = bias_->value[static_cast<std::size_t>(c)];
-        for (std::int64_t p = 0; p < plane; ++p) out_n[c * plane + p] += b;
+  RunConvShards(shards, [&](std::int64_t s) {
+    const ConvShardRange images = ShardImageRange(batch, shards, s);
+    float* col = workspace_.Col(s);
+    for (std::int64_t n = images.lo; n < images.hi; ++n) {
+      // col[out_c*k*k, P] = W^T[out_c*k*k, in_c] @ x[in_c, P]
+      Gemm(true, false, g.PatchSize(), pixels, opts_.in_c, 1.0f, w.Raw(),
+           input.Raw() + n * in_stride, 0.0f, col);
+      Col2Im(g, col, output.Raw() + n * out_stride);
+      if (bias_) {
+        float* out_n = output.Raw() + n * out_stride;
+        const std::int64_t plane = out_shape.h() * out_shape.w();
+        for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+          const float b = bias_->value[static_cast<std::size_t>(c)];
+          for (std::int64_t p = 0; p < plane; ++p) {
+            out_n[c * plane + p] += b;
+          }
+        }
       }
     }
-  }
+  });
   MaybeQuantise(output);
   return output;
 }
@@ -326,30 +367,39 @@ Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
   Tensor grad_input(in_shape);
   const Tensor& w = ComputeWeight();
   const std::int64_t pixels = in_shape.h() * in_shape.w();
-  std::vector<float> col(static_cast<std::size_t>(g.PatchSize()) * pixels);
+  const std::int64_t batch = in_shape.n();
+  const std::int64_t shards = ConvGradShards(batch);
+  workspace_.Configure(shards, g.PatchSize() * pixels, /*grad_col_elems=*/0,
+                       weight_.grad.NumElements(),
+                       bias_ ? opts_.out_c : 0);
+  workspace_.ZeroGradAccumulators();
   const std::int64_t in_stride = opts_.in_c * pixels;
   const std::int64_t out_stride = opts_.out_c * out_shape.h() * out_shape.w();
 
-  for (std::int64_t n = 0; n < in_shape.n(); ++n) {
-    const float* gout = grad_output.Raw() + n * out_stride;
-    Im2Col(g, gout, col.data());
-    // Data gradient: gx[in_c, P] = W[in_c, patch] @ col[patch, P]
-    Gemm(false, false, opts_.in_c, pixels, g.PatchSize(), 1.0f, w.Raw(),
-         col.data(), 0.0f, grad_input.Raw() + n * in_stride);
-    // Weight gradient: gW[in_c, patch] += x[in_c, P] @ col[patch, P]^T
-    Gemm(false, true, opts_.in_c, g.PatchSize(), pixels, 1.0f,
-         cached_input_.Raw() + n * in_stride, col.data(), 1.0f,
-         weight_.grad.Raw());
-    if (bias_) {
-      const std::int64_t plane = out_shape.h() * out_shape.w();
-      for (std::int64_t c = 0; c < opts_.out_c; ++c) {
-        double acc = 0.0;
-        for (std::int64_t p = 0; p < plane; ++p) acc += gout[c * plane + p];
-        bias_->grad[static_cast<std::size_t>(c)] +=
-            static_cast<float>(acc);
+  RunConvShards(shards, [&](std::int64_t s) {
+    const ConvShardRange images = ShardImageRange(batch, shards, s);
+    float* col = workspace_.Col(s);
+    float* wgrad = workspace_.WeightGrad(s);
+    float* bgrad = bias_ ? workspace_.BiasGrad(s) : nullptr;
+    for (std::int64_t n = images.lo; n < images.hi; ++n) {
+      const float* gout = grad_output.Raw() + n * out_stride;
+      Im2Col(g, gout, col);
+      // Data gradient: gx[in_c, P] = W[in_c, patch] @ col[patch, P]
+      Gemm(false, false, opts_.in_c, pixels, g.PatchSize(), 1.0f, w.Raw(),
+           col, 0.0f, grad_input.Raw() + n * in_stride);
+      // Weight gradient: gW[in_c, patch] += x[in_c, P] @ col[patch, P]^T
+      Gemm(false, true, opts_.in_c, g.PatchSize(), pixels, 1.0f,
+           cached_input_.Raw() + n * in_stride, col, 1.0f, wgrad);
+      if (bgrad != nullptr) {
+        const std::int64_t plane = out_shape.h() * out_shape.w();
+        for (std::int64_t c = 0; c < opts_.out_c; ++c) {
+          bgrad[c] += PlaneSum(gout + c * plane, plane);
+        }
       }
     }
-  }
+  });
+  workspace_.ReduceWeightGradInto(weight_.grad.Raw());
+  if (bias_) workspace_.ReduceBiasGradInto(bias_->grad.Raw());
   MaybeQuantise(grad_input);
   return grad_input;
 }

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "nn/conv_engine.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layer.hpp"
 
@@ -28,7 +29,7 @@ class Conv2d : public Layer {
     std::int64_t out_c = 0;
     std::int64_t kernel = 3;
     std::int64_t stride = 1;
-    std::int64_t pad = -1;  // -1 = "same" padding for stride 1 (k/2)
+    std::int64_t pad = -1;  // -1 = "same" for stride 1: dilation*(k/2)
     std::int64_t dilation = 1;
     bool bias = true;
     ConvAlgorithm algorithm = ConvAlgorithm::kAuto;
@@ -58,6 +59,7 @@ class Conv2d : public Layer {
   std::optional<Param> bias_;
   Tensor quantised_weight_;  // scratch for FP16 emulation
   Tensor cached_input_;      // saved for the backward pass
+  ConvWorkspace workspace_;  // per-shard col/grad buffers (DESIGN §9)
 };
 
 /// Transposed convolution ("deconv", light-blue layers of Fig 1) used by
@@ -97,6 +99,7 @@ class ConvTranspose2d : public Layer {
   std::optional<Param> bias_;
   Tensor quantised_weight_;
   Tensor cached_input_;
+  ConvWorkspace workspace_;
 };
 
 }  // namespace exaclim

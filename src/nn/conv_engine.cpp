@@ -1,0 +1,151 @@
+#include "nn/conv_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace exaclim {
+namespace {
+
+std::atomic<bool>& BatchParallelFlag() {
+  static std::atomic<bool> flag([] {
+    const char* env = std::getenv("EXACLIM_CONV_SERIAL");
+    return env == nullptr || std::strcmp(env, "0") == 0;
+  }());
+  return flag;
+}
+
+std::int64_t MaxShardsKnob() {
+  static const std::int64_t knob = [] {
+    if (const char* env = std::getenv("EXACLIM_CONV_SHARDS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        return static_cast<std::int64_t>(v);
+      }
+    }
+    return std::int64_t{16};
+  }();
+  return knob;
+}
+
+}  // namespace
+
+bool ConvBatchParallelEnabled() {
+  return BatchParallelFlag().load(std::memory_order_relaxed);
+}
+
+void SetConvBatchParallel(bool enabled) {
+  BatchParallelFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::int64_t ConvGradShards(std::int64_t n) {
+  return std::max<std::int64_t>(1, std::min(n, MaxShardsKnob()));
+}
+
+ConvShardRange ShardImageRange(std::int64_t n, std::int64_t shards,
+                               std::int64_t shard) {
+  const std::int64_t chunk = (n + shards - 1) / shards;
+  ConvShardRange r;
+  r.lo = std::min(n, shard * chunk);
+  r.hi = std::min(n, r.lo + chunk);
+  return r;
+}
+
+void RunConvShards(std::int64_t shards,
+                   const std::function<void(std::int64_t)>& fn) {
+  if (!ConvBatchParallelEnabled() || shards <= 1 ||
+      ThreadPool::InParallelRegion()) {
+    for (std::int64_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  ParallelFor(
+      0, static_cast<std::size_t>(shards),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          fn(static_cast<std::int64_t>(s));
+        }
+      },
+      /*grain=*/1);
+}
+
+void ConvWorkspace::Configure(std::int64_t shards, std::int64_t col_elems,
+                              std::int64_t grad_col_elems,
+                              std::int64_t weight_elems,
+                              std::int64_t bias_elems) {
+  EXACLIM_CHECK(shards >= 1, "workspace needs at least one shard");
+  if (shards == shards_ && col_elems == col_elems_ &&
+      grad_col_elems == grad_col_elems_ && weight_elems == weight_elems_ &&
+      bias_elems == bias_elems_) {
+    return;
+  }
+  shards_ = shards;
+  col_elems_ = col_elems;
+  grad_col_elems_ = grad_col_elems;
+  weight_elems_ = weight_elems;
+  bias_elems_ = bias_elems;
+  col_.resize(static_cast<std::size_t>(shards * col_elems));
+  grad_col_.resize(static_cast<std::size_t>(shards * grad_col_elems));
+  weight_grad_.resize(static_cast<std::size_t>(shards * weight_elems));
+  bias_grad_.resize(static_cast<std::size_t>(shards * bias_elems));
+}
+
+float* ConvWorkspace::Col(std::int64_t shard) {
+  return col_.data() + shard * col_elems_;
+}
+
+float* ConvWorkspace::GradCol(std::int64_t shard) {
+  return grad_col_.data() + shard * grad_col_elems_;
+}
+
+float* ConvWorkspace::WeightGrad(std::int64_t shard) {
+  return weight_grad_.data() + shard * weight_elems_;
+}
+
+float* ConvWorkspace::BiasGrad(std::int64_t shard) {
+  return bias_grad_.data() + shard * bias_elems_;
+}
+
+void ConvWorkspace::ZeroGradAccumulators() {
+  if (!weight_grad_.empty()) {
+    std::memset(weight_grad_.data(), 0,
+                weight_grad_.size() * sizeof(float));
+  }
+  if (!bias_grad_.empty()) {
+    std::memset(bias_grad_.data(), 0, bias_grad_.size() * sizeof(float));
+  }
+}
+
+namespace {
+
+// In-place pairwise tree over `shards` buffers of `size` floats, then
+// dst += root. The per-element addition order is a pure function of the
+// shard count.
+void TreeReduceInto(float* dst, float* buffers, std::int64_t shards,
+                    std::int64_t size) {
+  if (size == 0) return;
+  for (std::int64_t stride = 1; stride < shards; stride *= 2) {
+    for (std::int64_t s = 0; s + stride < shards; s += 2 * stride) {
+      float* a = buffers + s * size;
+      const float* b = buffers + (s + stride) * size;
+      for (std::int64_t i = 0; i < size; ++i) a[i] += b[i];
+    }
+  }
+  for (std::int64_t i = 0; i < size; ++i) dst[i] += buffers[i];
+}
+
+}  // namespace
+
+void ConvWorkspace::ReduceWeightGradInto(float* dst) {
+  TreeReduceInto(dst, weight_grad_.data(), shards_, weight_elems_);
+}
+
+void ConvWorkspace::ReduceBiasGradInto(float* dst) {
+  TreeReduceInto(dst, bias_grad_.data(), shards_, bias_elems_);
+}
+
+}  // namespace exaclim

@@ -1,0 +1,93 @@
+#pragma once
+
+// Batch-parallel convolution execution engine (DESIGN §9).
+//
+// The conv/deconv/pool layers decompose each batch into contiguous image
+// shards and run the shards through ThreadPool::Global(). The shard
+// partition and the weight-gradient reduction tree depend only on the
+// batch size (plus the EXACLIM_CONV_SHARDS knob) — never on the thread
+// count or on scheduling — so the batch-parallel backward pass produces
+// bit-identical gradients to the serial batch walk. Nested GEMMs issued
+// from inside a shard run inline via the pool's nesting policy.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace exaclim {
+
+/// Whether conv-family layers run their batch shards on the global pool.
+/// Defaults to on; EXACLIM_CONV_SERIAL=1 (or any value other than "0")
+/// forces the serial batch walk. Either mode computes the exact same
+/// floating-point operation sequence per gradient element.
+bool ConvBatchParallelEnabled();
+
+/// Programmatic override of the EXACLIM_CONV_SERIAL default (benches and
+/// the serial-vs-parallel bit-exactness tests flip this per run).
+void SetConvBatchParallel(bool enabled);
+
+/// Number of shards a batch of `n` images is decomposed into:
+/// min(n, EXACLIM_CONV_SHARDS), knob default 16. Fixed for a given batch
+/// size, so the gradient reduction tree is reproducible across machines
+/// with different core counts.
+std::int64_t ConvGradShards(std::int64_t n);
+
+/// Contiguous image range [lo, hi) owned by `shard` under the
+/// deterministic ceil(n/shards) split ParallelFor also uses.
+struct ConvShardRange {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+ConvShardRange ShardImageRange(std::int64_t n, std::int64_t shards,
+                               std::int64_t shard);
+
+/// Runs fn(shard) for every shard in [0, shards): on the global pool when
+/// ConvBatchParallelEnabled(), serially in shard order otherwise. Each
+/// shard touches only its own workspace slot, so the modes differ only in
+/// scheduling.
+void RunConvShards(std::int64_t shards,
+                   const std::function<void(std::int64_t)>& fn);
+
+/// Reusable per-layer workspace for the im2col lowering: per-shard
+/// col / grad-col panels plus per-shard weight/bias gradient
+/// accumulators. Buffers are sized once per (geometry, shard-count) and
+/// reused across Forward/Backward calls — the per-call std::vector
+/// allocations this replaces dominated small-GEMM conv layers.
+class ConvWorkspace {
+ public:
+  /// (Re)sizes the buffers; cheap no-op when nothing changed. Element
+  /// counts of zero skip the corresponding buffer family.
+  void Configure(std::int64_t shards, std::int64_t col_elems,
+                 std::int64_t grad_col_elems, std::int64_t weight_elems,
+                 std::int64_t bias_elems);
+
+  float* Col(std::int64_t shard);
+  float* GradCol(std::int64_t shard);
+  float* WeightGrad(std::int64_t shard);
+  float* BiasGrad(std::int64_t shard);
+
+  /// Zeroes the gradient accumulators ahead of a Backward pass.
+  void ZeroGradAccumulators();
+
+  /// Merges the per-shard accumulators by a fixed-order pairwise tree
+  /// (shard 0 += shard 1, shard 2 += shard 3, ...; doubling strides) and
+  /// accumulates the root into dst. The tree shape depends only on the
+  /// shard count, pinning the reduction order.
+  void ReduceWeightGradInto(float* dst);
+  void ReduceBiasGradInto(float* dst);
+
+  std::int64_t shards() const { return shards_; }
+
+ private:
+  std::int64_t shards_ = 0;
+  std::int64_t col_elems_ = 0;
+  std::int64_t grad_col_elems_ = 0;
+  std::int64_t weight_elems_ = 0;
+  std::int64_t bias_elems_ = 0;
+  std::vector<float> col_;
+  std::vector<float> grad_col_;
+  std::vector<float> weight_grad_;
+  std::vector<float> bias_grad_;
+};
+
+}  // namespace exaclim

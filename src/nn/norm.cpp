@@ -2,7 +2,28 @@
 
 #include <cmath>
 
+#include "common/thread_pool.hpp"
+
 namespace exaclim {
+namespace {
+
+/// Channel-parallel dispatch: batch-norm statistics, running-stat updates
+/// and plane writes are all per-channel, so channels are independent
+/// tasks and each channel's reduction order is unchanged from the serial
+/// loop — results are scheduling-invariant.
+void ForEachChannel(std::int64_t channels,
+                    const std::function<void(std::int64_t)>& fn) {
+  ParallelFor(
+      0, static_cast<std::size_t>(channels),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t c = lo; c < hi; ++c) {
+          fn(static_cast<std::int64_t>(c));
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
 
 BatchNorm2d::BatchNorm2d(std::string name, std::int64_t channels,
                          float momentum, float epsilon)
@@ -37,7 +58,7 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
   cached_norm_ = Tensor(input.shape());
   batch_inv_std_ = Tensor(TensorShape{channels_});
 
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  ForEachChannel(channels_, [&](std::int64_t c) {
     float mean, var;
     if (train) {
       double sum = 0.0, sumsq = 0.0;
@@ -75,7 +96,7 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
         out_plane[i] = g * x_hat + bta;
       }
     }
-  }
+  });
   MaybeQuantise(output);
   return output;
 }
@@ -90,7 +111,7 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
   const std::int64_t chw = channels_ * hw;
 
   Tensor grad_input(input_shape_);
-  for (std::int64_t c = 0; c < channels_; ++c) {
+  ForEachChannel(channels_, [&](std::int64_t c) {
     // Accumulate dL/dgamma, dL/dbeta and the two reduction terms of the
     // batch-norm backward formula.
     double sum_g = 0.0, sum_gx = 0.0;
@@ -123,7 +144,7 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
         gin[i] = g * inv_std * (gout[i] - mean_g - x_hat[i] * mean_gx);
       }
     }
-  }
+  });
   MaybeQuantise(grad_input);
   return grad_input;
 }

@@ -2,7 +2,27 @@
 
 #include <limits>
 
+#include "common/thread_pool.hpp"
+
 namespace exaclim {
+namespace {
+
+/// Plane-parallel dispatch for the pooling loops: every (image, channel)
+/// plane is independent, writes are disjoint and each plane's reduction
+/// stays within one task, so results are scheduling-invariant.
+void ForEachPlane(std::int64_t planes,
+                  const std::function<void(std::int64_t)>& fn) {
+  ParallelFor(
+      0, static_cast<std::size_t>(planes),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t p = lo; p < hi; ++p) {
+          fn(static_cast<std::int64_t>(p));
+        }
+      },
+      /*grain=*/1);
+}
+
+}  // namespace
 
 // ---------------------------------------------------------- MaxPool2d ---
 
@@ -31,7 +51,7 @@ Tensor MaxPool2d::Forward(const Tensor& input, bool /*train*/) {
   const std::int64_t planes = input.shape().n() * input.shape().c();
   const std::int64_t ih = input.shape().h(), iw = input.shape().w();
   const std::int64_t oh = out_shape.h(), ow = out_shape.w();
-  for (std::int64_t p = 0; p < planes; ++p) {
+  ForEachPlane(planes, [&](std::int64_t p) {
     const float* in = input.Raw() + p * ih * iw;
     float* out = output.Raw() + p * oh * ow;
     std::int64_t* arg = argmax_.data() + p * oh * ow;
@@ -57,7 +77,7 @@ Tensor MaxPool2d::Forward(const Tensor& input, bool /*train*/) {
         arg[oy * ow + ox] = best_idx;
       }
     }
-  }
+  });
   MaybeQuantise(output);
   return output;
 }
@@ -71,14 +91,14 @@ Tensor MaxPool2d::Backward(const Tensor& grad_output) {
   const std::int64_t planes = input_shape_.n() * input_shape_.c();
   const std::int64_t ihw = input_shape_.h() * input_shape_.w();
   const std::int64_t ohw = out_shape.h() * out_shape.w();
-  for (std::int64_t p = 0; p < planes; ++p) {
+  ForEachPlane(planes, [&](std::int64_t p) {
     const float* gout = grad_output.Raw() + p * ohw;
     const std::int64_t* arg = argmax_.data() + p * ohw;
     float* gin = grad_input.Raw() + p * ihw;
     for (std::int64_t i = 0; i < ohw; ++i) {
       if (arg[i] >= 0) gin[arg[i]] += gout[i];
     }
-  }
+  });
   MaybeQuantise(grad_input);
   return grad_input;
 }
@@ -112,7 +132,7 @@ Tensor AvgPool2d::Forward(const Tensor& input, bool /*train*/) {
   const std::int64_t kw = kernel_ == 0 ? iw : kernel_;
   const std::int64_t stride_h = kernel_ == 0 ? ih : stride_;
   const std::int64_t stride_w = kernel_ == 0 ? iw : stride_;
-  for (std::int64_t p = 0; p < planes; ++p) {
+  ForEachPlane(planes, [&](std::int64_t p) {
     const float* in = input.Raw() + p * ih * iw;
     float* out = output.Raw() + p * oh * ow;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -126,7 +146,7 @@ Tensor AvgPool2d::Forward(const Tensor& input, bool /*train*/) {
         out[oy * ow + ox] = static_cast<float>(acc / (k * kw));
       }
     }
-  }
+  });
   MaybeQuantise(output);
   return output;
 }
@@ -146,7 +166,7 @@ Tensor AvgPool2d::Backward(const Tensor& grad_output) {
   const std::int64_t stride_h = kernel_ == 0 ? ih : stride_;
   const std::int64_t stride_w = kernel_ == 0 ? iw : stride_;
   const float inv = 1.0f / static_cast<float>(k * kw);
-  for (std::int64_t p = 0; p < planes; ++p) {
+  ForEachPlane(planes, [&](std::int64_t p) {
     const float* gout = grad_output.Raw() + p * oh * ow;
     float* gin = grad_input.Raw() + p * ih * iw;
     for (std::int64_t oy = 0; oy < oh; ++oy) {
@@ -159,7 +179,7 @@ Tensor AvgPool2d::Backward(const Tensor& grad_output) {
         }
       }
     }
-  }
+  });
   MaybeQuantise(grad_input);
   return grad_input;
 }

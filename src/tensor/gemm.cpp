@@ -93,12 +93,22 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           float beta, float* c) {
   if (m == 0 || n == 0) return;
   if (k == 0) {
-    for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+    // BLAS semantics: beta == 0 overwrites C, never reads it (C may hold
+    // NaN/Inf garbage), matching the GemmPanel prologue.
+    if (beta == 0.0f) {
+      std::fill(c, c + m * n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+    }
     return;
   }
-  // One task per M-panel; panels are independent so this is safely parallel.
-  const std::size_t grain = static_cast<std::size_t>(
-      std::max<std::int64_t>(1, kBlockM * 512 / std::max<std::int64_t>(1, n)));
+  // Tasks are M-panels; panels are independent so this is safely parallel.
+  // Clamp the grain so every task covers at least one full kBlockM panel:
+  // at paper-scale pixel counts (n = 884736 for a 1152×768 map) the
+  // flops-balancing term degenerates below 1 and would dispatch one
+  // closure per row.
+  const std::size_t grain = static_cast<std::size_t>(std::max<std::int64_t>(
+      kBlockM, kBlockM * 512 / std::max<std::int64_t>(1, n)));
   ParallelFor(
       0, static_cast<std::size_t>(m),
       [&](std::size_t lo, std::size_t hi) {

@@ -249,6 +249,63 @@ TEST(ThreadPool, SingleThreadPoolStillWorks) {
   EXPECT_EQ(count.load(), 100);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // Nesting policy (DESIGN §9): a ParallelFor issued from inside another
+  // ParallelFor block executes its full range inline on the calling
+  // thread, so batch-parallel conv shards can call Gemm (itself a
+  // ParallelFor user) without deadlocking or oversubscribing.
+  ThreadPool pool(4);
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+  std::atomic<int> outer_items{0};
+  std::atomic<int> outer_blocks{0};
+  std::atomic<long long> nested_sum{0};
+  pool.ParallelFor(
+      0, 6,
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_TRUE(ThreadPool::InParallelRegion());
+        int inner_calls = 0;
+        long long local = 0;
+        pool.ParallelFor(
+            0, 500,
+            [&](std::size_t b, std::size_t e) {
+              ++inner_calls;
+              for (std::size_t i = b; i < e; ++i) {
+                local += static_cast<long long>(i);
+              }
+            },
+            /*grain=*/1);
+        EXPECT_EQ(inner_calls, 1);  // one inline block over [0, 500)
+        nested_sum.fetch_add(local);
+        outer_blocks.fetch_add(1);
+        outer_items.fetch_add(static_cast<int>(hi - lo));
+      },
+      /*grain=*/1);
+  EXPECT_EQ(outer_items.load(), 6);
+  EXPECT_EQ(nested_sum.load(), outer_blocks.load() * (499ll * 500ll / 2));
+  EXPECT_FALSE(ThreadPool::InParallelRegion());
+}
+
+TEST(ThreadPool, NestedAcrossDistinctPoolsRunsInline) {
+  // The depth marker is per-thread, not per-pool: work issued to a second
+  // pool from inside a first pool's block still runs inline.
+  ThreadPool outer(2);
+  ThreadPool inner(2);
+  std::atomic<int> inner_calls{0};
+  outer.ParallelFor(
+      0, 4,
+      [&](std::size_t, std::size_t) {
+        inner.ParallelFor(
+            0, 100, [&](std::size_t, std::size_t) { inner_calls.fetch_add(1); },
+            /*grain=*/1);
+      },
+      /*grain=*/1);
+  // Each outer block triggers exactly one inline inner call, and the
+  // number of outer blocks equals min(workers+1, 4) under grain 1 — just
+  // assert inline behaviour per call.
+  EXPECT_GE(inner_calls.load(), 1);
+  EXPECT_LE(inner_calls.load(), 4);
+}
+
 // ------------------------------------------------------------- Check ----
 
 TEST(Check, ThrowsWithContext) {

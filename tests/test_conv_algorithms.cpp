@@ -19,7 +19,8 @@ Tensor ReferenceConv(const Tensor& input, const Tensor& weight,
                      const Conv2d::Options& o) {
   const std::int64_t n = input.shape().n(), h = input.shape().h(),
                      w = input.shape().w();
-  const std::int64_t pad = o.pad >= 0 ? o.pad : o.kernel / 2;
+  const std::int64_t pad =
+      o.pad >= 0 ? o.pad : o.dilation * (o.kernel / 2);
   const std::int64_t eff_k = o.dilation * (o.kernel - 1) + 1;
   const std::int64_t oh = (h + 2 * pad - eff_k) / o.stride + 1;
   const std::int64_t ow = (w + 2 * pad - eff_k) / o.stride + 1;
@@ -90,6 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
             GeometryCase{2, 5, 1, 1, 0, 1, 7, 7},    // pointwise
             GeometryCase{4, 2, 3, 2, 1, 1, 9, 10},   // strided
             GeometryCase{2, 3, 3, 1, 2, 2, 8, 8},    // atrous d=2
+            GeometryCase{2, 3, 3, 1, -1, 2, 8, 8},   // atrous default pad
+            GeometryCase{2, 2, 3, 1, -1, 4, 10, 9},  // atrous d=4 def. pad
             GeometryCase{1, 2, 5, 1, 2, 1, 10, 10},  // 5x5 (Tiramisu mod)
             GeometryCase{3, 3, 7, 2, 3, 1, 14, 14},  // stem 7x7/2
             GeometryCase{2, 2, 3, 1, 6, 6, 9, 9}),   // extreme dilation

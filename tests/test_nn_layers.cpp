@@ -134,6 +134,12 @@ INSTANTIATE_TEST_SUITE_P(
         ConvCase{{.in_c = 2, .out_c = 2, .kernel = 3, .pad = 2,
                   .dilation = 2},
                  9, 9, "atrous_d2"},
+        ConvCase{{.in_c = 2, .out_c = 2, .kernel = 3, .dilation = 2}, 9, 9,
+                 "atrous_d2_defaultpad"},
+        ConvCase{{.in_c = 2, .out_c = 2, .kernel = 3, .dilation = 4}, 11, 10,
+                 "atrous_d4_defaultpad"},
+        ConvCase{{.in_c = 2, .out_c = 3, .kernel = 5, .stride = 2}, 9, 9,
+                 "strided_defaultpad5x5"},
         ConvCase{{.in_c = 3, .out_c = 2, .kernel = 5}, 9, 8, "kernel5x5"},
         ConvCase{{.in_c = 2, .out_c = 3, .kernel = 3, .bias = false}, 6, 6,
                  "nobias"},
@@ -229,7 +235,10 @@ INSTANTIATE_TEST_SUITE_P(
                    5, 5, "stride1"},
         DeconvCase{{.in_c = 2, .out_c = 2, .kernel = 3, .stride = 2,
                     .bias = false},
-                   3, 3, "nobias"}),
+                   3, 3, "nobias"},
+        DeconvCase{{.in_c = 2, .out_c = 2, .kernel = 3, .stride = 2,
+                    .pad = 1, .out_pad = 1},
+                   4, 4, "outpad_doubling"}),
     [](const auto& info) { return info.param.label; });
 
 TEST(ConvTranspose2d, DoublesResolutionLikeFig1Decoder) {
@@ -283,6 +292,47 @@ TEST(MaxPool2d, GradCheck) {
   for (std::int64_t i = 0; i < x.NumElements(); ++i) {
     x[static_cast<std::size_t>(i)] = static_cast<float>(i % 17) +
                                      rng.Uniform(0.0f, 0.05f);
+  }
+  const auto res = CheckInputGradient(pool, x, 1e-3);
+  EXPECT_LT(res.max_rel_err, 2e-2);
+}
+
+TEST(MaxPool2d, FullyPaddedEdgeWindowsActAsZero) {
+  // kernel 1, pad 1: the output border windows cover only padding. They
+  // must read as 0 with no argmax, and backward must route no gradient
+  // through them.
+  MaxPool2d pool("p", 1, 1, 1);
+  const Tensor x = Tensor::FromVector(TensorShape::NCHW(1, 1, 2, 2),
+                                      {-1.0f, -2.0f, -3.0f, -4.0f});
+  const Tensor y = pool.Forward(x, false);
+  ASSERT_EQ(y.shape(), TensorShape::NCHW(1, 1, 4, 4));
+  for (std::int64_t oy = 0; oy < 4; ++oy) {
+    for (std::int64_t ox = 0; ox < 4; ++ox) {
+      const bool border = oy == 0 || oy == 3 || ox == 0 || ox == 3;
+      const float v = y[static_cast<std::size_t>(oy * 4 + ox)];
+      if (border) {
+        EXPECT_EQ(v, 0.0f) << oy << "," << ox;  // not -inf, not garbage
+      } else {
+        EXPECT_EQ(v, x[static_cast<std::size_t>((oy - 1) * 2 + (ox - 1))]);
+      }
+    }
+  }
+  const Tensor g =
+      pool.Backward(Tensor::Full(TensorShape::NCHW(1, 1, 4, 4), 1.0f));
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(g[static_cast<std::size_t>(i)], 1.0f);  // interior only
+  }
+}
+
+TEST(MaxPool2d, PaddedGradCheck) {
+  // Default pad (kernel/2) produces partially- and fully-padded edge
+  // windows; gradients must still match finite differences.
+  MaxPool2d pool("p", 3, 2);
+  Rng rng(31);
+  Tensor x(TensorShape::NCHW(2, 2, 6, 6));
+  for (std::int64_t i = 0; i < x.NumElements(); ++i) {
+    x[static_cast<std::size_t>(i)] =
+        static_cast<float>(i % 13) + rng.Uniform(0.0f, 0.05f);
   }
   const auto res = CheckInputGradient(pool, x, 1e-3);
   EXPECT_LT(res.max_rel_err, 2e-2);

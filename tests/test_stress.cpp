@@ -17,6 +17,7 @@
 #include "common/thread_pool.hpp"
 #include "data/dataset.hpp"
 #include "io/pipeline.hpp"
+#include "nn/conv.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
@@ -170,6 +171,83 @@ TEST(ThreadPoolStress, RapidConstructDestroy) {
         /*grain=*/16);
     EXPECT_EQ(touched.load(), 256);
   }
+}
+
+// Batch-parallel conv backward hammered repeatedly: shard tasks write
+// per-shard workspace slots and the fixed-order tree reduction merges
+// them. Any cross-shard write overlap or reduction/task overlap is
+// TSan-visible here, and every round must reproduce round 0's gradients
+// bitwise (scheduling-invariance in practice, not just by argument).
+TEST(ConvStress, BatchParallelBackwardIsRaceFreeAndStable) {
+  const bool saved = ConvBatchParallelEnabled();
+  SetConvBatchParallel(true);
+  Rng rng(51);
+  Conv2d conv("c", {.in_c = 4, .out_c = 4, .kernel = 3}, rng);
+  Rng xrng(52);
+  const Tensor x =
+      Tensor::Uniform(TensorShape::NCHW(8, 4, 12, 12), xrng, -1.0f, 1.0f);
+  Rng grng(53);
+  const Tensor g =
+      Tensor::Uniform(conv.OutputShape(x.shape()), grng, -1.0f, 1.0f);
+
+  std::vector<float> reference;
+  for (int round = 0; round < 50; ++round) {
+    for (Param* p : conv.Params()) p->grad.SetZero();
+    (void)conv.Forward(x, true);
+    (void)conv.Backward(g);
+    const auto& wg = conv.weight().grad;
+    if (round == 0) {
+      reference.assign(wg.Data().begin(), wg.Data().end());
+    } else {
+      for (std::int64_t i = 0; i < wg.NumElements(); ++i) {
+        ASSERT_EQ(wg[static_cast<std::size_t>(i)],
+                  reference[static_cast<std::size_t>(i)])
+            << "round " << round << " grad " << i;
+      }
+    }
+  }
+  SetConvBatchParallel(saved);
+}
+
+// Several Conv2d layers training concurrently from caller threads, all
+// sharding their batches onto the one global pool (the multi-tower usage
+// pattern). Each layer owns its workspace; nothing may bleed across.
+TEST(ConvStress, ConcurrentLayersShareGlobalPool) {
+  const bool saved = ConvBatchParallelEnabled();
+  SetConvBatchParallel(true);
+  constexpr int kLayers = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kLayers);
+  std::vector<float> checks(kLayers, 0.0f);
+  for (int t = 0; t < kLayers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(60 + static_cast<std::uint64_t>(t));
+      Conv2d conv("c" + std::to_string(t),
+                  {.in_c = 3, .out_c = 3, .kernel = 3}, rng);
+      Rng xrng(70 + static_cast<std::uint64_t>(t));
+      const Tensor x = Tensor::Uniform(TensorShape::NCHW(6, 3, 10, 10),
+                                       xrng, -1.0f, 1.0f);
+      Rng grng(80 + static_cast<std::uint64_t>(t));
+      const Tensor g =
+          Tensor::Uniform(conv.OutputShape(x.shape()), grng, -1.0f, 1.0f);
+      float first = 0.0f;
+      for (int round = 0; round < 25; ++round) {
+        for (Param* p : conv.Params()) p->grad.SetZero();
+        (void)conv.Forward(x, true);
+        (void)conv.Backward(g);
+        const float norm = conv.weight().grad.Norm();
+        if (round == 0) {
+          first = norm;
+        } else {
+          ASSERT_EQ(norm, first) << "layer " << t << " round " << round;
+        }
+      }
+      checks[static_cast<std::size_t>(t)] = first;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const float c : checks) EXPECT_GT(c, 0.0f);
+  SetConvBatchParallel(saved);
 }
 
 // Metrics registry under concurrent registration and recording: threads

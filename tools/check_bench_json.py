@@ -3,6 +3,12 @@
 
 Usage:
     tools/check_bench_json.py BENCH_input_pipeline.json [more.json ...]
+    tools/check_bench_json.py FILE... --assert-le METRIC_A METRIC_B RATIO
+
+With --assert-le, after the schema checks pass, also asserts
+median(METRIC_A) <= median(METRIC_B) * RATIO over the merged metrics of
+the given files (the ci.sh perf gate: parallel must not regress past
+serial). May be repeated.
 
 Schema (emitted by obs::BenchReport):
     {
@@ -71,19 +77,54 @@ def check_file(path: str) -> list[str]:
     return errors
 
 
+def parse_args(argv: list[str]) -> tuple[list[str], list[tuple[str, str, float]]]:
+    paths: list[str] = []
+    assertions: list[tuple[str, str, float]] = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--assert-le":
+            if i + 3 >= len(argv):
+                raise ValueError("--assert-le needs METRIC_A METRIC_B RATIO")
+            assertions.append((argv[i + 1], argv[i + 2], float(argv[i + 3])))
+            i += 4
+        else:
+            paths.append(argv[i])
+            i += 1
+    return paths, assertions
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) < 2:
+    try:
+        paths, assertions = parse_args(argv)
+    except ValueError as e:
+        print(f"FAIL: {e}", file=sys.stderr)
+        return 2
+    if not paths:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failures = []
-    for path in argv[1:]:
+    merged: dict[str, dict] = {}
+    for path in paths:
         errors = check_file(path)
         if errors:
             failures.extend(errors)
         else:
             with open(path, encoding="utf-8") as f:
-                n = len(json.load(f)["metrics"])
-            print(f"ok: {path} ({n} metrics)")
+                metrics = json.load(f)["metrics"]
+            merged.update(metrics)
+            print(f"ok: {path} ({len(metrics)} metrics)")
+    for metric_a, metric_b, ratio in assertions:
+        missing = [m for m in (metric_a, metric_b) if m not in merged]
+        if missing:
+            failures.append(f"--assert-le: metrics not found: {missing}")
+            continue
+        a, b = merged[metric_a]["median"], merged[metric_b]["median"]
+        if a <= b * ratio:
+            print(f"ok: {metric_a} ({a:g}) <= {metric_b} ({b:g}) x {ratio:g}")
+        else:
+            failures.append(
+                f"--assert-le: {metric_a} median {a:g} exceeds "
+                f"{metric_b} median {b:g} x {ratio:g} = {b * ratio:g}")
     for e in failures:
         print(f"FAIL: {e}", file=sys.stderr)
     return 1 if failures else 0

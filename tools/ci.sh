@@ -8,9 +8,11 @@
 #   1. tools/lint.py repo rules (+ clang-tidy when installed)
 #   2. tier-1: Release build + full ctest suite      (preset: release)
 #   3. bench-smoke: one bench run + BENCH_*.json schema validation
-#   4. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
-#   5. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
-#   6. fault-smoke: fault suite re-run under TSan with a fixed
+#   4. perf-smoke: bench_micro_conv engine comparison; the batch-parallel
+#      conv engine must not be slower than the serial batch walk
+#   5. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
+#   6. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
+#   7. fault-smoke: fault suite re-run under TSan with a fixed
 #      EXACLIM_FAULTS spec (env-driven injection path, DESIGN §8)
 set -euo pipefail
 
@@ -45,26 +47,37 @@ run ctest --preset release -j "$JOBS"
 BENCH_DIR=$(mktemp -d)
 run env EXACLIM_BENCH_DIR="$BENCH_DIR" ./build/bench/bench_input_pipeline
 run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_*.json
+
+# ---- 4. perf-smoke -------------------------------------------------------
+# The engine comparison in bench_micro_conv (gbench cases skipped) times
+# fwd+bwd in both conv-engine modes. Batch-parallel must be no slower
+# than serial; the 1.15x tolerance absorbs timer noise on low-core
+# machines where both modes collapse to the same schedule.
+run env EXACLIM_BENCH_DIR="$BENCH_DIR" \
+  ./build/bench/bench_micro_conv --benchmark_filter='-.*'
+run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_micro_conv.json \
+  --assert-le fwd_bwd_parallel_b4_ms fwd_bwd_serial_b4_ms 1.15 \
+  --assert-le fwd_bwd_parallel_b8_ms fwd_bwd_serial_b8_ms 1.15
 rm -rf "$BENCH_DIR"
 
 if [[ "$FAST" == 1 ]]; then
   echo
-  echo "ci.sh --fast: lint + tier-1 + bench-smoke OK"
+  echo "ci.sh --fast: lint + tier-1 + bench-smoke + perf-smoke OK"
   exit 0
 fi
 
-# ---- 4. ASan + UBSan -----------------------------------------------------
+# ---- 5. ASan + UBSan -----------------------------------------------------
 run cmake --preset asan
 run cmake --build --preset asan -j "$JOBS"
 run env ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --preset asan -j "$JOBS"
 
-# ---- 5. TSan (stress-labelled tests) -------------------------------------
+# ---- 6. TSan (stress-labelled tests) -------------------------------------
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$JOBS"
 run env TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan -j "$JOBS"
 
-# ---- 6. fault-smoke ------------------------------------------------------
+# ---- 7. fault-smoke ------------------------------------------------------
 # Exercise the EXACLIM_FAULTS env path end to end under TSan: a rank
 # killed at launch (staging degrades around it) plus deterministic
 # producer faults (pipeline retries/skips). FaultSmoke asserts correct
@@ -74,4 +87,4 @@ run env TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_fault --gtest_filter='FaultSmoke.*'
 
 echo
-echo "ci.sh: all gates green (lint, tier-1, bench-smoke, asan+ubsan, tsan-stress, fault-smoke)"
+echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, asan+ubsan, tsan-stress, fault-smoke)"
