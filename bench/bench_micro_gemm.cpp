@@ -1,12 +1,26 @@
 // Microbenchmarks of the GEMM kernel that backs im2col convolution —
-// the CPU stand-in for the cuDNN implicit-GEMM kernels.
+// the CPU stand-in for the cuDNN implicit-GEMM kernels — plus the kernel
+// engine comparison, which times the packed microkernel engine against
+// the reference blocked walk and records GFLOP/s through BenchReport
+// (BENCH_micro_gemm.json; the ci.sh perf-smoke stage asserts the
+// reference never beats the packed engine).
+//
+// Custom main: google-benchmark cases run first (skip them with
+// --benchmark_filter='-.*'), then the kernel comparison.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/bench_report.hpp"
+#include "stats/stats.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace exaclim {
 namespace {
@@ -65,5 +79,90 @@ void BM_GemmTransposed(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTransposed);
 
+// ------------------------------------------ kernel mode comparison -----
+
+using Clock = std::chrono::steady_clock;
+
+struct GemmCase {
+  const char* key;  // metric suffix
+  bool trans_b;
+  std::int64_t m, n, k;
+};
+
+// The three shapes the perf trajectory tracks: a square GEMM, the
+// forward im2col shape of a 3x3 64->64 conv on 48x48 (the acceptance
+// shape), and the transposed right-operand variant of the same.
+constexpr GemmCase kCases[] = {
+    {"square256", false, 256, 256, 256},
+    {"conv", false, 64, 2304, 576},
+    {"conv_tb", true, 64, 576, 2304},
+};
+
+double TimeGemmMs(const GemmCase& cs, const float* a, const float* b,
+                  float* c) {
+  const auto start = Clock::now();
+  Gemm(false, cs.trans_b, cs.m, cs.n, cs.k, 1.0f, a, b, 0.0f, c);
+  benchmark::DoNotOptimize(c);
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Times each shape under the packed microkernel engine and the reference
+// blocked walk, reporting GFLOP/s series plus speedup scalars.
+void RunKernelComparison() {
+  obs::BenchReport report("micro_gemm");
+  report.AddScalar("threads",
+                   static_cast<double>(ThreadPool::Global().size() + 1));
+
+  constexpr int kRounds = 7;
+  std::printf(
+      "\nGEMM kernel engine (microkernel: %s, median GFLOP/s of %d):\n"
+      "  %10s %16s %14s %9s\n",
+      GemmMicroKernelName(), kRounds, "shape", "reference", "packed",
+      "speedup");
+  const GemmKernelMode saved = GemmKernelModeInUse();
+  for (const GemmCase& cs : kCases) {
+    Rng rng(7);
+    std::vector<float> a(static_cast<std::size_t>(cs.m * cs.k));
+    std::vector<float> b(static_cast<std::size_t>(cs.k * cs.n));
+    std::vector<float> c(static_cast<std::size_t>(cs.m * cs.n));
+    for (auto& v : a) v = rng.Uniform(-1, 1);
+    for (auto& v : b) v = rng.Uniform(-1, 1);
+    const double gflop = 2.0 * cs.m * cs.n * cs.k / 1e9;
+
+    double medians[2] = {0, 0};
+    for (const bool packed : {false, true}) {
+      SetGemmKernelMode(packed ? GemmKernelMode::kPacked
+                                : GemmKernelMode::kReference);
+      (void)TimeGemmMs(cs, a.data(), b.data(), c.data());  // warm-up
+      std::vector<double> rates;
+      rates.reserve(kRounds);
+      for (int r = 0; r < kRounds; ++r) {
+        rates.push_back(gflop /
+                        (TimeGemmMs(cs, a.data(), b.data(), c.data()) / 1e3));
+      }
+      const std::string metric = std::string("gflops_") +
+                                 (packed ? "packed_" : "reference_") + cs.key;
+      report.AddSeries(metric, rates);
+      medians[packed ? 1 : 0] = Summarize(rates).median;
+    }
+    const double speedup = medians[0] > 0 ? medians[1] / medians[0] : 0;
+    std::printf("  %10s %16.2f %14.2f %8.2fx\n", cs.key, medians[0],
+                medians[1], speedup);
+    report.AddScalar(std::string("speedup_packed_") + cs.key, speedup);
+  }
+  SetGemmKernelMode(saved);
+  const auto path = report.WriteJsonFile();
+  if (!path.empty()) std::printf("  wrote %s\n", path.string().c_str());
+}
+
 }  // namespace
 }  // namespace exaclim
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  exaclim::RunKernelComparison();
+  return 0;
+}

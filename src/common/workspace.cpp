@@ -1,0 +1,30 @@
+#include "common/workspace.hpp"
+
+#include <array>
+#include <vector>
+
+namespace exaclim {
+namespace {
+
+using SlotArray =
+    std::array<std::vector<float>,
+               static_cast<std::size_t>(ScratchSlot::kSlotCount)>;
+
+SlotArray& ThreadSlots() {
+  thread_local SlotArray slots;
+  return slots;
+}
+
+}  // namespace
+
+float* AcquireScratch(ScratchSlot slot, std::size_t elems) {
+  std::vector<float>& buf = ThreadSlots()[static_cast<std::size_t>(slot)];
+  if (buf.size() < elems) buf.resize(elems);
+  return buf.data();
+}
+
+std::size_t ScratchCapacity(ScratchSlot slot) {
+  return ThreadSlots()[static_cast<std::size_t>(slot)].size();
+}
+
+}  // namespace exaclim

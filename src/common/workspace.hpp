@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+
+namespace exaclim {
+
+/// Thread-local scratch-buffer registry for the compute kernels.
+///
+/// Hot kernels (the packed GEMM engine, the reference GEMM panel walk)
+/// need large pack/panel buffers per ParallelFor task. Allocating them
+/// inside the task closure puts a malloc/free pair on every dispatch;
+/// instead each worker thread keeps one grow-only buffer per named slot,
+/// handed out by AcquireScratch(). Buffers persist for the lifetime of
+/// the thread and grow monotonically to the largest size requested — the
+/// same trade ConvWorkspace makes per layer (DESIGN §9), applied
+/// per thread.
+///
+/// Contracts:
+///  * The returned pointer is valid until the next AcquireScratch on the
+///    same (thread, slot) with a larger size — callers must not hold a
+///    pointer across a re-acquire that may grow the buffer.
+///  * Slots are independent: acquiring one never moves another.
+///  * Contents are unspecified on acquire (previous use leaks through);
+///    kernels that need zeros must clear explicitly.
+///  * Thread-local by construction, so no locking and no false sharing;
+///    a pointer must not be shared with other threads unless the owner
+///    blocks until they finish (the fork/join pattern ParallelFor
+///    guarantees).
+enum class ScratchSlot {
+  kGemmPackA = 0,   // MR-strip A panels of the packed GEMM engine
+  kGemmPackB,       // NR-strip B panels of the packed GEMM engine
+  kGemmRefPanel,    // op(B) panel of the reference (pre-PR5) kernel
+  kSlotCount,
+};
+
+/// Returns this thread's buffer for `slot`, grown to at least `elems`
+/// floats. Never returns nullptr; elems == 0 yields a valid (possibly
+/// empty-capacity) pointer only if the slot was grown before, so callers
+/// should pass their true size.
+float* AcquireScratch(ScratchSlot slot, std::size_t elems);
+
+/// Capacity (in floats) of this thread's buffer for `slot`; 0 before the
+/// first acquire. Exposed for tests asserting reuse (no re-allocation
+/// between same-sized acquires).
+std::size_t ScratchCapacity(ScratchSlot slot);
+
+}  // namespace exaclim

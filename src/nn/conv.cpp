@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace exaclim {
 namespace {
@@ -152,6 +153,17 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
                        /*weight_elems=*/0, /*bias_elems=*/0);
   const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_stride = opts_.out_c * g.OutPixels();
+  // Pack the weight into the GEMM engine's A-panel layout once; every
+  // shard then reuses the panels read-only instead of re-packing W per
+  // image inside the per-image GEMMs (DESIGN §10).
+  const bool prepacked = GemmUsesPackedEngine() &&
+                         (algo == ConvAlgorithm::kImplicitGemm ||
+                          UsePointwiseFastPath());
+  if (prepacked) {
+    const std::int64_t kk =
+        algo == ConvAlgorithm::kImplicitGemm ? g.PatchSize() : g.in_c;
+    packed_weight_.Pack(false, opts_.out_c, kk, 1.0f, w.Raw());
+  }
   RunConvShards(shards, [&](std::int64_t s) {
     const ConvShardRange images = ShardImageRange(batch, shards, s);
     for (std::int64_t n = images.lo; n < images.hi; ++n) {
@@ -159,13 +171,24 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
         float* col = workspace_.Col(s);
         Im2Col(g, input.Raw() + n * in_stride, col);
         // out[out_c, P] = W[out_c, patch] @ col[patch, P]
-        Gemm(false, false, opts_.out_c, g.OutPixels(), g.PatchSize(), 1.0f,
-             w.Raw(), col, 0.0f, output.Raw() + n * out_stride);
+        if (prepacked) {
+          GemmPackedWithA(packed_weight_, false, g.OutPixels(), col, 0.0f,
+                          output.Raw() + n * out_stride);
+        } else {
+          Gemm(false, false, opts_.out_c, g.OutPixels(), g.PatchSize(), 1.0f,
+               w.Raw(), col, 0.0f, output.Raw() + n * out_stride);
+        }
       } else if (UsePointwiseFastPath()) {
         // 1x1/stride-1: the activation map already IS the patch matrix.
-        Gemm(false, false, opts_.out_c, g.OutPixels(), g.in_c, 1.0f,
-             w.Raw(), input.Raw() + n * in_stride, 0.0f,
-             output.Raw() + n * out_stride);
+        if (prepacked) {
+          GemmPackedWithA(packed_weight_, false, g.OutPixels(),
+                          input.Raw() + n * in_stride, 0.0f,
+                          output.Raw() + n * out_stride);
+        } else {
+          Gemm(false, false, opts_.out_c, g.OutPixels(), g.in_c, 1.0f,
+               w.Raw(), input.Raw() + n * in_stride, 0.0f,
+               output.Raw() + n * out_stride);
+        }
       } else {
         DirectConvImage(g, opts_.out_c, input.Raw() + n * in_stride,
                         w.Raw(), output.Raw() + n * out_stride);
@@ -211,6 +234,18 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
   workspace_.ZeroGradAccumulators();
   const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_stride = opts_.out_c * g.OutPixels();
+  // The data gradient multiplies by W^T for every image; prepack the
+  // transposed panels once and share across shards. Weight-gradient GEMMs
+  // keep the plain entry point (their left operand changes per image).
+  const bool prepacked = GemmUsesPackedEngine();
+  if (prepacked) {
+    if (pointwise) {
+      packed_weight_bwd_.Pack(true, g.in_c, opts_.out_c, 1.0f, w.Raw());
+    } else {
+      packed_weight_bwd_.Pack(true, g.PatchSize(), opts_.out_c, 1.0f,
+                              w.Raw());
+    }
+  }
 
   RunConvShards(shards, [&](std::int64_t s) {
     const ConvShardRange images = ShardImageRange(batch, shards, s);
@@ -221,8 +256,13 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
       if (pointwise) {
         Gemm(false, true, opts_.out_c, g.in_c, g.OutPixels(), 1.0f, gout,
              cached_input_.Raw() + n * in_stride, 1.0f, wgrad);
-        Gemm(true, false, g.in_c, g.OutPixels(), opts_.out_c, 1.0f,
-             w.Raw(), gout, 0.0f, grad_input.Raw() + n * in_stride);
+        if (prepacked) {
+          GemmPackedWithA(packed_weight_bwd_, false, g.OutPixels(), gout,
+                          0.0f, grad_input.Raw() + n * in_stride);
+        } else {
+          Gemm(true, false, g.in_c, g.OutPixels(), opts_.out_c, 1.0f,
+               w.Raw(), gout, 0.0f, grad_input.Raw() + n * in_stride);
+        }
       } else {
         // Weight gradient: gW[out_c, patch] += gout[out_c, P] @ col^T.
         float* col = workspace_.Col(s);
@@ -231,8 +271,13 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
         Gemm(false, true, opts_.out_c, g.PatchSize(), g.OutPixels(), 1.0f,
              gout, col, 1.0f, wgrad);
         // Data gradient: gcol[patch, P] = W^T @ gout; scatter back.
-        Gemm(true, false, g.PatchSize(), g.OutPixels(), opts_.out_c, 1.0f,
-             w.Raw(), gout, 0.0f, grad_col);
+        if (prepacked) {
+          GemmPackedWithA(packed_weight_bwd_, false, g.OutPixels(), gout,
+                          0.0f, grad_col);
+        } else {
+          Gemm(true, false, g.PatchSize(), g.OutPixels(), opts_.out_c, 1.0f,
+               w.Raw(), gout, 0.0f, grad_col);
+        }
         Col2Im(g, grad_col, grad_input.Raw() + n * in_stride);
       }
       if (bgrad != nullptr) {
@@ -332,13 +377,22 @@ Tensor ConvTranspose2d::Forward(const Tensor& input, bool /*train*/) {
   const std::int64_t in_stride = opts_.in_c * pixels;
   const std::int64_t out_stride = opts_.out_c * out_shape.h() * out_shape.w();
 
+  const bool prepacked = GemmUsesPackedEngine();
+  if (prepacked) {
+    packed_weight_.Pack(true, g.PatchSize(), opts_.in_c, 1.0f, w.Raw());
+  }
   RunConvShards(shards, [&](std::int64_t s) {
     const ConvShardRange images = ShardImageRange(batch, shards, s);
     float* col = workspace_.Col(s);
     for (std::int64_t n = images.lo; n < images.hi; ++n) {
       // col[out_c*k*k, P] = W^T[out_c*k*k, in_c] @ x[in_c, P]
-      Gemm(true, false, g.PatchSize(), pixels, opts_.in_c, 1.0f, w.Raw(),
-           input.Raw() + n * in_stride, 0.0f, col);
+      if (prepacked) {
+        GemmPackedWithA(packed_weight_, false, pixels,
+                        input.Raw() + n * in_stride, 0.0f, col);
+      } else {
+        Gemm(true, false, g.PatchSize(), pixels, opts_.in_c, 1.0f, w.Raw(),
+             input.Raw() + n * in_stride, 0.0f, col);
+      }
       Col2Im(g, col, output.Raw() + n * out_stride);
       if (bias_) {
         float* out_n = output.Raw() + n * out_stride;
@@ -375,6 +429,10 @@ Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
   workspace_.ZeroGradAccumulators();
   const std::int64_t in_stride = opts_.in_c * pixels;
   const std::int64_t out_stride = opts_.out_c * out_shape.h() * out_shape.w();
+  const bool prepacked = GemmUsesPackedEngine();
+  if (prepacked) {
+    packed_weight_bwd_.Pack(false, opts_.in_c, g.PatchSize(), 1.0f, w.Raw());
+  }
 
   RunConvShards(shards, [&](std::int64_t s) {
     const ConvShardRange images = ShardImageRange(batch, shards, s);
@@ -385,8 +443,13 @@ Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
       const float* gout = grad_output.Raw() + n * out_stride;
       Im2Col(g, gout, col);
       // Data gradient: gx[in_c, P] = W[in_c, patch] @ col[patch, P]
-      Gemm(false, false, opts_.in_c, pixels, g.PatchSize(), 1.0f, w.Raw(),
-           col, 0.0f, grad_input.Raw() + n * in_stride);
+      if (prepacked) {
+        GemmPackedWithA(packed_weight_bwd_, false, pixels, col, 0.0f,
+                        grad_input.Raw() + n * in_stride);
+      } else {
+        Gemm(false, false, opts_.in_c, pixels, g.PatchSize(), 1.0f, w.Raw(),
+             col, 0.0f, grad_input.Raw() + n * in_stride);
+      }
       // Weight gradient: gW[in_c, patch] += x[in_c, P] @ col[patch, P]^T
       Gemm(false, true, opts_.in_c, g.PatchSize(), pixels, 1.0f,
            cached_input_.Raw() + n * in_stride, col, 1.0f, wgrad);

@@ -5,6 +5,7 @@
 #include "nn/conv_engine.hpp"
 #include "nn/im2col.hpp"
 #include "nn/layer.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace exaclim {
 
@@ -60,6 +61,12 @@ class Conv2d : public Layer {
   Tensor quantised_weight_;  // scratch for FP16 emulation
   Tensor cached_input_;      // saved for the backward pass
   ConvWorkspace workspace_;  // per-shard col/grad buffers (DESIGN §9)
+  // Weight matrix prepacked into the GEMM engine's A-panel layout, once
+  // per Forward/Backward and shared read-only across batch shards
+  // (forward uses W, backward's data gradient W^T — different layouts,
+  // so each direction keeps its own panel buffer).
+  PackedGemmA packed_weight_;
+  PackedGemmA packed_weight_bwd_;
 };
 
 /// Transposed convolution ("deconv", light-blue layers of Fig 1) used by
@@ -100,6 +107,8 @@ class ConvTranspose2d : public Layer {
   Tensor quantised_weight_;
   Tensor cached_input_;
   ConvWorkspace workspace_;
+  PackedGemmA packed_weight_;      // forward: W^T panels
+  PackedGemmA packed_weight_bwd_;  // backward data gradient: W panels
 };
 
 }  // namespace exaclim

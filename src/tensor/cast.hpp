@@ -24,7 +24,12 @@ void RoundTripHalf(std::span<float> values);
 void RoundTripHalf(Tensor& tensor);
 
 /// Converts to packed binary16 words (the wire/storage format used by the
-/// FP16 allreduce path and the staging format benchmarks).
+/// FP16 allreduce path and the staging format benchmarks). The span
+/// overload writes into a preallocated buffer of equal size; conversions
+/// run branch-light bit-twiddling loops, parallelised over large spans,
+/// bit-identical to element-by-element Half construction.
+void PackHalf(std::span<const float> values,
+              std::span<std::uint16_t> packed);
 std::vector<std::uint16_t> PackHalf(std::span<const float> values);
 void UnpackHalf(std::span<const std::uint16_t> packed,
                 std::span<float> values);

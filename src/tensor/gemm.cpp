@@ -1,15 +1,18 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "common/workspace.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace exaclim {
 namespace {
 
-// Block sizes tuned for L1/L2 residency of the packed panels.
+// Reference kernel (EXACLIM_GEMM_KERNEL=reference): the pre-engine flat
+// cache-blocked walk, kept for A/B testing and bisection against the
+// packed microkernel engine in gemm_kernel.cpp.
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
@@ -25,11 +28,16 @@ inline float LoadB(const float* b, bool trans_b, std::int64_t k,
 }
 
 // Computes one M-panel of C. Packs the K×N panel of op(B) once per K-block
-// so the inner loop streams contiguously regardless of transposes.
+// so the inner loop streams contiguously regardless of transposes. The
+// panel buffer is this thread's persistent scratch slot — tasks used to
+// construct a std::vector per closure invocation, which put a malloc/free
+// on every dispatch.
 void GemmPanel(bool trans_a, bool trans_b, std::int64_t i0, std::int64_t i1,
                std::int64_t n, std::int64_t k, float alpha, const float* a,
                std::int64_t m, const float* b, float beta, float* c) {
-  std::vector<float> packed(static_cast<std::size_t>(kBlockK) * kBlockN);
+  float* packed =
+      AcquireScratch(ScratchSlot::kGemmRefPanel,
+                     static_cast<std::size_t>(kBlockK) * kBlockN);
 
   for (std::int64_t i = i0; i < i1; ++i) {
     float* row = c + i * n;
@@ -46,7 +54,7 @@ void GemmPanel(bool trans_a, bool trans_b, std::int64_t i0, std::int64_t i1,
       const std::int64_t jb = std::min(kBlockN, n - j0);
       // Pack op(B)[p0:p0+pb, j0:j0+jb] row-major into the panel buffer.
       for (std::int64_t p = 0; p < pb; ++p) {
-        float* dst = packed.data() + p * jb;
+        float* dst = packed + p * jb;
         if (!trans_b) {
           const float* src = b + (p0 + p) * n + j0;
           std::copy(src, src + jb, dst);
@@ -67,7 +75,7 @@ void GemmPanel(bool trans_a, bool trans_b, std::int64_t i0, std::int64_t i1,
             const float a1 = alpha * LoadA(a, trans_a, m, k, i, p0 + p + 1);
             const float a2 = alpha * LoadA(a, trans_a, m, k, i, p0 + p + 2);
             const float a3 = alpha * LoadA(a, trans_a, m, k, i, p0 + p + 3);
-            const float* b0 = packed.data() + p * jb;
+            const float* b0 = packed + p * jb;
             const float* b1 = b0 + jb;
             const float* b2 = b1 + jb;
             const float* b3 = b2 + jb;
@@ -77,7 +85,7 @@ void GemmPanel(bool trans_a, bool trans_b, std::int64_t i0, std::int64_t i1,
           }
           for (; p < pb; ++p) {
             const float av = alpha * LoadA(a, trans_a, m, k, i, p0 + p);
-            const float* brow = packed.data() + p * jb;
+            const float* brow = packed + p * jb;
             for (std::int64_t j = 0; j < jb; ++j) crow[j] += av * brow[j];
           }
         }
@@ -86,22 +94,9 @@ void GemmPanel(bool trans_a, bool trans_b, std::int64_t i0, std::int64_t i1,
   }
 }
 
-}  // namespace
-
-void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
-          std::int64_t k, float alpha, const float* a, const float* b,
-          float beta, float* c) {
-  if (m == 0 || n == 0) return;
-  if (k == 0) {
-    // BLAS semantics: beta == 0 overwrites C, never reads it (C may hold
-    // NaN/Inf garbage), matching the GemmPanel prologue.
-    if (beta == 0.0f) {
-      std::fill(c, c + m * n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
-    }
-    return;
-  }
+void GemmReference(bool trans_a, bool trans_b, std::int64_t m,
+                   std::int64_t n, std::int64_t k, float alpha,
+                   const float* a, const float* b, float beta, float* c) {
   // Tasks are M-panels; panels are independent so this is safely parallel.
   // Clamp the grain so every task covers at least one full kBlockM panel:
   // at paper-scale pixel counts (n = 884736 for a 1152×768 map) the
@@ -117,6 +112,29 @@ void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
                   c);
       },
       grain);
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, const float* b,
+          float beta, float* c) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // BLAS semantics: no product term, C = beta*C; beta == 0 overwrites C,
+    // never reads it (C may hold NaN/Inf garbage).
+    if (beta == 0.0f) {
+      std::fill(c, c + m * n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::int64_t i = 0; i < m * n; ++i) c[i] *= beta;
+    }
+    return;
+  }
+  if (GemmUsesPackedEngine()) {
+    GemmPacked(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
+    return;
+  }
+  GemmReference(trans_a, trans_b, m, n, k, alpha, a, b, beta, c);
 }
 
 void GemmChecked(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,

@@ -1,0 +1,379 @@
+#include "tensor/gemm_kernel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "common/workspace.hpp"
+
+namespace exaclim {
+namespace {
+
+constexpr std::int64_t MR = kGemmMR;
+constexpr std::int64_t NR = kGemmNR;
+constexpr std::int64_t KC = kGemmKC;
+constexpr std::int64_t MC = kGemmMC;
+constexpr std::int64_t NC = kGemmNC;
+static_assert(MC % MR == 0, "MC must hold whole MR-strips");
+static_assert(NC % NR == 0, "NC must hold whole NR-strips");
+
+std::int64_t RoundUp(std::int64_t v, std::int64_t unit) {
+  return (v + unit - 1) / unit * unit;
+}
+
+std::atomic<GemmKernelMode>& ModeFlag() {
+  static std::atomic<GemmKernelMode> flag([] {
+    if (const char* env = std::getenv("EXACLIM_GEMM_KERNEL")) {
+      if (const auto parsed = ParseGemmKernelMode(env)) return *parsed;
+    }
+    return GemmKernelMode::kAuto;
+  }());
+  return flag;
+}
+
+struct ResolvedKernel {
+  GemmMicroKernelFn fn;
+  const char* name;
+};
+
+ResolvedKernel ResolveMicroKernel() {
+#if defined(EXACLIM_GEMM_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return {&GemmMicroKernelAvx2, "avx2-fma"};
+  }
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+  return {&GemmMicroKernelNeon, "neon"};
+#else
+  return {&GemmMicroKernelPortable, "portable"};
+#endif
+}
+
+const ResolvedKernel& ActiveKernel() {
+  static const ResolvedKernel kernel = ResolveMicroKernel();
+  return kernel;
+}
+
+// C *= beta over a contiguous run, honouring the beta == 0 no-read rule.
+void ScaleC(float* c, std::int64_t elems, float beta) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::fill(c, c + elems, 0.0f);
+    return;
+  }
+  for (std::int64_t i = 0; i < elems; ++i) c[i] *= beta;
+}
+
+// ------------------------------------------------------------ packing ---
+
+// Packs alpha*op(A) strips [s0, s1) of KC block pc into dst: strip s
+// holds rows [s*MR, s*MR+MR) x columns [pc, pc+kc), p-major with MR
+// consecutive rows per column, rows beyond m zeroed.
+void PackAStrips(bool trans_a, const float* a, std::int64_t m,
+                 std::int64_t k, float alpha, std::int64_t pc,
+                 std::int64_t kc, std::int64_t s0, std::int64_t s1,
+                 float* dst) {
+  for (std::int64_t s = s0; s < s1; ++s) {
+    const std::int64_t ir = s * MR;
+    const std::int64_t mr = std::min(MR, m - ir);
+    float* strip = dst + (s - s0) * MR * kc;
+    if (mr < MR) {
+      std::memset(strip, 0, static_cast<std::size_t>(MR * kc) * sizeof(float));
+    }
+    if (!trans_a) {
+      // A is row-major m x k: stream each row, scatter at stride MR.
+      for (std::int64_t i = 0; i < mr; ++i) {
+        const float* src = a + (ir + i) * k + pc;
+        for (std::int64_t p = 0; p < kc; ++p) strip[p * MR + i] = alpha * src[p];
+      }
+    } else {
+      // A stored k x m: each packed column is a contiguous slice of a row.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = a + (pc + p) * m + ir;
+        float* dcol = strip + p * MR;
+        for (std::int64_t i = 0; i < mr; ++i) dcol[i] = alpha * src[i];
+      }
+    }
+  }
+}
+
+// Packs op(B)[pc:pc+kc, jc:jc+nc] into NR-strips: strip jr/NR holds
+// columns [jc+jr, jc+jr+NR), p-major with NR consecutive columns per p,
+// columns beyond n zeroed.
+void PackBPanel(bool trans_b, const float* b, std::int64_t k, std::int64_t n,
+                std::int64_t pc, std::int64_t kc, std::int64_t jc,
+                std::int64_t nc, float* dst) {
+  for (std::int64_t jr = 0; jr < nc; jr += NR) {
+    const std::int64_t nr = std::min(NR, nc - jr);
+    float* strip = dst + (jr / NR) * kc * NR;
+    if (!trans_b) {
+      // B is row-major k x n: each packed row is a contiguous slice.
+      for (std::int64_t p = 0; p < kc; ++p) {
+        const float* src = b + (pc + p) * n + jc + jr;
+        float* drow = strip + p * NR;
+        std::memcpy(drow, src, static_cast<std::size_t>(nr) * sizeof(float));
+        for (std::int64_t j = nr; j < NR; ++j) drow[j] = 0.0f;
+      }
+    } else {
+      // B stored n x k: stream each B row, scatter at stride NR.
+      if (nr < NR) {
+        std::memset(strip, 0,
+                    static_cast<std::size_t>(kc * NR) * sizeof(float));
+      }
+      for (std::int64_t j = 0; j < nr; ++j) {
+        const float* src = b + (jc + jr + j) * k + pc;
+        float* dcol = strip + j;
+        for (std::int64_t p = 0; p < kc; ++p) dcol[p * NR] = src[p];
+      }
+    }
+  }
+}
+
+// Applies a microkernel accumulator (NR-strided, from the edge-tile path)
+// to the mr x nr corner of C at row stride ldc.
+void MergeEdgeTile(const float* acc, float* c, std::int64_t mr,
+                   std::int64_t nr, std::int64_t ldc, float beta) {
+  for (std::int64_t i = 0; i < mr; ++i) {
+    const float* arow = acc + i * NR;
+    float* crow = c + i * ldc;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] = arow[j];
+    } else if (beta == 1.0f) {
+      for (std::int64_t j = 0; j < nr; ++j) crow[j] += arow[j];
+    } else {
+      for (std::int64_t j = 0; j < nr; ++j) {
+        crow[j] = beta * crow[j] + arow[j];
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- driver ---
+
+// Shared KC/MC/NC walk behind GemmPacked and GemmPackedWithA. When
+// `prepacked` is non-null its panels replace on-the-fly A packing (and
+// alpha is already folded in). Parallelism is over MR-strips of C: the
+// strip space partitions identically for every pc, and each C element's
+// FP contraction order is fixed by (KC walk, microkernel p loop), so
+// results never depend on the thread count.
+void RunPackedGemm(const PackedGemmA* prepacked, bool trans_a,
+                   const float* a, bool trans_b, const float* b,
+                   std::int64_t m, std::int64_t n, std::int64_t k,
+                   float alpha, float beta, float* c) {
+  const GemmMicroKernelFn kernel = ActiveKernel().fn;
+  const std::int64_t m_strips = (m + MR - 1) / MR;
+  const std::int64_t strips_per_mc = MC / MR;
+
+  for (std::int64_t jc = 0; jc < n; jc += NC) {
+    const std::int64_t nc = std::min(NC, n - jc);
+    const std::int64_t nc_pad = RoundUp(nc, NR);
+    for (std::int64_t pc = 0; pc < k; pc += KC) {
+      const std::int64_t kc = std::min(KC, k - pc);
+      const float beta_eff = pc == 0 ? beta : 1.0f;
+      // The forking thread packs B once; strip tasks share it read-only
+      // (ParallelFor joins before the next acquire can grow the slot).
+      float* bpack = AcquireScratch(ScratchSlot::kGemmPackB,
+                                    static_cast<std::size_t>(kc * nc_pad));
+      PackBPanel(trans_b, b, k, n, pc, kc, jc, nc, bpack);
+      const float* pre_block = prepacked ? prepacked->Block(pc) : nullptr;
+
+      ParallelFor(
+          0, static_cast<std::size_t>(m_strips),
+          [&](std::size_t lo_s, std::size_t hi_s) {
+            const auto lo = static_cast<std::int64_t>(lo_s);
+            const auto hi = static_cast<std::int64_t>(hi_s);
+            for (std::int64_t s0 = lo; s0 < hi; s0 += strips_per_mc) {
+              const std::int64_t s1 = std::min(hi, s0 + strips_per_mc);
+              const float* apack;
+              if (pre_block != nullptr) {
+                apack = pre_block + s0 * MR * kc;
+              } else {
+                float* dst = AcquireScratch(
+                    ScratchSlot::kGemmPackA,
+                    static_cast<std::size_t>((s1 - s0) * MR * kc));
+                PackAStrips(trans_a, a, m, k, alpha, pc, kc, s0, s1, dst);
+                apack = dst;
+              }
+              for (std::int64_t jr = 0; jr < nc; jr += NR) {
+                const std::int64_t nr = std::min(NR, nc - jr);
+                const float* bstrip = bpack + (jr / NR) * kc * NR;
+                for (std::int64_t s = s0; s < s1; ++s) {
+                  const std::int64_t ir = s * MR;
+                  const std::int64_t mr = std::min(MR, m - ir);
+                  const float* astrip = apack + (s - s0) * MR * kc;
+                  float* ctile = c + ir * n + jc + jr;
+                  if (mr == MR && nr == NR) {
+                    kernel(kc, astrip, bstrip, ctile, n, beta_eff);
+                  } else {
+                    float acc[kGemmMR * kGemmNR];
+                    kernel(kc, astrip, bstrip, acc, NR, 0.0f);
+                    MergeEdgeTile(acc, ctile, mr, nr, n, beta_eff);
+                  }
+                }
+              }
+            }
+          },
+          /*grain=*/1);
+    }
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------- kernel selection -----
+
+const char* ToString(GemmKernelMode mode) {
+  switch (mode) {
+    case GemmKernelMode::kAuto: return "auto";
+    case GemmKernelMode::kPacked: return "packed";
+    case GemmKernelMode::kReference: return "reference";
+  }
+  return "?";
+}
+
+std::optional<GemmKernelMode> ParseGemmKernelMode(std::string_view value) {
+  if (value == "auto") return GemmKernelMode::kAuto;
+  if (value == "packed") return GemmKernelMode::kPacked;
+  if (value == "reference") return GemmKernelMode::kReference;
+  return std::nullopt;
+}
+
+GemmKernelMode GemmKernelModeInUse() {
+  return ModeFlag().load(std::memory_order_relaxed);
+}
+
+void SetGemmKernelMode(GemmKernelMode mode) {
+  ModeFlag().store(mode, std::memory_order_relaxed);
+}
+
+bool GemmUsesPackedEngine() {
+  return GemmKernelModeInUse() != GemmKernelMode::kReference;
+}
+
+const char* GemmMicroKernelName() { return ActiveKernel().name; }
+
+GemmMicroKernelFn ActiveGemmMicroKernel() { return ActiveKernel().fn; }
+
+// ------------------------------------------------------ microkernels ----
+
+void GemmMicroKernelPortable(std::int64_t kc, const float* a, const float* b,
+                             float* c, std::int64_t ldc, float beta) {
+  // Fixed trip counts + __restrict let the autovectorizer keep the whole
+  // accumulator tile in registers (modulo spills on narrow ISAs).
+  float acc[kGemmMR * kGemmNR] = {};
+  const float* __restrict ap = a;
+  const float* __restrict bp = b;
+  for (std::int64_t p = 0; p < kc; ++p) {
+    for (std::int64_t i = 0; i < MR; ++i) {
+      const float av = ap[i];
+      float* __restrict arow = acc + i * NR;
+      for (std::int64_t j = 0; j < NR; ++j) arow[j] += av * bp[j];
+    }
+    ap += MR;
+    bp += NR;
+  }
+  for (std::int64_t i = 0; i < MR; ++i) {
+    const float* arow = acc + i * NR;
+    float* __restrict crow = c + i * ldc;
+    if (beta == 0.0f) {
+      for (std::int64_t j = 0; j < NR; ++j) crow[j] = arow[j];
+    } else if (beta == 1.0f) {
+      for (std::int64_t j = 0; j < NR; ++j) crow[j] += arow[j];
+    } else {
+      for (std::int64_t j = 0; j < NR; ++j) {
+        crow[j] = beta * crow[j] + arow[j];
+      }
+    }
+  }
+}
+
+#if defined(__aarch64__) && defined(__ARM_NEON)
+void GemmMicroKernelNeon(std::int64_t kc, const float* a, const float* b,
+                         float* c, std::int64_t ldc, float beta) {
+  float32x4_t acc[kGemmMR][4];
+  for (int i = 0; i < kGemmMR; ++i) {
+    for (int q = 0; q < 4; ++q) acc[i][q] = vdupq_n_f32(0.0f);
+  }
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float32x4_t b0 = vld1q_f32(b);
+    const float32x4_t b1 = vld1q_f32(b + 4);
+    const float32x4_t b2 = vld1q_f32(b + 8);
+    const float32x4_t b3 = vld1q_f32(b + 12);
+    for (int i = 0; i < kGemmMR; ++i) {
+      const float32x4_t av = vdupq_n_f32(a[i]);
+      acc[i][0] = vfmaq_f32(acc[i][0], av, b0);
+      acc[i][1] = vfmaq_f32(acc[i][1], av, b1);
+      acc[i][2] = vfmaq_f32(acc[i][2], av, b2);
+      acc[i][3] = vfmaq_f32(acc[i][3], av, b3);
+    }
+    a += kGemmMR;
+    b += kGemmNR;
+  }
+  for (int i = 0; i < kGemmMR; ++i) {
+    float* crow = c + i * ldc;
+    for (int q = 0; q < 4; ++q) {
+      float32x4_t out = acc[i][q];
+      if (beta == 1.0f) {
+        out = vaddq_f32(vld1q_f32(crow + 4 * q), out);
+      } else if (beta != 0.0f) {
+        out = vfmaq_n_f32(out, vld1q_f32(crow + 4 * q), beta);
+      }
+      vst1q_f32(crow + 4 * q, out);
+    }
+  }
+}
+#endif  // __aarch64__ && __ARM_NEON
+
+// ------------------------------------------------------ prepacked A -----
+
+void PackedGemmA::Pack(bool trans_a, std::int64_t m, std::int64_t k,
+                       float alpha, const float* a) {
+  EXACLIM_CHECK(m >= 0 && k >= 0, "PackedGemmA: bad dims " << m << "x" << k);
+  m_ = m;
+  k_ = k;
+  m_padded_ = RoundUp(m, MR);
+  data_.resize(static_cast<std::size_t>(m_padded_ * k));
+  const std::int64_t strips = (m + MR - 1) / MR;
+  for (std::int64_t pc = 0; pc < k; pc += KC) {
+    const std::int64_t kc = std::min(KC, k - pc);
+    PackAStrips(trans_a, a, m, k, alpha, pc, kc, 0, strips,
+                data_.data() + m_padded_ * pc);
+  }
+}
+
+// ------------------------------------------------------- entry points ---
+
+void GemmPacked(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, const float* b,
+                float beta, float* c) {
+  if (m == 0 || n == 0) return;
+  if (k == 0 || alpha == 0.0f) {
+    // BLAS semantics: no product term; beta == 0 overwrites C unread.
+    ScaleC(c, m * n, beta);
+    return;
+  }
+  RunPackedGemm(nullptr, trans_a, a, trans_b, b, m, n, k, alpha, beta, c);
+}
+
+void GemmPackedWithA(const PackedGemmA& a, bool trans_b, std::int64_t n,
+                     const float* b, float beta, float* c) {
+  const std::int64_t m = a.m();
+  const std::int64_t k = a.k();
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    ScaleC(c, m * n, beta);
+    return;
+  }
+  EXACLIM_CHECK(!a.empty(), "GemmPackedWithA: operand not packed");
+  RunPackedGemm(&a, /*trans_a=*/false, nullptr, trans_b, b, m, n, k,
+                /*alpha=*/1.0f, beta, c);
+}
+
+}  // namespace exaclim

@@ -1,0 +1,159 @@
+#pragma once
+
+// Packed, register-blocked GEMM microkernel engine (BLIS/Goto style) —
+// DESIGN §10.
+//
+// The engine decomposes C = alpha*op(A)*op(B) + beta*C into three levels
+// of cache blocking (KC panels of the contraction dim, MC row blocks, NC
+// column blocks) around a fixed MRxNR register-tiled microkernel:
+//
+//   for jc in [0,n) step NC:                 B panel -> L3
+//     for pc in [0,k) step KC:               beta applied on first pc only
+//       pack op(B)[pc:pc+KC, jc:jc+NC] into NR-strips   (thread scratch)
+//       parallel over MR-strips of op(A):
+//         pack alpha*op(A)[ic:ic+MC, pc:pc+KC] into MR-strips  (L2)
+//         for jr step NR:                    B strip -> L1
+//           for ir step MR: microkernel      C tile -> registers
+//
+// Both pack formats are transpose-normalized (op() resolved at pack time)
+// and alpha is folded into the A panels, so the microkernel inner loop is
+// a pure broadcast-FMA sweep with fixed trip counts: it keeps the MRxNR
+// C tile in registers across the whole KC panel and touches C once per
+// panel. Variants: AVX2+FMA and NEON intrinsics selected at runtime when
+// compiled in, with a portable autovectorized kernel as fallback.
+//
+// Kernel selection for the public Gemm() entry point is controlled by
+// EXACLIM_GEMM_KERNEL={auto,packed,reference} (SetGemmKernelMode overrides
+// programmatically); `reference` keeps the pre-engine blocked walk for
+// A/B testing and bisection.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace exaclim {
+
+// ------------------------------------------------- kernel selection -----
+
+enum class GemmKernelMode {
+  kAuto,       // currently identical to kPacked
+  kPacked,     // the packed microkernel engine
+  kReference,  // pre-engine cache-blocked walk (gemm.cpp)
+};
+
+const char* ToString(GemmKernelMode mode);
+
+/// Parses "auto" / "packed" / "reference"; nullopt on anything else.
+std::optional<GemmKernelMode> ParseGemmKernelMode(std::string_view value);
+
+/// Mode in use by Gemm(): the programmatic override if set, else
+/// EXACLIM_GEMM_KERNEL (parsed once), else kAuto. Unparsable env values
+/// fall back to kAuto.
+GemmKernelMode GemmKernelModeInUse();
+
+/// Programmatic override (benches and the fuzz tests flip this per run).
+void SetGemmKernelMode(GemmKernelMode mode);
+
+/// True when the packed engine serves Gemm() (mode != kReference). Call
+/// sites that maintain prepacked operands (conv weight panels) key off
+/// this so EXACLIM_GEMM_KERNEL=reference A/B-tests the whole layer path.
+bool GemmUsesPackedEngine();
+
+/// Name of the microkernel variant the packed engine dispatches to on
+/// this machine: "avx2-fma", "neon" or "portable".
+const char* GemmMicroKernelName();
+
+// ------------------------------------------------ blocking geometry -----
+
+/// Register tile: MR rows x NR columns of C per microkernel call. 6x16
+/// fits AVX2 exactly (12 ymm accumulators + 2 B loads + 1 A broadcast =
+/// 15 of 16 registers) and NEON comfortably (24 q accumulators of 32).
+inline constexpr std::int64_t kGemmMR = 6;
+inline constexpr std::int64_t kGemmNR = 16;
+
+/// Cache blocks: KC sizes the packed strips so an MR-strip of A plus an
+/// NR-strip of B stay L1-resident (6+16)*256*4B = 22KB; MC*KC A panels
+/// (~144KB) target L2; KC*NC B panels (~2MB) target L3. MC is a multiple
+/// of MR, NC a multiple of NR.
+inline constexpr std::int64_t kGemmKC = 256;
+inline constexpr std::int64_t kGemmMC = 144;
+inline constexpr std::int64_t kGemmNC = 2048;
+
+// ------------------------------------------------------ microkernels ----
+
+/// Computes the MRxNR tile update C = beta*C + Acc where
+/// Acc[i][j] = sum_p a[p*MR+i] * b[p*NR+j] over p in [0, kc).
+/// `a` is an MR-strip (alpha already folded), `b` an NR-strip, both
+/// zero-padded to full width; `c` points at the tile's top-left element
+/// with row stride `ldc`. beta == 0 never reads C (it may hold garbage).
+using GemmMicroKernelFn = void (*)(std::int64_t kc, const float* a,
+                                   const float* b, float* c,
+                                   std::int64_t ldc, float beta);
+
+void GemmMicroKernelPortable(std::int64_t kc, const float* a, const float* b,
+                             float* c, std::int64_t ldc, float beta);
+#if defined(EXACLIM_GEMM_AVX2)
+// Defined in gemm_kernel_avx2.cpp (compiled with -mavx2 -mfma); only
+// dispatched to after a runtime cpuid check.
+void GemmMicroKernelAvx2(std::int64_t kc, const float* a, const float* b,
+                         float* c, std::int64_t ldc, float beta);
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+void GemmMicroKernelNeon(std::int64_t kc, const float* a, const float* b,
+                         float* c, std::int64_t ldc, float beta);
+#endif
+
+/// The variant the packed engine uses on this machine (resolved once).
+GemmMicroKernelFn ActiveGemmMicroKernel();
+
+// ------------------------------------------------------ prepacked A -----
+
+/// A matrix packed once into the engine's A-panel layout for reuse across
+/// many Gemm calls with the same left operand — the conv layers pack the
+/// weight matrix once per Forward/Backward and share it across batch
+/// shards (read-only, so shard tasks need no copies).
+///
+/// Layout: for each KC block pc, ceil(m/MR) MR-strips, strip s holding
+/// columns p in [pc, pc+kc) as MR consecutive rows (p-major), rows beyond
+/// m zero-padded, alpha folded in. Strips of one block are contiguous, so
+/// block pc starts at data() + RoundUp(m, MR) * pc.
+class PackedGemmA {
+ public:
+  /// Packs alpha * op(A) where op(A) is m x k (A stored k x m when
+  /// trans_a). Reuses the existing allocation when geometry matches.
+  void Pack(bool trans_a, std::int64_t m, std::int64_t k, float alpha,
+            const float* a);
+
+  std::int64_t m() const { return m_; }
+  std::int64_t k() const { return k_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Start of KC block `pc` (a multiple of kGemmKC, < k).
+  const float* Block(std::int64_t pc) const {
+    return data_.data() + m_padded_ * pc;
+  }
+
+ private:
+  std::int64_t m_ = 0;
+  std::int64_t k_ = 0;
+  std::int64_t m_padded_ = 0;  // m rounded up to a multiple of kGemmMR
+  std::vector<float> data_;
+};
+
+// ------------------------------------------------------- entry points ---
+
+/// Packed-engine GEMM: C(m,n) = alpha*op(A)*op(B) + beta*C, row-major.
+/// Semantics match Gemm() exactly (beta == 0 overwrites C without reading
+/// it). Parallelised over MR-strips of C via ThreadPool::Global(); the
+/// per-element FP contraction order is fixed by the KC walk and never
+/// depends on the thread count or partition.
+void GemmPacked(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+                std::int64_t k, float alpha, const float* a, const float* b,
+                float beta, float* c);
+
+/// Same, with the left operand prepacked (alpha folded at Pack time).
+void GemmPackedWithA(const PackedGemmA& a, bool trans_b, std::int64_t n,
+                     const float* b, float beta, float* c);
+
+}  // namespace exaclim

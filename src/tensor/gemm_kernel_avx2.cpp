@@ -1,0 +1,86 @@
+// AVX2+FMA variant of the GEMM microkernel (DESIGN §10). This TU — and
+// only this TU — is compiled with -mavx2 -mfma (see src/CMakeLists.txt),
+// so nothing outside the kernel body can pick up AVX2 instructions; the
+// engine dispatches here only after __builtin_cpu_supports("avx2"/"fma")
+// passes at runtime. On non-x86 targets, or when the toolchain lacks the
+// flags, EXACLIM_GEMM_AVX2 is undefined and this file compiles to nothing.
+
+#include "tensor/gemm_kernel.hpp"
+
+#if defined(EXACLIM_GEMM_AVX2) && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+namespace exaclim {
+
+// 6x16 register tile: two ymm columns per row, 12 accumulators live across
+// the whole KC panel, one broadcast + two FMAs per (row, p).
+void GemmMicroKernelAvx2(std::int64_t kc, const float* a, const float* b,
+                         float* c, std::int64_t ldc, float beta) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+
+  const float* __restrict ap = a;
+  const float* __restrict bp = b;
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(bp);
+    const __m256 b1 = _mm256_loadu_ps(bp + 8);
+    __m256 av;
+    av = _mm256_broadcast_ss(ap + 0);
+    c00 = _mm256_fmadd_ps(av, b0, c00);
+    c01 = _mm256_fmadd_ps(av, b1, c01);
+    av = _mm256_broadcast_ss(ap + 1);
+    c10 = _mm256_fmadd_ps(av, b0, c10);
+    c11 = _mm256_fmadd_ps(av, b1, c11);
+    av = _mm256_broadcast_ss(ap + 2);
+    c20 = _mm256_fmadd_ps(av, b0, c20);
+    c21 = _mm256_fmadd_ps(av, b1, c21);
+    av = _mm256_broadcast_ss(ap + 3);
+    c30 = _mm256_fmadd_ps(av, b0, c30);
+    c31 = _mm256_fmadd_ps(av, b1, c31);
+    av = _mm256_broadcast_ss(ap + 4);
+    c40 = _mm256_fmadd_ps(av, b0, c40);
+    c41 = _mm256_fmadd_ps(av, b1, c41);
+    av = _mm256_broadcast_ss(ap + 5);
+    c50 = _mm256_fmadd_ps(av, b0, c50);
+    c51 = _mm256_fmadd_ps(av, b1, c51);
+    ap += kGemmMR;
+    bp += kGemmNR;
+  }
+
+  __m256 acc[kGemmMR][2] = {{c00, c01}, {c10, c11}, {c20, c21},
+                            {c30, c31}, {c40, c41}, {c50, c51}};
+  if (beta == 0.0f) {
+    for (int i = 0; i < kGemmMR; ++i) {
+      float* crow = c + i * ldc;
+      _mm256_storeu_ps(crow, acc[i][0]);
+      _mm256_storeu_ps(crow + 8, acc[i][1]);
+    }
+  } else if (beta == 1.0f) {
+    for (int i = 0; i < kGemmMR; ++i) {
+      float* crow = c + i * ldc;
+      _mm256_storeu_ps(crow,
+                       _mm256_add_ps(_mm256_loadu_ps(crow), acc[i][0]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[i][1]));
+    }
+  } else {
+    const __m256 bv = _mm256_set1_ps(beta);
+    for (int i = 0; i < kGemmMR; ++i) {
+      float* crow = c + i * ldc;
+      _mm256_storeu_ps(
+          crow, _mm256_fmadd_ps(bv, _mm256_loadu_ps(crow), acc[i][0]));
+      _mm256_storeu_ps(
+          crow + 8,
+          _mm256_fmadd_ps(bv, _mm256_loadu_ps(crow + 8), acc[i][1]));
+    }
+  }
+}
+
+}  // namespace exaclim
+
+#endif  // EXACLIM_GEMM_AVX2 && __AVX2__ && __FMA__

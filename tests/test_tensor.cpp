@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -258,6 +260,70 @@ TEST(Cast, TensorRoundTrip) {
   RoundTripHalf(t);
   EXPECT_EQ(t[0], 65504.0f);
   EXPECT_TRUE(std::isinf(t[1]));
+}
+
+// The vectorized wire-path conversions in cast.cpp must be bit-identical
+// to element-by-element Half construction: every rounding boundary,
+// subnormal, overflow and NaN case.
+
+TEST(Cast, PackHalfBitExactVsHalfFuzz) {
+  Rng rng(11);
+  std::vector<float> values;
+  values.reserve(300000 + 64);
+  // Random bit patterns cover every exponent regime including NaNs/infs.
+  for (int i = 0; i < 300000; ++i) {
+    const auto bits = static_cast<std::uint32_t>(rng.engine()());
+    values.push_back(std::bit_cast<float>(bits));
+  }
+  // Boundary patterns of Half::FromFloat: underflow threshold, subnormal
+  // range, normal/subnormal crossover, overflow-to-inf threshold.
+  for (const std::uint32_t abs :
+       {0x00000000u, 0x32ffffffu, 0x33000000u, 0x33000001u, 0x33800000u,
+        0x387fffffu, 0x38800000u, 0x38800001u, 0x3f800000u, 0x477fefffu,
+        0x477ff000u, 0x477fffffu, 0x47800000u, 0x7f7fffffu, 0x7f800000u,
+        0x7f800001u, 0x7fc00000u}) {
+    values.push_back(std::bit_cast<float>(abs));
+    values.push_back(std::bit_cast<float>(abs | 0x80000000u));
+  }
+  std::vector<std::uint16_t> packed(values.size());
+  PackHalf(values, packed);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(packed[i], Half(values[i]).bits())
+        << "float bits 0x" << std::hex
+        << std::bit_cast<std::uint32_t>(values[i]);
+  }
+}
+
+TEST(Cast, UnpackHalfBitExactVsHalfExhaustive) {
+  // All 65536 binary16 values through the wire decode vs Half::ToFloat.
+  std::vector<std::uint16_t> packed(1 << 16);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    packed[i] = static_cast<std::uint16_t>(i);
+  }
+  std::vector<float> out(packed.size());
+  UnpackHalf(packed, out);
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    const float expected = Half::FromBits(packed[i]).ToFloat();
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(out[i]),
+              std::bit_cast<std::uint32_t>(expected))
+        << "half bits 0x" << std::hex << i;
+  }
+}
+
+TEST(Cast, CountHalfNonFiniteMatchesHalfFuzz) {
+  Rng rng(12);
+  std::vector<float> values(20000);
+  for (auto& v : values) {
+    // Mix magnitudes straddling the binary16 overflow threshold.
+    v = rng.Uniform(-1.0f, 1.0f) * (rng.Bernoulli(0.5) ? 70000.0f : 60000.0f);
+  }
+  values.push_back(std::numeric_limits<float>::infinity());
+  values.push_back(std::numeric_limits<float>::quiet_NaN());
+  values.push_back(65519.9f);   // rounds to 65504 (finite)
+  values.push_back(65520.0f);   // rounds to inf
+  std::int64_t expected = 0;
+  for (const float v : values) expected += Half(v).IsFinite() ? 0 : 1;
+  EXPECT_EQ(CountHalfNonFinite(values), expected);
 }
 
 }  // namespace

@@ -58,6 +58,14 @@ run env EXACLIM_BENCH_DIR="$BENCH_DIR" \
 run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_micro_conv.json \
   --assert-le fwd_bwd_parallel_b4_ms fwd_bwd_serial_b4_ms 1.15 \
   --assert-le fwd_bwd_parallel_b8_ms fwd_bwd_serial_b8_ms 1.15
+# The GEMM kernel comparison in bench_micro_gemm times the packed
+# microkernel engine against the reference blocked walk on the conv
+# im2col shape. The reference must never come out faster (GFLOP/s are
+# rates, so the gate reads reference <= packed).
+run env EXACLIM_BENCH_DIR="$BENCH_DIR" \
+  ./build/bench/bench_micro_gemm --benchmark_filter='-.*'
+run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_micro_gemm.json \
+  --assert-le gflops_reference_conv gflops_packed_conv 1.0
 rm -rf "$BENCH_DIR"
 
 if [[ "$FAST" == 1 ]]; then
