@@ -1,0 +1,141 @@
+// Per-phase allocation census of a warmed-up training step (DESIGN §11).
+//
+// Runs a few warmup steps of a downscaled Tiramisu trainer with the heap
+// interposer counting (SetAllocTracking), zeroes the site registry, then
+// measures per-step allocation count/bytes for every annotated phase:
+// the step itself, its forward/backward/update sub-phases, the conv
+// shard dispatch and the GEMM pack paths. Emits BENCH_alloc_census.json;
+// the ci.sh `alloc-smoke` stage ratchets the medians against the
+// checked-in budget in tools/alloc_budget.json (via
+// tools/check_alloc_budget.py) so steady-state allocation counts can
+// only go down without an explicit budget edit (ROADMAP item 2).
+//
+// Determinism: allocation counts depend on the worker count (ParallelFor
+// task closures), so the pool size is pinned to 4 before first use, and
+// the step runs local-only (no communicator -> no exchange traffic).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/alloc_tracker.hpp"
+#include "common/thread_pool.hpp"
+#include "data/dataset.hpp"
+#include "nn/loss.hpp"
+#include "obs/bench_report.hpp"
+#include "stats/stats.hpp"
+#include "train/trainer.hpp"
+
+namespace exaclim {
+namespace {
+
+constexpr int kWarmupSteps = 3;
+constexpr int kMeasuredSteps = 5;
+
+// The phases with a checked-in budget. step.exchange is absent: the
+// census runs local-only, so the exchange phase never opens.
+const char* const kPhases[] = {
+    "step",          "step.forward", "step.backward", "step.update",
+    "conv.shards",   "gemm.pack.a",  "gemm.pack.b",
+};
+
+struct SiteSnapshot {
+  std::int64_t count = 0;
+  std::int64_t bytes = 0;
+};
+
+SiteSnapshot SnapshotSite(const char* name) {
+  const AllocSiteId id = FindAllocSite(name);
+  if (id < 0) return {};
+  const AllocSiteInfo info = GetAllocSite(id);
+  return {info.count, info.bytes};
+}
+
+}  // namespace
+
+int Main() {
+  // Pin the pool before anything touches it: closure/task allocation
+  // counts scale with the worker count.
+  setenv("EXACLIM_THREADS", "4", /*overwrite=*/1);
+  SetAllocTracking(true);
+
+  ClimateDataset::Options d;
+  d.num_samples = 24;
+  d.generator.height = 48;
+  d.generator.width = 48;
+  d.channels = {kTMQ, kU850, kV850, kPSL};  // Downscaled(4) takes 4 channels
+  const ClimateDataset dataset(d);
+  const auto freq = dataset.MeasureFrequencies(8);
+
+  TrainerOptions o;
+  o.arch = TrainerOptions::Arch::kTiramisu;
+  o.tiramisu = Tiramisu::Config::Downscaled(4);
+  o.local_batch = 2;
+  RankTrainer trainer(
+      o, MakeClassWeights(freq, WeightingScheme::kInverseSqrt), 0);
+
+  Rng rng(99);
+  const auto next_batch = [&] {
+    std::vector<std::int64_t> idx(2);
+    for (auto& i : idx) {
+      i = rng.Int(0, dataset.size(DatasetSplit::kTrain) - 1);
+    }
+    return dataset.MakeBatch(DatasetSplit::kTrain, idx);
+  };
+
+  // Warmup: first steps populate caches, scratch pools and lazily-sized
+  // vectors (mask_.resize etc.); the ratchet is about the steady state.
+  for (int s = 0; s < kWarmupSteps; ++s) (void)trainer.Step(next_batch());
+  ResetAllocSiteStats();
+
+  // Measured window: per-step deltas of every budgeted site.
+  std::vector<std::vector<double>> counts(std::size(kPhases));
+  std::vector<std::vector<double>> bytes(std::size(kPhases));
+  std::vector<SiteSnapshot> last(std::size(kPhases));
+  for (int s = 0; s < kMeasuredSteps; ++s) {
+    (void)trainer.Step(next_batch());
+    for (std::size_t p = 0; p < std::size(kPhases); ++p) {
+      const SiteSnapshot now = SnapshotSite(kPhases[p]);
+      counts[p].push_back(static_cast<double>(now.count - last[p].count));
+      bytes[p].push_back(static_cast<double>(now.bytes - last[p].bytes));
+      last[p] = now;
+    }
+  }
+
+  obs::BenchReport report("alloc_census");
+  report.AddScalar("threads",
+                   static_cast<double>(ThreadPool::Global().size() + 1));
+  std::printf(
+      "Per-phase allocation census (Tiramisu 1/4-scale, batch 2, pool=4, "
+      "%d warmup + %d measured steps; per-step medians)\n",
+      kWarmupSteps, kMeasuredSteps);
+  std::printf("  %-16s %14s %16s\n", "phase", "allocs/step", "bytes/step");
+  for (std::size_t p = 0; p < std::size(kPhases); ++p) {
+    report.AddSeries(std::string("alloc_count.") + kPhases[p], counts[p]);
+    report.AddSeries(std::string("alloc_bytes.") + kPhases[p], bytes[p]);
+    std::printf("  %-16s %14.0f %16.0f\n", kPhases[p],
+                Summarize(counts[p]).median, Summarize(bytes[p]).median);
+  }
+
+  // Any other sites that saw traffic (unbudgeted; informational only).
+  for (AllocSiteId id = 0; id < AllocSiteCount(); ++id) {
+    const AllocSiteInfo info = GetAllocSite(id);
+    bool budgeted = false;
+    for (const char* phase : kPhases) {
+      if (std::string(phase) == info.name) budgeted = true;
+    }
+    if (!budgeted && info.count > 0) {
+      std::printf("  (unbudgeted) %-16s %lld allocs over the window\n",
+                  info.name, static_cast<long long>(info.count));
+    }
+  }
+
+  const auto path = report.WriteJsonFile();
+  if (!path.empty()) std::printf("\nwrote %s\n", path.string().c_str());
+  return 0;
+}
+
+}  // namespace exaclim
+
+int main() { return exaclim::Main(); }

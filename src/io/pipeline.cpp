@@ -4,6 +4,7 @@
 #include <exception>
 #include <string>
 
+#include "common/alloc_tracker.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "obs/obs.hpp"
@@ -94,6 +95,9 @@ void InputPipeline::WorkerLoop() {
       try {
         obs::ScopedTimer timer("pipeline.produce", "io", &produce_seconds,
                                obs::HistogramOrNull("pipeline.produce_s"));
+        // The decode path allocates on the worker thread itself, so a
+        // thread-scoped census attributes exactly this batch's heap use.
+        EXACLIM_ALLOC_CENSUS_THREAD("pipeline.produce");
         if (FaultInjector::Global().ShouldInject("pipeline.produce")) {
           throw Error("injected fault: pipeline.produce of batch " +
                       std::to_string(index));

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/alloc_tracker.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "obs/obs.hpp"
@@ -93,6 +94,9 @@ std::map<int, std::vector<std::byte>> StageDataset(
   const int p = comm.size();
   const int rank = comm.rank();
   EXACLIM_TRACE_SPAN("staging.stage_dataset", "io");
+  // Thread-scoped census: each rank runs its whole staging exchange on
+  // its own thread, so a global scope would mix concurrent ranks.
+  EXACLIM_ALLOC_CENSUS_THREAD("staging.stage");
 
   // Phase 1 + 2: tell every owner how many requests to expect from us,
   // then send the requests themselves (interleaving with serving, below,

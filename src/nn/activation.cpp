@@ -21,11 +21,13 @@ Tensor ReLU::Forward(const Tensor& input, bool /*train*/) {
   ParallelFor(
       0, size,
       [&](std::size_t lo, std::size_t hi) {
+        // hot-path: begin
         for (std::size_t i = lo; i < hi; ++i) {
           const bool active = input[i] > 0.0f;
           mask_[i] = active ? 1 : 0;
           output[i] = active ? input[i] : 0.0f;
         }
+        // hot-path: end
       },
       kPointwiseGrain);
   MaybeQuantise(output);
@@ -39,9 +41,11 @@ Tensor ReLU::Backward(const Tensor& grad_output) {
   ParallelFor(
       0, mask_.size(),
       [&](std::size_t lo, std::size_t hi) {
+        // hot-path: begin
         for (std::size_t i = lo; i < hi; ++i) {
           grad_input[i] = mask_[i] != 0 ? grad_output[i] : 0.0f;
         }
+        // hot-path: end
       },
       kPointwiseGrain);
   MaybeQuantise(grad_input);

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/alloc_tracker.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 
@@ -58,6 +59,10 @@ ConvShardRange ShardImageRange(std::int64_t n, std::int64_t shards,
 
 void RunConvShards(std::int64_t shards,
                    const std::function<void(std::int64_t)>& fn) {
+  // Census over the whole shard run (workers included): in a warmed-up
+  // step this should be near zero — the workspace and pack scratch are
+  // grow-only — so conv.shards is the first place arena regressions show.
+  EXACLIM_ALLOC_CENSUS("conv.shards");
   if (!ConvBatchParallelEnabled() || shards <= 1 ||
       ThreadPool::InParallelRegion()) {
     for (std::int64_t s = 0; s < shards; ++s) fn(s);
@@ -128,6 +133,7 @@ namespace {
 void TreeReduceInto(float* dst, float* buffers, std::int64_t shards,
                     std::int64_t size) {
   if (size == 0) return;
+  // hot-path: begin
   for (std::int64_t stride = 1; stride < shards; stride *= 2) {
     for (std::int64_t s = 0; s + stride < shards; s += 2 * stride) {
       float* a = buffers + s * size;
@@ -136,6 +142,7 @@ void TreeReduceInto(float* dst, float* buffers, std::int64_t shards,
     }
   }
   for (std::int64_t i = 0; i < size; ++i) dst[i] += buffers[i];
+  // hot-path: end
 }
 
 }  // namespace

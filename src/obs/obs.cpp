@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/alloc_tracker.hpp"
 #include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "common/sync.hpp"
@@ -30,6 +31,13 @@ void FaultSinkToRegistry(std::string_view name, std::int64_t delta) {
   if (Counter* c = CounterOrNull(name)) c->Add(delta);
 }
 
+// Same bridge shape for the allocation tracker (common/alloc_tracker.hpp):
+// census regions publish per-phase alloc.count.<site> / alloc.bytes.<site>
+// gauges through this hook.
+void AllocSinkToRegistry(const char* name, double value) {
+  if (Gauge* g = GaugeOrNull(name)) g->Set(value);
+}
+
 }  // namespace
 
 void Enable(const Options& options) {
@@ -42,9 +50,10 @@ void Enable(const Options& options) {
     if (!g_tracer_owner) g_tracer_owner = std::make_unique<TraceRecorder>();
     g_tracer.store(g_tracer_owner.get(), std::memory_order_release);
   }
-  // Leave installed across Disable(): the sink is a no-op without a live
-  // registry, and fault counters must survive Enable/Disable cycles.
+  // Leave installed across Disable(): the sinks are no-ops without a live
+  // registry, and fault/alloc metrics must survive Enable/Disable cycles.
   SetFaultMetricSink(&FaultSinkToRegistry);
+  SetAllocMetricSink(&AllocSinkToRegistry);
 }
 
 void Disable() {

@@ -9,6 +9,7 @@
 #include <arm_neon.h>
 #endif
 
+#include "common/alloc_tracker.hpp"
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "common/workspace.hpp"
@@ -179,9 +180,16 @@ void RunPackedGemm(const PackedGemmA* prepacked, bool trans_a,
       const float beta_eff = pc == 0 ? beta : 1.0f;
       // The forking thread packs B once; strip tasks share it read-only
       // (ParallelFor joins before the next acquire can grow the slot).
-      float* bpack = AcquireScratch(ScratchSlot::kGemmPackB,
-                                    static_cast<std::size_t>(kc * nc_pad));
-      PackBPanel(trans_b, b, k, n, pc, kc, jc, nc, bpack);
+      // Steady state the scratch slots are warm, so the gemm.pack.*
+      // census sites read zero; growth (first call, bigger shape) is
+      // exactly what they catch.
+      float* bpack;
+      {
+        EXACLIM_ALLOC_CENSUS_THREAD("gemm.pack.b");
+        bpack = AcquireScratch(ScratchSlot::kGemmPackB,
+                               static_cast<std::size_t>(kc * nc_pad));
+        PackBPanel(trans_b, b, k, n, pc, kc, jc, nc, bpack);
+      }
       const float* pre_block = prepacked ? prepacked->Block(pc) : nullptr;
 
       ParallelFor(
@@ -195,12 +203,14 @@ void RunPackedGemm(const PackedGemmA* prepacked, bool trans_a,
               if (pre_block != nullptr) {
                 apack = pre_block + s0 * MR * kc;
               } else {
+                EXACLIM_ALLOC_CENSUS_THREAD("gemm.pack.a");
                 float* dst = AcquireScratch(
                     ScratchSlot::kGemmPackA,
                     static_cast<std::size_t>((s1 - s0) * MR * kc));
                 PackAStrips(trans_a, a, m, k, alpha, pc, kc, s0, s1, dst);
                 apack = dst;
               }
+              // hot-path: begin
               for (std::int64_t jr = 0; jr < nc; jr += NR) {
                 const std::int64_t nr = std::min(NR, nc - jr);
                 const float* bstrip = bpack + (jr / NR) * kc * NR;
@@ -218,6 +228,7 @@ void RunPackedGemm(const PackedGemmA* prepacked, bool trans_a,
                   }
                 }
               }
+              // hot-path: end
             }
           },
           /*grain=*/1);
@@ -267,6 +278,7 @@ void GemmMicroKernelPortable(std::int64_t kc, const float* a, const float* b,
                              float* c, std::int64_t ldc, float beta) {
   // Fixed trip counts + __restrict let the autovectorizer keep the whole
   // accumulator tile in registers (modulo spills on narrow ISAs).
+  // hot-path: begin
   float acc[kGemmMR * kGemmNR] = {};
   const float* __restrict ap = a;
   const float* __restrict bp = b;
@@ -292,11 +304,13 @@ void GemmMicroKernelPortable(std::int64_t kc, const float* a, const float* b,
       }
     }
   }
+  // hot-path: end
 }
 
 #if defined(__aarch64__) && defined(__ARM_NEON)
 void GemmMicroKernelNeon(std::int64_t kc, const float* a, const float* b,
                          float* c, std::int64_t ldc, float beta) {
+  // hot-path: begin
   float32x4_t acc[kGemmMR][4];
   for (int i = 0; i < kGemmMR; ++i) {
     for (int q = 0; q < 4; ++q) acc[i][q] = vdupq_n_f32(0.0f);
@@ -328,6 +342,7 @@ void GemmMicroKernelNeon(std::int64_t kc, const float* a, const float* b,
       vst1q_f32(crow + 4 * q, out);
     }
   }
+  // hot-path: end
 }
 #endif  // __aarch64__ && __ARM_NEON
 

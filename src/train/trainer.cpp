@@ -1,5 +1,6 @@
 #include "train/trainer.hpp"
 
+#include "common/alloc_tracker.hpp"
 #include "common/error.hpp"
 #include "common/sync.hpp"
 #include "obs/obs.hpp"
@@ -70,12 +71,19 @@ RankTrainer::StepResult RankTrainer::Step(const Batch& batch,
   StepResult result;
   obs::ScopedTimer step_timer("step", "train", &result.timings.total_seconds,
                               obs::HistogramOrNull("step.total_s"));
+  // Per-phase allocation census (DESIGN §11): process-wide scope, since
+  // forward/backward fan out to the thread pool. Publishes
+  // alloc.{count,bytes}.step.* gauges and accumulates into the site
+  // registry that bench_alloc_census reads; disappears behind one relaxed
+  // load when EXACLIM_ALLOC_TRACK is off.
+  EXACLIM_ALLOC_CENSUS("step");
 
   SegmentationLossResult loss;
   {
     obs::ScopedTimer timer("step.forward", "train",
                            &result.timings.forward_seconds,
                            obs::HistogramOrNull("step.forward_s"));
+    EXACLIM_ALLOC_CENSUS("step.forward");
     optimizer_->ZeroGrad();
     const Tensor logits = model_->Forward(batch.fields, /*train=*/true);
 
@@ -91,6 +99,7 @@ RankTrainer::StepResult RankTrainer::Step(const Batch& batch,
     obs::ScopedTimer timer("step.backward", "train",
                            &result.timings.backward_seconds,
                            obs::HistogramOrNull("step.backward_s"));
+    EXACLIM_ALLOC_CENSUS("step.backward");
     (void)model_->Backward(loss.grad_logits);
   }
 
@@ -98,6 +107,7 @@ RankTrainer::StepResult RankTrainer::Step(const Batch& batch,
     obs::ScopedTimer timer("step.exchange", "train",
                            &result.timings.exchange_seconds,
                            obs::HistogramOrNull("step.exchange_s"));
+    EXACLIM_ALLOC_CENSUS("step.exchange");
     exchanger_->Exchange(*comm, params_);
   }
 
@@ -109,6 +119,7 @@ RankTrainer::StepResult RankTrainer::Step(const Batch& batch,
     obs::ScopedTimer timer("step.update", "train",
                            &result.timings.update_seconds,
                            obs::HistogramOrNull("step.update_s"));
+    EXACLIM_ALLOC_CENSUS("step.update");
     if (opts_.precision == Precision::kFP16) {
       const bool finite = !optimizer_->HasNonFiniteGradient();
       apply = scaler_.Update(finite);

@@ -1,0 +1,237 @@
+// Tests for the heap-allocation discipline layer (DESIGN §11): the
+// interposed operator new/delete counters, census/no-alloc region
+// guards, the site registry, and the obs gauge bridge. The whole binary
+// is `stress`-labelled so the AllocStress case also runs under TSan,
+// where the lock-free per-thread records must come up clean.
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/alloc_tracker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+
+namespace exaclim {
+namespace {
+
+// Every test drives the toggle programmatically; restore "off" on exit
+// so test order doesn't leak tracking state.
+class AllocTrackerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetAllocTracking(true); }
+  void TearDown() override { SetAllocTracking(false); }
+};
+
+// Keeps a pointer observable so the optimizer cannot elide the heap
+// round-trip (new-expression elision is legal since C++14).
+void Escape(const void* p) { asm volatile("" : : "g"(p) : "memory"); }
+
+// Forces a real heap round-trip the optimizer cannot elide.
+void Churn(std::size_t n = 1) {
+  for (std::size_t i = 0; i < n; ++i) {
+    auto* p = new char[64];  // lint:allow(naked-new)
+    Escape(p);
+    p[0] = static_cast<char>(i);
+    delete[] p;  // lint:allow(naked-new)
+  }
+}
+
+TEST_F(AllocTrackerTest, CountersAdvanceWhileTracking) {
+  const AllocCounters before = ThreadAllocCounters();
+  Churn(5);
+  const AllocCounters after = ThreadAllocCounters();
+  EXPECT_GE(after.count - before.count, 5);
+  EXPECT_GE(after.bytes - before.bytes, 5 * 64);
+  EXPECT_GE(after.free_count - before.free_count, 5);
+}
+
+TEST_F(AllocTrackerTest, TrackerOffRegionsAreInertAndCountersFrozen) {
+  SetAllocTracking(false);
+  const AllocCounters before = ThreadAllocCounters();
+  {
+    ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.off_census"),
+                            ScopedAllocCheck::Mode::kCensus);
+    ScopedAllocCheck guard(EXACLIM_ALLOC_SITE("test.off_guard"),
+                           ScopedAllocCheck::Mode::kAssertNoAlloc);
+    EXPECT_FALSE(census.active());
+    EXPECT_FALSE(guard.active());
+    Churn(3);
+    EXPECT_EQ(census.count(), 0);
+    EXPECT_EQ(guard.violations(), 0);
+  }
+  const AllocCounters after = ThreadAllocCounters();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(after.bytes, before.bytes);
+}
+
+TEST_F(AllocTrackerTest, CensusSeesOwnThreadAllocations) {
+  ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.census"),
+                          ScopedAllocCheck::Mode::kCensus);
+  ASSERT_TRUE(census.active());
+  Churn(4);
+  EXPECT_GE(census.count(), 4);
+  EXPECT_GE(census.bytes(), 4 * 64);
+}
+
+TEST_F(AllocTrackerTest, NestedCensusRegionsAreInclusive) {
+  ScopedAllocCheck outer(EXACLIM_ALLOC_SITE("test.outer"),
+                         ScopedAllocCheck::Mode::kCensus);
+  Churn(2);
+  const std::int64_t outer_before_inner = outer.count();
+  {
+    ScopedAllocCheck inner(EXACLIM_ALLOC_SITE("test.inner"),
+                           ScopedAllocCheck::Mode::kCensus);
+    Churn(3);
+    // The inner region sees only its own window; the outer region sees
+    // the inner's allocations too (regions are inclusive phases).
+    EXPECT_GE(inner.count(), 3);
+    EXPECT_GE(outer.count(), outer_before_inner + 3);
+  }
+  EXPECT_GE(outer.count(), 5);
+}
+
+TEST_F(AllocTrackerTest, ThreadScopeIgnoresOtherThreads) {
+  ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.thread_scope"),
+                          ScopedAllocCheck::Mode::kCensus,
+                          ScopedAllocCheck::Scope::kThread);
+  const std::int64_t before = census.count();
+  std::thread t([] { Churn(50); });
+  t.join();
+  // Joining may allocate a little on this thread; the 50 churns on the
+  // other thread must not be attributed here.
+  EXPECT_LT(census.count() - before, 50);
+}
+
+TEST_F(AllocTrackerTest, GlobalScopeSeesOtherThreads) {
+  ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.global_scope"),
+                          ScopedAllocCheck::Mode::kCensus,
+                          ScopedAllocCheck::Scope::kGlobal);
+  std::thread t([] { Churn(50); });
+  t.join();
+  EXPECT_GE(census.count(), 50);
+}
+
+TEST_F(AllocTrackerTest, NoAllocViolationsAreCountedNotFatal) {
+  ASSERT_FALSE(AllocTrackingStrict());  // env does not set strict here
+  const AllocSiteId site = EXACLIM_ALLOC_SITE("test.no_alloc_site");
+  std::int64_t violations = 0;
+  {
+    ScopedAllocCheck guard(site, ScopedAllocCheck::Mode::kAssertNoAlloc);
+    ASSERT_TRUE(guard.active());
+    Churn(2);
+    violations = guard.violations();
+  }
+  EXPECT_GE(violations, 2);
+  EXPECT_GE(GetAllocSite(site).violations, 2);
+}
+
+TEST_F(AllocTrackerTest, CleanNoAllocRegionStaysClean) {
+  std::vector<int> preallocated(128);
+  ScopedAllocCheck guard(EXACLIM_ALLOC_SITE("test.clean_guard"),
+                         ScopedAllocCheck::Mode::kAssertNoAlloc);
+  for (std::size_t i = 0; i < preallocated.size(); ++i) {
+    preallocated[i] = static_cast<int>(i);
+  }
+  EXPECT_EQ(guard.violations(), 0);
+}
+
+TEST_F(AllocTrackerTest, SiteRegistryAccumulatesAndResets) {
+  const AllocSiteId site = EXACLIM_ALLOC_SITE("test.registry");
+  ASSERT_GE(site, 0);
+  EXPECT_EQ(FindAllocSite("test.registry"), site);
+  EXPECT_EQ(FindAllocSite("test.not_registered"), -1);
+  {
+    ScopedAllocCheck census(site, ScopedAllocCheck::Mode::kCensus);
+    Churn(3);
+  }
+  const AllocSiteInfo info = GetAllocSite(site);
+  EXPECT_STREQ(info.name, "test.registry");
+  EXPECT_NE(info.file, nullptr);
+  EXPECT_GT(info.line, 0);
+  EXPECT_GE(info.count, 3);
+  ResetAllocSiteStats();
+  EXPECT_EQ(GetAllocSite(site).count, 0);
+  EXPECT_EQ(GetAllocSite(site).violations, 0);
+  EXPECT_STREQ(GetAllocSite(site).name, "test.registry");  // ids survive
+}
+
+TEST_F(AllocTrackerTest, ArrayAndAlignedFormsAreCounted) {
+  const AllocCounters before = ThreadAllocCounters();
+  {
+    auto arr = std::make_unique<char[]>(256);
+    Escape(arr.get());
+    arr[0] = 1;
+    struct alignas(64) Wide {
+      char data[128];
+    };
+    auto wide = std::make_unique<Wide>();  // over-aligned operator new path
+    Escape(wide.get());
+    wide->data[0] = 1;
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(wide.get()) % 64, 0u);
+  }
+  const AllocCounters after = ThreadAllocCounters();
+  EXPECT_GE(after.count - before.count, 2);
+  EXPECT_GE(after.bytes - before.bytes, 256 + 128);
+  EXPECT_GE(after.free_count - before.free_count, 2);
+}
+
+TEST_F(AllocTrackerTest, CensusPublishesGaugesThroughObs) {
+  obs::Options o;
+  o.metrics = true;
+  obs::Enable(o);
+  // The sink only feeds pre-registered gauges (GaugeOrNull semantics).
+  obs::Metrics()->GetGauge("alloc.count.test.gauge");
+  obs::Metrics()->GetGauge("alloc.bytes.test.gauge");
+  {
+    ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.gauge"),
+                            ScopedAllocCheck::Mode::kCensus);
+    Churn(4);
+  }
+  auto* count_gauge = obs::GaugeOrNull("alloc.count.test.gauge");
+  auto* bytes_gauge = obs::GaugeOrNull("alloc.bytes.test.gauge");
+  ASSERT_NE(count_gauge, nullptr);
+  ASSERT_NE(bytes_gauge, nullptr);
+  EXPECT_GE(count_gauge->value(), 4.0);
+  EXPECT_GE(bytes_gauge->value(), 4.0 * 64);
+  obs::Disable();
+}
+
+// Many threads allocating, freeing cross-thread, and opening regions at
+// once; run under TSan via the stress label. The assertions are loose —
+// the point is the data-race-freedom of the thread-record registry and
+// region stacks under concurrency.
+TEST_F(AllocTrackerTest, AllocStress) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<std::int64_t> total_seen{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&total_seen, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.stress"),
+                                ScopedAllocCheck::Mode::kCensus);
+        // Mix sizes and cross-thread frees (the vector's buffer moves).
+        std::vector<std::string> v;
+        for (int i = 0; i < 4; ++i) {
+          v.emplace_back(static_cast<std::size_t>(32 + 8 * t + i), 'x');
+        }
+        total_seen.fetch_add(census.count(), std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(total_seen.load(), 0);
+  const AllocCounters global = GlobalAllocCounters();
+  EXPECT_GE(global.count, kThreads * kRounds);
+  EXPECT_GE(global.peak_live_bytes, 0);
+}
+
+}  // namespace
+}  // namespace exaclim

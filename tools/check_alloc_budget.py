@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Ratchets bench_alloc_census output against the checked-in budget.
+
+Usage:
+    tools/check_alloc_budget.py BENCH_alloc_census.json [budget.json]
+
+The budget file (default: tools/alloc_budget.json next to this script)
+maps metric name -> maximum allowed median. Every budgeted metric must be
+present in the bench file and its median must be <= the budget; a
+budgeted metric missing from the bench output is an error too (it means
+a census site was renamed or dropped without updating the budget).
+
+Exit code 0 when every metric is within budget.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BUDGET = Path(__file__).resolve().parent / "alloc_budget.json"
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2 or len(argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = Path(argv[1])
+    budget_path = Path(argv[2]) if len(argv) == 3 else DEFAULT_BUDGET
+
+    try:
+        bench = json.loads(bench_path.read_text(encoding="utf-8"))
+        budgets = json.loads(
+            budget_path.read_text(encoding="utf-8"))["budgets"]
+    except (OSError, json.JSONDecodeError, KeyError) as e:
+        print(f"FAIL: cannot load inputs: {e}", file=sys.stderr)
+        return 2
+
+    metrics = bench.get("metrics", {})
+    failures = []
+    for name, limit in sorted(budgets.items()):
+        entry = metrics.get(name)
+        if entry is None:
+            failures.append(
+                f"budgeted metric {name!r} missing from {bench_path.name} "
+                "(census site renamed/dropped? update tools/alloc_budget.json)")
+            continue
+        median = entry["median"]
+        if median <= limit:
+            print(f"ok: {name} median {median:g} <= budget {limit:g}")
+        else:
+            failures.append(
+                f"{name}: median {median:g} exceeds budget {limit:g} — "
+                "new steady-state allocations; hoist them into a "
+                "workspace/scratch slot or justify a budget bump in the PR")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    if not failures:
+        print(f"alloc budget OK ({len(budgets)} metrics within budget)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,14 +5,18 @@
 #   tools/ci.sh --fast     # lint + tier-1 only
 #
 # Stages:
-#   1. tools/lint.py repo rules (+ clang-tidy when installed)
+#   1. tools/lint.py repo rules + tools/test_lint.py rule unit tests
+#      (+ clang-tidy when installed; with CI=1 a missing clang-tidy is a
+#      hard failure instead of a skip)
 #   2. tier-1: Release build + full ctest suite      (preset: release)
 #   3. bench-smoke: one bench run + BENCH_*.json schema validation
 #   4. perf-smoke: bench_micro_conv engine comparison; the batch-parallel
 #      conv engine must not be slower than the serial batch walk
-#   5. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
-#   6. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
-#   7. fault-smoke: fault suite re-run under TSan with a fixed
+#   5. alloc-smoke: bench_alloc_census per-phase allocation ratchet
+#      against the checked-in tools/alloc_budget.json (DESIGN §11)
+#   6. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
+#   7. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
+#   8. fault-smoke: fault suite re-run under TSan with a fixed
 #      EXACLIM_FAULTS spec (env-driven injection path, DESIGN §8)
 set -euo pipefail
 
@@ -29,9 +33,16 @@ run() {
 
 # ---- 1. lint -------------------------------------------------------------
 run python3 tools/lint.py
+run python3 tools/test_lint.py
 if command -v clang-tidy > /dev/null 2>&1; then
   run cmake --preset release
   run cmake --build --preset release --target tidy
+elif [[ "${CI:-0}" == 1 ]]; then
+  # On a real CI runner a missing clang-tidy means the tidy gate silently
+  # never ran — fail loudly there; locally a skip keeps ci.sh usable on
+  # machines without the LLVM toolchain.
+  echo "CI=1 but clang-tidy is not installed; the tidy gate cannot run" >&2
+  exit 1
 else
   echo "clang-tidy not installed; skipping the tidy stage"
 fi
@@ -66,26 +77,34 @@ run env EXACLIM_BENCH_DIR="$BENCH_DIR" \
   ./build/bench/bench_micro_gemm --benchmark_filter='-.*'
 run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_micro_gemm.json \
   --assert-le gflops_reference_conv gflops_packed_conv 1.0
+
+# ---- 5. alloc-smoke ------------------------------------------------------
+# Per-phase allocation census of a warmed-up training step, ratcheted
+# against the checked-in budget: steady-state allocation counts can only
+# go down without an explicit tools/alloc_budget.json edit.
+run env EXACLIM_BENCH_DIR="$BENCH_DIR" ./build/bench/bench_alloc_census
+run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_alloc_census.json
+run python3 tools/check_alloc_budget.py "$BENCH_DIR"/BENCH_alloc_census.json
 rm -rf "$BENCH_DIR"
 
 if [[ "$FAST" == 1 ]]; then
   echo
-  echo "ci.sh --fast: lint + tier-1 + bench-smoke + perf-smoke OK"
+  echo "ci.sh --fast: lint + tier-1 + bench-smoke + perf-smoke + alloc-smoke OK"
   exit 0
 fi
 
-# ---- 5. ASan + UBSan -----------------------------------------------------
+# ---- 6. ASan + UBSan -----------------------------------------------------
 run cmake --preset asan
 run cmake --build --preset asan -j "$JOBS"
 run env ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --preset asan -j "$JOBS"
 
-# ---- 6. TSan (stress-labelled tests) -------------------------------------
+# ---- 7. TSan (stress-labelled tests) -------------------------------------
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$JOBS"
 run env TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan -j "$JOBS"
 
-# ---- 7. fault-smoke ------------------------------------------------------
+# ---- 8. fault-smoke ------------------------------------------------------
 # Exercise the EXACLIM_FAULTS env path end to end under TSan: a rank
 # killed at launch (staging degrades around it) plus deterministic
 # producer faults (pipeline retries/skips). FaultSmoke asserts correct
@@ -95,4 +114,4 @@ run env TSAN_OPTIONS=halt_on_error=1 \
   ./build-tsan/tests/test_fault --gtest_filter='FaultSmoke.*'
 
 echo
-echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, asan+ubsan, tsan-stress, fault-smoke)"
+echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, alloc-smoke, asan+ubsan, tsan-stress, fault-smoke)"
