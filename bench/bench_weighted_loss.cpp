@@ -54,7 +54,8 @@ Outcome Run(const ClimateDataset& dataset, WeightingScheme scheme,
     const Batch batch = dataset.MakeBatch(DatasetSplit::kTrain, idx);
     if (precision == Precision::kFP16) {
       SegmentationLossOptions lo;
-      lo.class_weights = MakeClassWeights(freq, scheme);
+      const auto lo_weights = MakeClassWeights(freq, scheme);
+      lo.class_weights = lo_weights;
       lo.precision = Precision::kFP16;
       const Tensor logits = trainer.model().Forward(batch.fields, false);
       overflow +=
@@ -136,7 +137,8 @@ int Main() {
          {WeightingScheme::kInverse, WeightingScheme::kInverseSqrt}) {
       SegmentationLossOptions lo;
       lo.precision = Precision::kFP16;
-      lo.class_weights = MakeClassWeights(paper_freq, scheme);
+      const auto lo_weights = MakeClassWeights(paper_freq, scheme);
+      lo.class_weights = lo_weights;
       const auto r = WeightedSoftmaxCrossEntropy(logits, labels, lo);
       std::printf(
           "  paper imbalance, %-26s: %lld of 8 confidently-wrong TC "

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace exaclim {
+
+/// Non-owning reference to a callable: one data pointer plus one function
+/// pointer, trivially copyable, never touches the heap.
+///
+/// This is the parameter type of the fork/join dispatch surfaces
+/// (ThreadPool::ParallelFor, RunConvShards, the per-channel/per-plane
+/// helpers): they all block until every block has run, so the referenced
+/// callable outlives every invocation by construction. The implicit
+/// converting constructor keeps lambda call sites source-identical to the
+/// std::function signatures it replaced — minus the per-call closure
+/// allocation std::function needs once a capture outgrows its small
+/// buffer (DESIGN §12).
+///
+/// Do NOT store a FunctionRef beyond the callable's lifetime; it is a
+/// reference, not an owner.
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Null reference; calling it is undefined. Exists so POD task slots
+  /// can be default-constructed.
+  FunctionRef() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace exaclim

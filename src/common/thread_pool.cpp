@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <memory>
 
 #include "common/error.hpp"
 #include "common/sync.hpp"
@@ -23,35 +22,6 @@ struct ParallelRegionGuard {
   ~ParallelRegionGuard() { --tls_parallel_depth; }
   ParallelRegionGuard(const ParallelRegionGuard&) = delete;
   ParallelRegionGuard& operator=(const ParallelRegionGuard&) = delete;
-};
-
-/// Completion latch for one ParallelFor call. Heap-allocated and shared
-/// with every enqueued block so that a worker finishing the final block
-/// can still touch it after the caller's stack frame is gone — the caller
-/// may observe remaining == 0 and return while that worker is still
-/// inside NotifyAll (the classic waiting-destruction race; TSan flagged
-/// the stack-allocated predecessor).
-struct ForkJoinLatch {
-  Mutex mutex;
-  CondVar cv;
-  std::size_t remaining EXACLIM_GUARDED_BY(mutex);
-
-  explicit ForkJoinLatch(std::size_t n) : remaining(n) {}
-
-  void CountDown() EXACLIM_EXCLUDES(mutex) {
-    bool last = false;
-    {
-      MutexLock lock(mutex);
-      EXACLIM_DCHECK(remaining > 0, "latch counted below zero");
-      last = --remaining == 0;
-    }
-    if (last) cv.NotifyAll();
-  }
-
-  void Await() EXACLIM_EXCLUDES(mutex) {
-    MutexLock lock(mutex);
-    while (remaining != 0) cv.Wait(lock);
-  }
 };
 
 }  // namespace
@@ -80,31 +50,77 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::CheckQueueInvariants() const {
   EXACLIM_DCHECK(dequeued_ <= enqueued_,
                  "dequeued " << dequeued_ << " > enqueued " << enqueued_);
-  EXACLIM_DCHECK(tasks_.size() == enqueued_ - dequeued_,
-                 "queue holds " << tasks_.size() << " tasks but accounting "
-                                << "says " << (enqueued_ - dequeued_));
+  EXACLIM_DCHECK(ring_count_ == enqueued_ - dequeued_,
+                 "ring holds " << ring_count_ << " tasks but accounting "
+                               << "says " << (enqueued_ - dequeued_));
+  EXACLIM_DCHECK(ring_count_ <= ring_.size(),
+                 "ring count " << ring_count_ << " exceeds capacity "
+                               << ring_.size());
+}
+
+void ThreadPool::PushTask(const Task& task) {
+  if (ring_count_ == ring_.size()) {
+    // Capacity grow: the one allocating path, hit only until the ring
+    // reaches the working set's high-water mark. Re-normalise so the
+    // live tasks sit at [0, ring_count_) and head restarts at 0.
+    std::vector<Task> grown(std::max<std::size_t>(16, ring_.size() * 2));
+    for (std::size_t i = 0; i < ring_count_; ++i) {
+      grown[i] = ring_[(ring_head_ + i) % ring_.size()];
+    }
+    ring_.swap(grown);
+    ring_head_ = 0;
+  }
+  ring_[(ring_head_ + ring_count_) % ring_.size()] = task;
+  ++ring_count_;
+}
+
+void ThreadPool::RunBlock(const Task& task) {
+  {
+    ParallelRegionGuard region;
+    task.fn(task.lo, task.hi);
+  }
+  // After this fetch_sub the worker never touches the caller's stack
+  // again — the notify below only uses pool-owned members, so a caller
+  // observing remaining == 0 may safely return (and destroy the
+  // JoinCounter) while this thread is still inside NotifyAll. The
+  // acq_rel RMW chain makes every block's writes visible to the caller's
+  // acquire load in AwaitJoin.
+  if (task.join->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Taking join_mutex_ serialises with a waiter sitting between its
+    // predicate check and Wait(), so the notify cannot land in that
+    // window (no missed wakeup).
+    MutexLock lock(join_mutex_);
+    join_cv_.NotifyAll();
+  }
+}
+
+void ThreadPool::AwaitJoin(JoinCounter& join) {
+  MutexLock lock(join_mutex_);
+  while (join.remaining.load(std::memory_order_acquire) != 0) {
+    join_cv_.Wait(lock);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       MutexLock lock(mutex_);
-      while (!stop_ && tasks_.empty()) cv_.Wait(lock);
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      while (!stop_ && ring_count_ == 0) cv_.Wait(lock);
+      if (stop_ && ring_count_ == 0) return;
+      task = ring_[ring_head_];
+      ring_head_ = (ring_head_ + 1) % ring_.size();
+      --ring_count_;
       ++dequeued_;
       CheckQueueInvariants();
     }
-    task();
+    RunBlock(task);
   }
 }
 
-void ThreadPool::ParallelFor(
-    std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn,
-    std::size_t grain) {
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             FunctionRef<void(std::size_t, std::size_t)> fn,
+                             std::size_t grain) {
   if (begin >= end) return;
   if (tls_parallel_depth > 0) {
     // Nested call from inside a parallel block: run inline (see header).
@@ -113,15 +129,19 @@ void ThreadPool::ParallelFor(
   }
   const std::size_t total = end - begin;
   const std::size_t max_blocks = workers_.size() + 1;
-  const std::size_t blocks =
-      std::max<std::size_t>(1, std::min(max_blocks, total / std::max<std::size_t>(1, grain)));
+  const std::size_t blocks = std::max<std::size_t>(
+      1,
+      std::min(max_blocks, total / std::max<std::size_t>(1, grain)));
   if (blocks == 1) {
     fn(begin, end);
     return;
   }
 
   const std::size_t chunk = (total + blocks - 1) / blocks;
-  auto latch = std::make_shared<ForkJoinLatch>(blocks - 1);
+  // Stack rendezvous: AwaitJoin below keeps this frame (and whatever
+  // `fn` references) alive until every shipped block has finished.
+  JoinCounter join;
+  join.remaining.store(blocks - 1, std::memory_order_relaxed);
 
   {
     MutexLock lock(mutex_);
@@ -129,16 +149,7 @@ void ThreadPool::ParallelFor(
     for (std::size_t b = 1; b < blocks; ++b) {
       const std::size_t lo = begin + b * chunk;
       const std::size_t hi = std::min(end, lo + chunk);
-      // `fn` is captured by reference: Await() below keeps the caller's
-      // frame alive until every block has finished running it. The latch
-      // is captured by value so stragglers inside CountDown stay safe.
-      tasks_.push([&fn, latch, lo, hi] {
-        {
-          ParallelRegionGuard region;
-          fn(lo, hi);
-        }
-        latch->CountDown();
-      });
+      PushTask(Task{fn, lo, hi, &join});
       ++enqueued_;
     }
     CheckQueueInvariants();
@@ -150,7 +161,7 @@ void ThreadPool::ParallelFor(
     ParallelRegionGuard region;
     fn(begin, std::min(end, begin + chunk));
   }
-  latch->Await();
+  AwaitJoin(join);
 }
 
 bool ThreadPool::InParallelRegion() { return tls_parallel_depth > 0; }
@@ -170,7 +181,7 @@ ThreadPool& ThreadPool::Global() {
 }
 
 void ParallelFor(std::size_t begin, std::size_t end,
-                 const std::function<void(std::size_t, std::size_t)>& fn,
+                 FunctionRef<void(std::size_t, std::size_t)> fn,
                  std::size_t grain) {
   ThreadPool::Global().ParallelFor(begin, end, fn, grain);
 }

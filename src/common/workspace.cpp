@@ -1,13 +1,14 @@
 #include "common/workspace.hpp"
 
 #include <array>
-#include <vector>
+
+#include "common/pool.hpp"
 
 namespace exaclim {
 namespace {
 
 using SlotArray =
-    std::array<std::vector<float>,
+    std::array<PoolBuffer,
                static_cast<std::size_t>(ScratchSlot::kSlotCount)>;
 
 SlotArray& ThreadSlots() {
@@ -17,14 +18,31 @@ SlotArray& ThreadSlots() {
 
 }  // namespace
 
+const char* ScratchSlotName(ScratchSlot slot) {
+  switch (slot) {
+    case ScratchSlot::kGemmPackA: return "gemm.pack_a";
+    case ScratchSlot::kGemmPackB: return "gemm.pack_b";
+    case ScratchSlot::kGemmRefPanel: return "gemm.ref_panel";
+    case ScratchSlot::kLossProbs: return "loss.probs";
+    case ScratchSlot::kStagingDecode: return "staging.decode";
+    case ScratchSlot::kSlotCount: break;
+  }
+  return "?";
+}
+
 float* AcquireScratch(ScratchSlot slot, std::size_t elems) {
-  std::vector<float>& buf = ThreadSlots()[static_cast<std::size_t>(slot)];
-  if (buf.size() < elems) buf.resize(elems);
+  PoolBuffer& buf = ThreadSlots()[static_cast<std::size_t>(slot)];
+  if (buf.capacity() < elems || buf.null()) {
+    // Grow (or first touch, including elems == 0): request at least one
+    // element so the pool hands back a real block and the
+    // never-returns-nullptr contract holds.
+    buf = AcquirePoolBuffer(elems > 0 ? elems : 1);
+  }
   return buf.data();
 }
 
 std::size_t ScratchCapacity(ScratchSlot slot) {
-  return ThreadSlots()[static_cast<std::size_t>(slot)].size();
+  return ThreadSlots()[static_cast<std::size_t>(slot)].capacity();
 }
 
 }  // namespace exaclim

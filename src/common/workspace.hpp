@@ -4,24 +4,32 @@
 
 namespace exaclim {
 
-/// Thread-local scratch-buffer registry for the compute kernels.
+/// Thread-local named scratch streams over the pooled arena.
 ///
-/// Hot kernels (the packed GEMM engine, the reference GEMM panel walk)
-/// need large pack/panel buffers per ParallelFor task. Allocating them
-/// inside the task closure puts a malloc/free pair on every dispatch;
-/// instead each worker thread keeps one grow-only buffer per named slot,
-/// handed out by AcquireScratch(). Buffers persist for the lifetime of
-/// the thread and grow monotonically to the largest size requested — the
-/// same trade ConvWorkspace makes per layer (DESIGN §9), applied
-/// per thread.
+/// Hot kernels (the packed GEMM engine, the reference GEMM panel walk,
+/// the loss softmax) need per-task scratch buffers. Allocating them
+/// inside the task puts a malloc/free pair on every dispatch; instead
+/// each worker thread keeps one grow-only buffer per named stream,
+/// handed out by AcquireScratch(). The buffers are pooled PoolBuffer
+/// blocks (common/pool.hpp, DESIGN §12), so scratch draws from the same
+/// accounted arena as Tensor storage and the ConvWorkspace panels: a
+/// grow re-acquires from the next size bucket and returns the old block
+/// to the free-lists, and the pool gauges (pool.live_bytes etc.)
+/// include scratch bytes.
 ///
 /// Contracts:
 ///  * The returned pointer is valid until the next AcquireScratch on the
-///    same (thread, slot) with a larger size — callers must not hold a
-///    pointer across a re-acquire that may grow the buffer.
-///  * Slots are independent: acquiring one never moves another.
-///  * Contents are unspecified on acquire (previous use leaks through);
-///    kernels that need zeros must clear explicitly.
+///    same (thread, stream) with a size above the current capacity —
+///    callers must not hold a pointer across a re-acquire that may grow
+///    the buffer.
+///  * Streams are independent: acquiring one never moves another.
+///  * Contents are unspecified on acquire (previous use leaks through,
+///    and a grow does NOT copy the old contents); kernels that need
+///    zeros must clear explicitly.
+///  * AcquireScratch never returns nullptr — elems == 0 on a never-grown
+///    stream grows it to the smallest pool bucket, so the result is
+///    always a valid pointer (asserted in test_pool.cpp; previously the
+///    elems == 0 validity was unspecified).
 ///  * Thread-local by construction, so no locking and no false sharing;
 ///    a pointer must not be shared with other threads unless the owner
 ///    blocks until they finish (the fork/join pattern ParallelFor
@@ -30,13 +38,16 @@ enum class ScratchSlot {
   kGemmPackA = 0,   // MR-strip A panels of the packed GEMM engine
   kGemmPackB,       // NR-strip B panels of the packed GEMM engine
   kGemmRefPanel,    // op(B) panel of the reference (pre-PR5) kernel
+  kLossProbs,       // per-pixel softmax probabilities of the loss kernel
+  kStagingDecode,   // per-channel decode panel of the sample reader
   kSlotCount,
 };
 
+/// Human-readable stream name ("gemm.pack_a", ...), for diagnostics.
+const char* ScratchSlotName(ScratchSlot slot);
+
 /// Returns this thread's buffer for `slot`, grown to at least `elems`
-/// floats. Never returns nullptr; elems == 0 yields a valid (possibly
-/// empty-capacity) pointer only if the slot was grown before, so callers
-/// should pass their true size.
+/// floats (and at least one pool bucket). Never returns nullptr.
 float* AcquireScratch(ScratchSlot slot, std::size_t elems);
 
 /// Capacity (in floats) of this thread's buffer for `slot`; 0 before the

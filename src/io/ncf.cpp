@@ -171,15 +171,19 @@ std::vector<std::uint8_t> NcfReader::ReadPayload(const Entry& entry,
 
 std::vector<std::uint8_t> NcfReader::ReadPayloadUnlocked(
     const Entry& entry, std::size_t elem_size) const {
-  std::ifstream in(path_, std::ios::binary);
-  EXACLIM_CHECK(in.good(), "cannot open " << path_);
   std::vector<std::uint8_t> payload(
       static_cast<std::size_t>(entry.count) * elem_size);
-  in.seekg(entry.offset);
-  in.read(reinterpret_cast<char*>(payload.data()),
-          static_cast<std::streamsize>(payload.size()));
-  EXACLIM_CHECK(in.good(), "truncated payload for " << entry.name);
+  ReadRawUnlocked(entry, payload.data(), payload.size());
   return payload;
+}
+
+void NcfReader::ReadRawUnlocked(const Entry& entry, void* dst,
+                                std::size_t bytes) const {
+  std::ifstream in(path_, std::ios::binary);
+  EXACLIM_CHECK(in.good(), "cannot open " << path_);
+  in.seekg(entry.offset);
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+  EXACLIM_CHECK(in.good(), "truncated payload for " << entry.name);
 }
 
 std::vector<float> NcfReader::ReadFloat(const std::string& name) const {
@@ -188,6 +192,21 @@ std::vector<float> NcfReader::ReadFloat(const std::string& name) const {
   std::vector<float> data(static_cast<std::size_t>(entry.count));
   std::memcpy(data.data(), payload.data(), payload.size());
   return data;
+}
+
+void NcfReader::ReadFloatInto(const std::string& name,
+                              std::span<float> out) const {
+  const Entry& entry = Find(name, 0);
+  EXACLIM_CHECK(static_cast<std::int64_t>(out.size()) == entry.count,
+                "dataset " << name << " holds " << entry.count
+                           << " floats, caller provided " << out.size());
+  const std::size_t bytes = out.size() * sizeof(float);
+  if (use_global_lock_) {
+    MutexLock lock(NcfGlobalLock());
+    ReadRawUnlocked(entry, out.data(), bytes);
+    return;
+  }
+  ReadRawUnlocked(entry, out.data(), bytes);
 }
 
 std::vector<std::uint8_t> NcfReader::ReadBytes(const std::string& name) const {

@@ -57,6 +57,11 @@ class NcfReader {
   std::int64_t Count(const std::string& name) const;
 
   std::vector<float> ReadFloat(const std::string& name) const;
+  /// Decodes `name` directly into caller-provided storage (out.size()
+  /// must equal the dataset's element count) — no intermediate payload
+  /// vector, so the staging/decode path can read straight into pooled
+  /// tensor buffers.
+  void ReadFloatInto(const std::string& name, std::span<float> out) const;
   std::vector<std::uint8_t> ReadBytes(const std::string& name) const;
 
   std::int64_t file_bytes() const { return file_bytes_; }
@@ -74,6 +79,8 @@ class NcfReader {
                                         std::size_t elem_size) const;
   std::vector<std::uint8_t> ReadPayloadUnlocked(const Entry& entry,
                                                 std::size_t elem_size) const;
+  void ReadRawUnlocked(const Entry& entry, void* dst,
+                       std::size_t bytes) const;
 
   std::filesystem::path path_;
   bool use_global_lock_;

@@ -42,11 +42,12 @@ ClimateSample ReadSampleFile(const std::filesystem::path& path,
   sample.fields =
       Tensor(TensorShape{kNumClimateChannels, sample.height, sample.width});
   for (int c = 0; c < kNumClimateChannels; ++c) {
-    const auto data = reader.ReadFloat(std::string(ChannelName(c)));
-    EXACLIM_CHECK(static_cast<std::int64_t>(data.size()) == hw,
-                  "channel size mismatch in " << path);
-    std::memcpy(sample.fields.Raw() + c * hw, data.data(),
-                data.size() * sizeof(float));
+    // Decode straight into the pooled tensor buffer — no per-channel
+    // staging vector, so decode storage is arena-accounted.
+    reader.ReadFloatInto(
+        std::string(ChannelName(c)),
+        std::span<float>(sample.fields.Raw() + c * hw,
+                         static_cast<std::size_t>(hw)));
   }
   sample.truth = reader.ReadBytes("truth");
   if (reader.Has("labels")) sample.labels = reader.ReadBytes("labels");

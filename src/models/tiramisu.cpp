@@ -29,6 +29,11 @@ DenseBlock::DenseBlock(std::string name, const Options& opts, Rng& rng)
     feat_channels_.push_back(opts_.growth);
     in_c += opts_.growth;
   }
+  const std::size_t n_feats = feat_channels_.size();
+  feats_.resize(n_feats);
+  concat_ptrs_.reserve(n_feats);
+  feat_grads_.resize(n_feats);
+  split_scratch_.resize(n_feats);
 }
 
 TensorShape DenseBlock::OutputShape(const TensorShape& input) const {
@@ -40,21 +45,18 @@ TensorShape DenseBlock::OutputShape(const TensorShape& input) const {
 Tensor DenseBlock::Forward(const Tensor& input, bool train) {
   (void)OutputShape(input.shape());
   input_shape_ = input.shape();
-  std::vector<Tensor> feats;
-  feats.reserve(units_.size() + 1);
-  feats.push_back(input);
-  for (auto& unit : units_) {
-    std::vector<const Tensor*> ptrs;
-    ptrs.reserve(feats.size());
-    for (const Tensor& f : feats) ptrs.push_back(&f);
-    const Tensor concat_in = ConcatChannels(ptrs);
-    feats.push_back(unit->Forward(concat_in, train));
+  feats_[0] = input;  // copy-assign reuses the pooled buffer after warmup
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    concat_ptrs_.clear();
+    for (std::size_t f = 0; f <= i; ++f) concat_ptrs_.push_back(&feats_[f]);
+    const Tensor concat_in = ConcatChannels(concat_ptrs_);
+    feats_[i + 1] = units_[i]->Forward(concat_in, train);
   }
-  std::vector<const Tensor*> out_ptrs;
-  for (std::size_t i = opts_.include_input ? 0 : 1; i < feats.size(); ++i) {
-    out_ptrs.push_back(&feats[i]);
+  concat_ptrs_.clear();
+  for (std::size_t i = opts_.include_input ? 0 : 1; i < feats_.size(); ++i) {
+    concat_ptrs_.push_back(&feats_[i]);
   }
-  return ConcatChannels(out_ptrs);
+  return ConcatChannels(concat_ptrs_);
 }
 
 Tensor DenseBlock::Backward(const Tensor& grad_output) {
@@ -63,37 +65,35 @@ Tensor DenseBlock::Backward(const Tensor& grad_output) {
   EXACLIM_CHECK(grad_output.shape() == OutputShape(input_shape_),
                 name() << ": grad shape mismatch");
 
-  // Split the output gradient into per-feature gradients. feat_grads[0]
+  // Split the output gradient into per-feature gradients. feat_grads_[0]
   // is the block input's gradient (zero if the input was not emitted).
-  const std::size_t n_feats = feat_channels_.size();
-  std::vector<Tensor> feat_grads(n_feats);
+  // All split destinations are member scratch whose pooled buffers are
+  // recycled from the previous step.
+  const std::span<const std::int64_t> all_channels(feat_channels_);
+  const std::span<Tensor> all_grads(feat_grads_);
   if (opts_.include_input) {
-    auto parts = SplitChannels(grad_output, feat_channels_);
-    for (std::size_t i = 0; i < n_feats; ++i) {
-      feat_grads[i] = std::move(parts[i]);
-    }
+    SplitChannelsInto(grad_output, all_channels, all_grads);
   } else {
-    std::vector<std::int64_t> new_channels(feat_channels_.begin() + 1,
-                                           feat_channels_.end());
-    auto parts = SplitChannels(grad_output, new_channels);
-    feat_grads[0] = Tensor(input_shape_);
-    for (std::size_t i = 1; i < n_feats; ++i) {
-      feat_grads[i] = std::move(parts[i - 1]);
+    SplitChannelsInto(grad_output, all_channels.subspan(1),
+                      all_grads.subspan(1));
+    if (feat_grads_[0].shape() != input_shape_) {
+      feat_grads_[0] = Tensor(input_shape_);  // zero-filled
+    } else {
+      feat_grads_[0].SetZero();
     }
   }
 
   // Walk units in reverse: each unit's input was concat(feats[0..i]), so
   // its input gradient scatters back onto those features.
   for (std::size_t i = units_.size(); i-- > 0;) {
-    const Tensor unit_grad_in = units_[i]->Backward(feat_grads[i + 1]);
-    const std::span<const std::int64_t> in_channels(feat_channels_.data(),
-                                                    i + 1);
-    auto contributions = SplitChannels(unit_grad_in, in_channels);
+    const Tensor unit_grad_in = units_[i]->Backward(feat_grads_[i + 1]);
+    SplitChannelsInto(unit_grad_in, all_channels.first(i + 1),
+                      std::span<Tensor>(split_scratch_).first(i + 1));
     for (std::size_t j = 0; j <= i; ++j) {
-      feat_grads[j] += contributions[j];
+      feat_grads_[j] += split_scratch_[j];
     }
   }
-  return std::move(feat_grads[0]);
+  return std::move(feat_grads_[0]);
 }
 
 std::vector<Param*> DenseBlock::Params() {
@@ -257,20 +257,20 @@ Tensor Tiramisu::Forward(const Tensor& input, bool train) {
 
 Tensor Tiramisu::Backward(const Tensor& grad_output) {
   Tensor g = final_conv_->Backward(grad_output);
-  std::vector<Tensor> skip_grads(skips_.size());
+  skip_grads_.resize(skips_.size());  // capacity-stable after warmup
   for (std::size_t u = up_blocks_.size(); u-- > 0;) {
     const std::size_t skip_idx = ups_.size() - 1 - u;
     g = up_blocks_[u]->Backward(g);
-    const std::vector<std::int64_t> channels{
+    const std::array<std::int64_t, 2> channels{
         g.shape().c() - skip_channels_[skip_idx], skip_channels_[skip_idx]};
-    auto parts = SplitChannels(g, channels);
-    skip_grads[skip_idx] = std::move(parts[1]);
-    g = ups_[u]->Backward(parts[0]);
+    SplitChannelsInto(g, channels, up_split_);
+    skip_grads_[skip_idx] = std::move(up_split_[1]);
+    g = ups_[u]->Backward(up_split_[0]);
   }
   g = bottleneck_->Backward(g);
   for (std::size_t i = down_blocks_.size(); i-- > 0;) {
     g = downs_[i]->Backward(g);
-    g += skip_grads[i];
+    g += skip_grads_[i];
     g = down_blocks_[i]->Backward(g);
   }
   return first_conv_->Backward(g);

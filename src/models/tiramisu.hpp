@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -47,6 +48,15 @@ class DenseBlock : public Layer {
   std::vector<std::unique_ptr<Sequential>> units_;
   std::vector<std::int64_t> feat_channels_;  // input + per-unit growth
   TensorShape input_shape_;
+
+  // Per-step scratch, sized once in the constructor and reused every
+  // Forward/Backward so the steady-state step performs no heap
+  // allocation (DESIGN §12): the tensors recycle their pooled buffers
+  // via SplitChannelsInto / copy-assign capacity reuse.
+  std::vector<Tensor> feats_;               // input + per-unit outputs
+  std::vector<const Tensor*> concat_ptrs_;  // ConcatChannels argument
+  std::vector<Tensor> feat_grads_;          // per-feature gradients
+  std::vector<Tensor> split_scratch_;       // unit input-grad split parts
 };
 
 /// Tiramisu transition down: BN-ReLU-1×1 conv-dropout-2×2 max pool.
@@ -112,6 +122,10 @@ class Tiramisu : public Layer {
 
   std::vector<std::int64_t> skip_channels_;
   std::vector<Tensor> skips_;  // saved during Forward for the up path
+
+  // Per-step scratch (see DenseBlock): reused across Backward calls.
+  std::vector<Tensor> skip_grads_;
+  std::array<Tensor, 2> up_split_;  // [new-features grad, skip grad]
 };
 
 }  // namespace exaclim

@@ -40,28 +40,40 @@ Tensor ConcatChannels(const Tensor& a, const Tensor& b) {
   return ConcatChannels(std::span<const Tensor* const>(inputs));
 }
 
-std::vector<Tensor> SplitChannels(const Tensor& grad,
-                                  std::span<const std::int64_t> channels) {
+void SplitChannelsInto(const Tensor& grad,
+                       std::span<const std::int64_t> channels,
+                       std::span<Tensor> out) {
   const TensorShape& s = grad.shape();
   EXACLIM_CHECK(s.rank() == 4, "split requires rank-4");
+  EXACLIM_CHECK(out.size() == channels.size(),
+                "split output count " << out.size() << " != channel count "
+                                      << channels.size());
   std::int64_t total = 0;
   for (auto c : channels) total += c;
   EXACLIM_CHECK(total == s.c(), "split channels " << total
                                                   << " != tensor C " << s.c());
-  std::vector<Tensor> parts;
-  parts.reserve(channels.size());
   const std::int64_t hw = s.h() * s.w();
   std::int64_t c_off = 0;
-  for (auto c : channels) {
-    Tensor part(TensorShape::NCHW(s.n(), c, s.h(), s.w()));
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const std::int64_t c = channels[i];
+    const TensorShape part_shape = TensorShape::NCHW(s.n(), c, s.h(), s.w());
+    // Reuse the destination's buffer when the shape already matches —
+    // every element is overwritten below, so skipping the reconstruction
+    // (and its zero-fill) changes nothing.
+    if (out[i].shape() != part_shape) out[i] = Tensor(part_shape);
     for (std::int64_t n = 0; n < s.n(); ++n) {
-      std::memcpy(part.Raw() + n * c * hw,
+      std::memcpy(out[i].Raw() + n * c * hw,
                   grad.Raw() + (n * s.c() + c_off) * hw,
                   sizeof(float) * static_cast<std::size_t>(c * hw));
     }
-    parts.push_back(std::move(part));
     c_off += c;
   }
+}
+
+std::vector<Tensor> SplitChannels(const Tensor& grad,
+                                  std::span<const std::int64_t> channels) {
+  std::vector<Tensor> parts(channels.size());
+  SplitChannelsInto(grad, channels, parts);
   return parts;
 }
 

@@ -18,6 +18,15 @@ Tensor ConcatChannels(const Tensor& a, const Tensor& b);
 std::vector<Tensor> SplitChannels(const Tensor& grad,
                                   std::span<const std::int64_t> channels);
 
+/// Allocation-reusing form of SplitChannels: writes part i into out[i],
+/// recycling out[i]'s pooled buffer when its shape already matches
+/// (which it does from the second training step on — DenseBlock and
+/// Tiramisu keep the destination tensors as member scratch).
+/// out.size() must equal channels.size().
+void SplitChannelsInto(const Tensor& grad,
+                       std::span<const std::int64_t> channels,
+                       std::span<Tensor> out);
+
 /// Extracts a channel range [begin, begin+count) as its own tensor.
 Tensor SliceChannels(const Tensor& input, std::int64_t begin,
                      std::int64_t count);

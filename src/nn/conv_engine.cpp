@@ -58,7 +58,7 @@ ConvShardRange ShardImageRange(std::int64_t n, std::int64_t shards,
 }
 
 void RunConvShards(std::int64_t shards,
-                   const std::function<void(std::int64_t)>& fn) {
+                   FunctionRef<void(std::int64_t)> fn) {
   // Census over the whole shard run (workers included): in a warmed-up
   // step this should be near zero — the workspace and pack scratch are
   // grow-only — so conv.shards is the first place arena regressions show.
@@ -68,14 +68,12 @@ void RunConvShards(std::int64_t shards,
     for (std::int64_t s = 0; s < shards; ++s) fn(s);
     return;
   }
-  ParallelFor(
-      0, static_cast<std::size_t>(shards),
-      [&](std::size_t lo, std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) {
-          fn(static_cast<std::int64_t>(s));
-        }
-      },
-      /*grain=*/1);
+  const auto run_range = [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      fn(static_cast<std::int64_t>(s));
+    }
+  };
+  ParallelFor(0, static_cast<std::size_t>(shards), run_range, /*grain=*/1);
 }
 
 void ConvWorkspace::Configure(std::int64_t shards, std::int64_t col_elems,
@@ -93,10 +91,17 @@ void ConvWorkspace::Configure(std::int64_t shards, std::int64_t col_elems,
   grad_col_elems_ = grad_col_elems;
   weight_elems_ = weight_elems;
   bias_elems_ = bias_elems;
-  col_.resize(static_cast<std::size_t>(shards * col_elems));
-  grad_col_.resize(static_cast<std::size_t>(shards * grad_col_elems));
-  weight_grad_.resize(static_cast<std::size_t>(shards * weight_elems));
-  bias_grad_.resize(static_cast<std::size_t>(shards * bias_elems));
+  // Re-acquire only families that no longer fit: the old block returns
+  // to the arena free-lists and a same-bucket layer elsewhere reuses it.
+  const auto fit = [](PoolBuffer& buf, std::int64_t elems) {
+    if (static_cast<std::size_t>(elems) > buf.capacity()) {
+      buf = AcquirePoolBuffer(static_cast<std::size_t>(elems));
+    }
+  };
+  fit(col_, shards * col_elems);
+  fit(grad_col_, shards * grad_col_elems);
+  fit(weight_grad_, shards * weight_elems);
+  fit(bias_grad_, shards * bias_elems);
 }
 
 float* ConvWorkspace::Col(std::int64_t shard) {
@@ -116,13 +121,12 @@ float* ConvWorkspace::BiasGrad(std::int64_t shard) {
 }
 
 void ConvWorkspace::ZeroGradAccumulators() {
-  if (!weight_grad_.empty()) {
-    std::memset(weight_grad_.data(), 0,
-                weight_grad_.size() * sizeof(float));
-  }
-  if (!bias_grad_.empty()) {
-    std::memset(bias_grad_.data(), 0, bias_grad_.size() * sizeof(float));
-  }
+  const std::size_t weight_bytes =
+      static_cast<std::size_t>(shards_ * weight_elems_) * sizeof(float);
+  if (weight_bytes > 0) std::memset(weight_grad_.data(), 0, weight_bytes);
+  const std::size_t bias_bytes =
+      static_cast<std::size_t>(shards_ * bias_elems_) * sizeof(float);
+  if (bias_bytes > 0) std::memset(bias_grad_.data(), 0, bias_bytes);
 }
 
 namespace {

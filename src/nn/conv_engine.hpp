@@ -11,8 +11,9 @@
 // from inside a shard run inline via the pool's nesting policy.
 
 #include <cstdint>
-#include <functional>
-#include <vector>
+
+#include "common/function_ref.hpp"
+#include "common/pool.hpp"
 
 namespace exaclim {
 
@@ -46,13 +47,15 @@ ConvShardRange ShardImageRange(std::int64_t n, std::int64_t shards,
 /// shard touches only its own workspace slot, so the modes differ only in
 /// scheduling.
 void RunConvShards(std::int64_t shards,
-                   const std::function<void(std::int64_t)>& fn);
+                   FunctionRef<void(std::int64_t)> fn);
 
 /// Reusable per-layer workspace for the im2col lowering: per-shard
 /// col / grad-col panels plus per-shard weight/bias gradient
-/// accumulators. Buffers are sized once per (geometry, shard-count) and
-/// reused across Forward/Backward calls — the per-call std::vector
-/// allocations this replaces dominated small-GEMM conv layers.
+/// accumulators. Buffers are pooled blocks (common/pool.hpp), sized once
+/// per (geometry, shard-count) and reused across Forward/Backward calls
+/// — the per-call allocations this replaces dominated small-GEMM conv
+/// layers, and a geometry change recycles the old panels through the
+/// arena free-lists instead of the heap.
 class ConvWorkspace {
  public:
   /// (Re)sizes the buffers; cheap no-op when nothing changed. Element
@@ -84,10 +87,10 @@ class ConvWorkspace {
   std::int64_t grad_col_elems_ = 0;
   std::int64_t weight_elems_ = 0;
   std::int64_t bias_elems_ = 0;
-  std::vector<float> col_;
-  std::vector<float> grad_col_;
-  std::vector<float> weight_grad_;
-  std::vector<float> bias_grad_;
+  PoolBuffer col_;
+  PoolBuffer grad_col_;
+  PoolBuffer weight_grad_;
+  PoolBuffer bias_grad_;
 };
 
 }  // namespace exaclim

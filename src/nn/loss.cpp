@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/half.hpp"
+#include "common/workspace.hpp"
 
 namespace exaclim {
 
@@ -56,7 +57,10 @@ SegmentationLossResult WeightedSoftmaxCrossEntropy(
 
   double loss_acc = 0.0;
   std::int64_t correct = 0;
-  std::vector<float> probs(static_cast<std::size_t>(c));
+  // Pooled scratch stream, not a local vector: the loss runs once per
+  // step and must not allocate in steady state (DESIGN §12).
+  float* probs = AcquireScratch(ScratchSlot::kLossProbs,
+                                static_cast<std::size_t>(c));
 
   for (std::int64_t b = 0; b < n; ++b) {
     const float* logit_base = logits.Raw() + b * c * hw;

@@ -22,7 +22,11 @@ std::vector<float> MakeClassWeights(std::span<const double> frequencies,
                                     WeightingScheme scheme);
 
 struct SegmentationLossOptions {
-  std::vector<float> class_weights;  // size C; empty = unweighted
+  /// Size C; empty = unweighted. Non-owning view: the caller keeps the
+  /// weight storage alive for the duration of the loss call (binding a
+  /// named vector — e.g. RankTrainer's class_weights_ member — avoids a
+  /// per-step copy; binding a temporary vector dangles).
+  std::span<const float> class_weights;
   Precision precision = Precision::kFP32;
   /// Gradient multiplier for FP16 loss scaling; the optimizer divides the
   /// applied update by the same factor.

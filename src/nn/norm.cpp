@@ -12,7 +12,7 @@ namespace {
 /// tasks and each channel's reduction order is unchanged from the serial
 /// loop — results are scheduling-invariant.
 void ForEachChannel(std::int64_t channels,
-                    const std::function<void(std::int64_t)>& fn) {
+                    FunctionRef<void(std::int64_t)> fn) {
   ParallelFor(
       0, static_cast<std::size_t>(channels),
       [&](std::size_t lo, std::size_t hi) {

@@ -11,7 +11,7 @@ namespace {
 /// plane is independent, writes are disjoint and each plane's reduction
 /// stays within one task, so results are scheduling-invariant.
 void ForEachPlane(std::int64_t planes,
-                  const std::function<void(std::int64_t)>& fn) {
+                  FunctionRef<void(std::int64_t)> fn) {
   ParallelFor(
       0, static_cast<std::size_t>(planes),
       [&](std::size_t lo, std::size_t hi) {

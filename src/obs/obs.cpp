@@ -7,6 +7,7 @@
 
 #include "common/alloc_tracker.hpp"
 #include "common/fault.hpp"
+#include "common/pool.hpp"
 #include "common/logging.hpp"
 #include "common/sync.hpp"
 
@@ -38,6 +39,13 @@ void AllocSinkToRegistry(const char* name, double value) {
   if (Gauge* g = GaugeOrNull(name)) g->Set(value);
 }
 
+// And for the memory pool (common/pool.hpp): PublishPoolMetrics pushes
+// pool.live_bytes / pool.peak_live_bytes / pool.hit_count /
+// pool.miss_count gauges through this hook once per training step.
+void PoolSinkToRegistry(const char* name, double value) {
+  if (Gauge* g = GaugeOrNull(name)) g->Set(value);
+}
+
 }  // namespace
 
 void Enable(const Options& options) {
@@ -54,6 +62,7 @@ void Enable(const Options& options) {
   // registry, and fault/alloc metrics must survive Enable/Disable cycles.
   SetFaultMetricSink(&FaultSinkToRegistry);
   SetAllocMetricSink(&AllocSinkToRegistry);
+  SetPoolMetricSink(&PoolSinkToRegistry);
 }
 
 void Disable() {

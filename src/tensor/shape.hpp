@@ -1,10 +1,10 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <initializer_list>
-#include <numeric>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "common/error.hpp"
 
@@ -13,35 +13,43 @@ namespace exaclim {
 /// Dense row-major tensor shape. Activations follow the NCHW convention
 /// throughout (batch, channels, height, width), matching the layout the
 /// paper's cuDNN kernels used.
+///
+/// Dims live inline (fixed-capacity array, no heap): every layer builds
+/// shapes on each Forward/Backward, so a heap-backed dims vector would
+/// put allocations on the steady-state step path the pool is designed to
+/// keep empty (DESIGN §12).
 class TensorShape {
  public:
+  /// More than enough for NCHW plus a margin; constructing a shape with
+  /// higher rank throws.
+  static constexpr std::size_t kMaxRank = 6;
+
   TensorShape() = default;
-  TensorShape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
-    Validate();
+  TensorShape(std::initializer_list<std::int64_t> dims) {
+    Assign(std::span<const std::int64_t>(dims.begin(), dims.size()));
   }
-  explicit TensorShape(std::vector<std::int64_t> dims)
-      : dims_(std::move(dims)) {
-    Validate();
-  }
+  explicit TensorShape(std::span<const std::int64_t> dims) { Assign(dims); }
 
   static TensorShape NCHW(std::int64_t n, std::int64_t c, std::int64_t h,
                           std::int64_t w) {
     return TensorShape{n, c, h, w};
   }
 
-  std::size_t rank() const { return dims_.size(); }
+  std::size_t rank() const { return rank_; }
   std::int64_t dim(std::size_t i) const {
-    EXACLIM_CHECK(i < dims_.size(), "dim index " << i << " out of rank "
-                                                 << dims_.size());
+    EXACLIM_CHECK(i < rank_, "dim index " << i << " out of rank " << rank_);
     return dims_[i];
   }
   std::int64_t operator[](std::size_t i) const { return dim(i); }
 
-  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::span<const std::int64_t> dims() const {
+    return {dims_.data(), rank_};
+  }
 
   std::int64_t NumElements() const {
-    return std::accumulate(dims_.begin(), dims_.end(), std::int64_t{1},
-                           std::multiplies<>());
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
   }
 
   // NCHW accessors (valid for rank-4 shapes).
@@ -51,7 +59,11 @@ class TensorShape {
   std::int64_t w() const { return dim(3); }
 
   bool operator==(const TensorShape& other) const {
-    return dims_ == other.dims_;
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
   }
   bool operator!=(const TensorShape& other) const {
     return !(*this == other);
@@ -59,7 +71,7 @@ class TensorShape {
 
   std::string ToString() const {
     std::string out = "[";
-    for (std::size_t i = 0; i < dims_.size(); ++i) {
+    for (std::size_t i = 0; i < rank_; ++i) {
       if (i) out += ",";
       out += std::to_string(dims_[i]);
     }
@@ -67,13 +79,19 @@ class TensorShape {
   }
 
  private:
-  void Validate() const {
-    for (auto d : dims_) {
-      EXACLIM_CHECK(d >= 0, "negative dimension in shape");
+  void Assign(std::span<const std::int64_t> dims) {
+    EXACLIM_CHECK(dims.size() <= kMaxRank,
+                  "shape rank " << dims.size() << " exceeds max "
+                                << kMaxRank);
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      EXACLIM_CHECK(dims[i] >= 0, "negative dimension in shape");
+      dims_[i] = dims[i];
     }
+    rank_ = dims.size();
   }
 
-  std::vector<std::int64_t> dims_;
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
 };
 
 }  // namespace exaclim

@@ -2,6 +2,7 @@
 
 #include "common/alloc_tracker.hpp"
 #include "common/error.hpp"
+#include "common/pool.hpp"
 #include "common/sync.hpp"
 #include "obs/obs.hpp"
 
@@ -136,6 +137,8 @@ RankTrainer::StepResult RankTrainer::Step(const Batch& batch,
   if (!apply) {
     if (auto* c = obs::CounterOrNull("step.skipped")) c->Increment();
   }
+  // Arena gauges (pool.live_bytes etc.); no-op without an installed sink.
+  PublishPoolMetrics();
   return result;
 }
 

@@ -80,16 +80,6 @@ class RankTrainer {
   /// process, no gradient exchange).
   StepResult Step(const Batch& batch, Communicator* comm = nullptr);
 
-  /// Deprecated: use Step(batch, &comm). Thin forwarding wrapper kept so
-  /// existing callers keep compiling.
-  StepResult Step(Communicator& comm, const Batch& batch) {
-    return Step(batch, &comm);
-  }
-
-  /// Deprecated: use Step(batch). Thin forwarding wrapper kept so
-  /// existing callers keep compiling.
-  StepResult StepLocal(const Batch& batch) { return Step(batch); }
-
   /// Runs inference over up to `max_samples` of a split, accumulating a
   /// confusion matrix (mean IoU is the Sec VII-D metric).
   ConfusionMatrix Evaluate(const ClimateDataset& dataset, DatasetSplit split,

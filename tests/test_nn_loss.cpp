@@ -82,8 +82,9 @@ TEST(WeightedLoss, GradientMatchesFiniteDifference) {
   Tensor logits = RandomLogits(n, c, h, w, 5);
   const auto labels = RandomLabels(n * h * w, c, 6);
   SegmentationLossOptions opts;
-  opts.class_weights =
+  const auto weights =
       MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverseSqrt);
+  opts.class_weights = weights;
 
   const auto res = WeightedSoftmaxCrossEntropy(logits, labels, opts);
   const double eps = 1e-3;
@@ -141,7 +142,10 @@ TEST(WeightedLoss, WeightingScalesPerClassContribution) {
   Tensor logits = Tensor::Zeros(TensorShape::NCHW(1, 3, 1, 3));
   const std::vector<std::uint8_t> labels{0, 1, 2};
   SegmentationLossOptions opts;
-  opts.class_weights = {1.0f, 10.0f, 100.0f};
+  // class_weights is a non-owning span: bind a named local, not a
+  // temporary initializer list.
+  const std::vector<float> weights{1.0f, 10.0f, 100.0f};
+  opts.class_weights = weights;
   const auto res = WeightedSoftmaxCrossEntropy(logits, labels, opts);
   EXPECT_NEAR(res.loss, std::log(3.0) * (1 + 10 + 100) / 3.0, 1e-4);
 }
@@ -175,14 +179,16 @@ TEST(WeightedLoss, FP16InverseWeightsOverflowButSqrtDoesNot) {
 
   SegmentationLossOptions inv;
   inv.precision = Precision::kFP16;
-  inv.class_weights =
+  const auto inv_weights =
       MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverse);
+  inv.class_weights = inv_weights;
   const auto r_inv = WeightedSoftmaxCrossEntropy(logits, labels, inv);
   EXPECT_GT(r_inv.nonfinite_loss_count, 0);  // 1000 * 80 > 65504
 
   SegmentationLossOptions sqrt_opts = inv;
-  sqrt_opts.class_weights =
+  const auto sqrt_weights =
       MakeClassWeights(kPaperFrequencies, WeightingScheme::kInverseSqrt);
+  sqrt_opts.class_weights = sqrt_weights;
   const auto r_sqrt = WeightedSoftmaxCrossEntropy(logits, labels, sqrt_opts);
   EXPECT_EQ(r_sqrt.nonfinite_loss_count, 0);  // 31.6 * 80 well in range
 }
@@ -211,7 +217,8 @@ TEST(WeightedLoss, RejectsBadShapes) {
                    logits, std::vector<std::uint8_t>(3, 0), {}),
                Error);
   SegmentationLossOptions opts;
-  opts.class_weights = {1.0f, 2.0f};  // wrong size
+  const std::vector<float> bad_weights{1.0f, 2.0f};  // wrong size
+  opts.class_weights = bad_weights;
   EXPECT_THROW(WeightedSoftmaxCrossEntropy(
                    logits, std::vector<std::uint8_t>(4, 0), opts),
                Error);

@@ -192,8 +192,10 @@ TEST_P(LossWeightingSchemes, GradientMatchesFiniteDifference) {
   const WeightingScheme scheme = GetParam();
   const std::array<double, 3> freq{0.9, 0.08, 0.02};
   SegmentationLossOptions opts;
+  std::vector<float> weights;  // named: class_weights is a non-owning span
   if (scheme != WeightingScheme::kNone) {
-    opts.class_weights = MakeClassWeights(freq, scheme);
+    weights = MakeClassWeights(freq, scheme);
+    opts.class_weights = weights;
   }
   Rng lrng(42);
   Tensor logits =

@@ -12,8 +12,9 @@
 #   3. bench-smoke: one bench run + BENCH_*.json schema validation
 #   4. perf-smoke: bench_micro_conv engine comparison; the batch-parallel
 #      conv engine must not be slower than the serial batch walk
-#   5. alloc-smoke: bench_alloc_census per-phase allocation ratchet
-#      against the checked-in tools/alloc_budget.json (DESIGN §11)
+#   5. alloc-smoke: bench_alloc_census per-phase allocation ratchet,
+#      pooled (tools/alloc_budget.json, all budgets 0) and with
+#      EXACLIM_POOL=off (tools/alloc_budget_pool_off.json) — DESIGN §11/§12
 #   6. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
 #   7. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
 #   8. fault-smoke: fault suite re-run under TSan with a fixed
@@ -79,12 +80,20 @@ run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_micro_gemm.json \
   --assert-le gflops_reference_conv gflops_packed_conv 1.0
 
 # ---- 5. alloc-smoke ------------------------------------------------------
-# Per-phase allocation census of a warmed-up training step, ratcheted
-# against the checked-in budget: steady-state allocation counts can only
-# go down without an explicit tools/alloc_budget.json edit.
+# Per-phase allocation census of a warmed-up training step, run in both
+# arena configurations and ratcheted against the matching checked-in
+# budget. Pooled (the default): every phase budget is 0 — a warmed-up
+# step must not touch the heap at all (DESIGN §12). EXACLIM_POOL=off
+# (the escape hatch): exact-size heap tensors, ratcheted by
+# tools/alloc_budget_pool_off.json so the bisection path stays healthy.
+# The census json is overwritten between runs, so check pooled first.
 run env EXACLIM_BENCH_DIR="$BENCH_DIR" ./build/bench/bench_alloc_census
 run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_alloc_census.json
 run python3 tools/check_alloc_budget.py "$BENCH_DIR"/BENCH_alloc_census.json
+run env EXACLIM_BENCH_DIR="$BENCH_DIR" EXACLIM_POOL=off \
+  ./build/bench/bench_alloc_census
+run python3 tools/check_alloc_budget.py "$BENCH_DIR"/BENCH_alloc_census.json \
+  tools/alloc_budget_pool_off.json
 rm -rf "$BENCH_DIR"
 
 if [[ "$FAST" == 1 ]]; then

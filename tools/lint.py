@@ -424,6 +424,28 @@ class HotPathAllocRule(Rule):
                     "hoist the buffer into a workspace/scratch slot")
 
 
+class HotPathVectorRule(Rule):
+    id = "hot-path-vector"
+    doc = ("no direct `std::vector<float>` declarations in files listed "
+           "in tools/hot_path_manifest.txt — hot-path float buffers must "
+           "come from the pooled arena (PoolBuffer / AcquireScratch, "
+           "DESIGN §12), not ad-hoc heap vectors.")
+
+    RE = re.compile(r"\bstd::vector\s*<\s*float\s*>")
+
+    def check(self, ctx: FileContext, linter: Linter) -> None:
+        if not ctx.in_hot_manifest:
+            return
+        for lineno, code in enumerate(ctx.code_lines, 1):
+            m = self.RE.search(code)
+            if m:
+                linter.report_line(
+                    ctx, lineno, self.id,
+                    "`std::vector<float>` in a hot-path manifest file; "
+                    "use PoolBuffer or AcquireScratch so the buffer is "
+                    "arena-pooled")
+
+
 class EnvPrefixRule(Rule):
     id = "env-prefix"
     doc = ("all getenv names must start with EXACLIM_ so every knob is "
@@ -472,6 +494,7 @@ RULES: list[Rule] = [
     IncludePathRule(),
     GuardedIncludeRule(),
     HotPathAllocRule(),
+    HotPathVectorRule(),
     EnvPrefixRule(),
     AllocGuardIncludeRule(),
 ]

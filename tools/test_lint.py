@@ -51,7 +51,8 @@ class RegistryTest(unittest.TestCase):
             {r.id for r in lint.RULES},
             {"pragma-once", "endl", "raw-mutex", "naked-new",
              "unbounded-recv", "include-path", "guarded-include",
-             "hot-path-alloc", "env-prefix", "alloc-guard-include"})
+             "hot-path-alloc", "hot-path-vector", "env-prefix",
+             "alloc-guard-include"})
 
 
 class PragmaOnceTest(unittest.TestCase):
@@ -255,6 +256,38 @@ class HotPathAllocTest(unittest.TestCase):
                       "v.resize(8);  // lint:allow(hot-path-alloc)\n"
                       "// hot-path: end\n"})
         self.assertNotIn("hot-path-alloc", rules_fired(f))
+
+
+class HotPathVectorTest(unittest.TestCase):
+    def test_manifest_file_fires(self):
+        f = run_lint({"src/kernel.cpp":
+                      "void f() { std::vector<float> tmp(8); }\n"},
+                     hot_manifest={"src/kernel.cpp"})
+        self.assertIn("hot-path-vector", rules_fired(f))
+
+    def test_non_manifest_file_clean(self):
+        f = run_lint({"src/a.cpp":
+                      "void f() { std::vector<float> tmp(8); }\n"})
+        self.assertNotIn("hot-path-vector", rules_fired(f))
+
+    def test_other_element_type_clean(self):
+        f = run_lint({"src/kernel.cpp":
+                      "void f() { std::vector<int> tmp(8); }\n"},
+                     hot_manifest={"src/kernel.cpp"})
+        self.assertNotIn("hot-path-vector", rules_fired(f))
+
+    def test_comment_ignored(self):
+        f = run_lint({"src/kernel.cpp":
+                      "// the old std::vector<float> member\nint x;\n"},
+                     hot_manifest={"src/kernel.cpp"})
+        self.assertNotIn("hot-path-vector", rules_fired(f))
+
+    def test_suppressed(self):
+        f = run_lint({"src/kernel.cpp":
+                      "std::vector<float> tmp(8);"
+                      "  // lint:allow(hot-path-vector)\n"},
+                     hot_manifest={"src/kernel.cpp"})
+        self.assertNotIn("hot-path-vector", rules_fired(f))
 
 
 class EnvPrefixTest(unittest.TestCase):
