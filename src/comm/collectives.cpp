@@ -1,6 +1,7 @@
 #include "comm/collectives.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 
@@ -11,23 +12,134 @@ void AddInto(std::span<float> acc, std::span<const float> other) {
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
 }
 
+/// Builds the failure result for a receive that did not complete. A
+/// kTimeout while waiting on a *live* neighbour is usually a cascade —
+/// that neighbour is itself stuck on the dead rank — so scan liveness
+/// and name the actual culprit instead of the messenger.
+CollectiveResult Fail(Communicator& comm, int waited_src,
+                      RecvStatus status) {
+  CollectiveResult result;
+  result.suspect_rank = waited_src;
+  result.status = status == RecvStatus::kPeerDead
+                      ? CollectiveStatus::kPeerDead
+                      : CollectiveStatus::kTimeout;
+  if (result.status == CollectiveStatus::kTimeout) {
+    for (int r = 0; r < comm.size(); ++r) {
+      if (comm.PeerDead(r)) {
+        result.status = CollectiveStatus::kPeerDead;
+        result.suspect_rank = r;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+/// How often a waiting rank re-checks liveness. A world collective can
+/// only complete if every rank participates, so a death *anywhere*
+/// should fail it promptly — not after the whole deadline — even when
+/// this rank's wait edge is with a live peer that is itself stuck on
+/// the dead rank (e.g. the far side of a broken ring).
+constexpr double kDeadScanSlice = 0.025;
+
+/// Receive from `src` in short slices, scanning the world for dead
+/// ranks in between. On the healthy path this consumes exactly the same
+/// messages as one long wait; on a death it returns kPeerDead within
+/// one slice with `src` set to the culprit.
+RecvResult RecvScanningForDead(Communicator& comm, int src, int tag,
+                               const Deadline& deadline) {
+  for (;;) {
+    const double remaining = deadline.Remaining();
+    const double slice = remaining == kNoTimeout
+                             ? kDeadScanSlice
+                             : std::min(kDeadScanSlice, remaining);
+    RecvResult r = comm.RecvTimeout(src, tag, slice);
+    if (r.status == RecvStatus::kPeerDead) {
+      r.src = src;
+      return r;
+    }
+    if (r.status == RecvStatus::kOk) return r;
+    for (int rank = 0; rank < comm.size(); ++rank) {
+      if (comm.PeerDead(rank)) {
+        r.status = RecvStatus::kPeerDead;
+        r.src = rank;
+        return r;
+      }
+    }
+    if (deadline.Expired()) return r;
+  }
+}
+
+/// Timed receive of exactly data.size() floats from src. kOk fills
+/// `data`; anything else leaves it untouched and reports the suspect.
+CollectiveResult TimedRecvFloats(Communicator& comm, int src, int tag,
+                                 std::span<float> data,
+                                 const Deadline& deadline) {
+  RecvResult r = RecvScanningForDead(comm, src, tag, deadline);
+  if (!r.ok()) {
+    return Fail(comm, r.status == RecvStatus::kPeerDead ? r.src : src,
+                r.status);
+  }
+  EXACLIM_CHECK(r.payload.size() == data.size() * sizeof(float),
+                "collective recv size mismatch: got "
+                    << r.payload.size() << " expected "
+                    << data.size() * sizeof(float) << " (tag " << tag
+                    << ")");
+  if (!r.payload.empty()) {
+    std::memcpy(data.data(), r.payload.data(), r.payload.size());
+  }
+  return {};
+}
+
+/// Throws on a failed blocking collective — the pre-elastic contract
+/// (unbounded Recv from a dead peer threw exaclim::Error).
+void Require(Communicator& comm, const char* what,
+             const CollectiveResult& result) {
+  EXACLIM_CHECK(result.ok(),
+                "rank " << comm.rank() << ": blocking " << what
+                        << " cannot complete: rank " << result.suspect_rank
+                        << (result.status == CollectiveStatus::kPeerDead
+                                ? " is dead"
+                                : " is unresponsive"));
+}
+
 }  // namespace
 
-void Barrier(Communicator& comm, int tag) {
+const char* ToString(CollectiveStatus status) {
+  switch (status) {
+    case CollectiveStatus::kOk: return "ok";
+    case CollectiveStatus::kPeerDead: return "peer-dead";
+    case CollectiveStatus::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+CollectiveResult TryBarrier(Communicator& comm, const Deadline& deadline,
+                            int tag) {
   const int n = comm.size();
   const char token = 1;
   for (int k = 1; k < n; k <<= 1) {
     const int dst = (comm.rank() + k) % n;
     const int src = (comm.rank() - k % n + n) % n;
     comm.SendValue(dst, tag, token);
-    (void)comm.RecvValue<char>(src, tag);
+    const RecvResult r = RecvScanningForDead(comm, src, tag, deadline);
+    if (!r.ok()) {
+      return Fail(comm, r.status == RecvStatus::kPeerDead ? r.src : src,
+                  r.status);
+    }
   }
+  return {};
 }
 
-void Broadcast(Communicator& comm, int root, std::span<float> data,
-               int tag) {
+void Barrier(Communicator& comm, int tag) {
+  Require(comm, "Barrier", TryBarrier(comm, Deadline(kNoTimeout), tag));
+}
+
+CollectiveResult TryBroadcast(Communicator& comm, int root,
+                              std::span<float> data,
+                              const Deadline& deadline, int tag) {
   const int n = comm.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   // Virtual rank with root at 0; binomial tree over virtual ranks.
   const int vrank = (comm.rank() - root + n) % n;
   // Receive from parent (highest set bit), unless root.
@@ -37,7 +149,8 @@ void Broadcast(Communicator& comm, int root, std::span<float> data,
     mask >>= 1;
     const int vparent = vrank - mask;
     const int parent = (vparent + root) % n;
-    comm.RecvT(parent, tag, data);
+    CollectiveResult r = TimedRecvFloats(comm, parent, tag, data, deadline);
+    if (!r.ok()) return r;
   }
   // Forward to children.
   int mask = 1;
@@ -48,11 +161,20 @@ void Broadcast(Communicator& comm, int root, std::span<float> data,
     const int child = (vchild + root) % n;
     comm.SendT(child, tag, std::span<const float>(data.data(), data.size()));
   }
+  return {};
 }
 
-void Reduce(Communicator& comm, int root, std::span<float> data, int tag) {
+void Broadcast(Communicator& comm, int root, std::span<float> data,
+               int tag) {
+  Require(comm, "Broadcast",
+          TryBroadcast(comm, root, data, Deadline(kNoTimeout), tag));
+}
+
+CollectiveResult TryReduce(Communicator& comm, int root,
+                           std::span<float> data, const Deadline& deadline,
+                           int tag) {
   const int n = comm.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   const int vrank = (comm.rank() - root + n) % n;
   std::vector<float> incoming(data.size());
   // Binomial tree: in round k, virtual ranks with bit k set send to
@@ -63,15 +185,24 @@ void Reduce(Communicator& comm, int root, std::span<float> data, int tag) {
       const int dst = (vdst + root) % n;
       comm.SendT(dst, tag,
                  std::span<const float>(data.data(), data.size()));
-      return;  // this rank is done after sending
+      return {};  // this rank is done after sending
     }
     const int vsrc = vrank + mask;
     if (vsrc < n) {
       const int src = (vsrc + root) % n;
-      comm.RecvT(src, tag, std::span<float>(incoming));
+      CollectiveResult r =
+          TimedRecvFloats(comm, src, tag, std::span<float>(incoming),
+                          deadline);
+      if (!r.ok()) return r;
       AddInto(data, incoming);
     }
   }
+  return {};
+}
+
+void Reduce(Communicator& comm, int root, std::span<float> data, int tag) {
+  Require(comm, "Reduce",
+          TryReduce(comm, root, data, Deadline(kNoTimeout), tag));
 }
 
 std::vector<ShardExtent> ComputeShards(std::size_t n, int parts) {
@@ -89,9 +220,11 @@ std::vector<ShardExtent> ComputeShards(std::size_t n, int parts) {
   return shards;
 }
 
-void ReduceScatterRing(Communicator& comm, std::span<float> data, int tag) {
+CollectiveResult TryReduceScatterRing(Communicator& comm,
+                                      std::span<float> data,
+                                      const Deadline& deadline, int tag) {
   const int n = comm.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   const auto shards = ComputeShards(data.size(), n);
   const int rank = comm.rank();
   const int next = (rank + 1) % n;
@@ -108,16 +241,25 @@ void ReduceScatterRing(Communicator& comm, std::span<float> data, int tag) {
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
     comm.SendT(next, tag + k,
                std::span<const float>(data.data() + s.offset, s.count));
-    comm.RecvT(prev, tag + k,
-               std::span<float>(incoming.data(), r.count));
+    CollectiveResult recv = TimedRecvFloats(
+        comm, prev, tag + k, std::span<float>(incoming.data(), r.count),
+        deadline);
+    if (!recv.ok()) return recv;
     AddInto(std::span<float>(data.data() + r.offset, r.count),
             std::span<const float>(incoming.data(), r.count));
   }
+  return {};
 }
 
-void AllgatherRing(Communicator& comm, std::span<float> data, int tag) {
+void ReduceScatterRing(Communicator& comm, std::span<float> data, int tag) {
+  Require(comm, "ReduceScatterRing",
+          TryReduceScatterRing(comm, data, Deadline(kNoTimeout), tag));
+}
+
+CollectiveResult TryAllgatherRing(Communicator& comm, std::span<float> data,
+                                  const Deadline& deadline, int tag) {
   const int n = comm.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   const auto shards = ComputeShards(data.size(), n);
   const int rank = comm.rank();
   const int next = (rank + 1) % n;
@@ -131,9 +273,17 @@ void AllgatherRing(Communicator& comm, std::span<float> data, int tag) {
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
     comm.SendT(next, tag + k,
                std::span<const float>(data.data() + s.offset, s.count));
-    comm.RecvT(prev, tag + k,
-               std::span<float>(data.data() + r.offset, r.count));
+    CollectiveResult recv = TimedRecvFloats(
+        comm, prev, tag + k,
+        std::span<float>(data.data() + r.offset, r.count), deadline);
+    if (!recv.ok()) return recv;
   }
+  return {};
+}
+
+void AllgatherRing(Communicator& comm, std::span<float> data, int tag) {
+  Require(comm, "AllgatherRing",
+          TryAllgatherRing(comm, data, Deadline(kNoTimeout), tag));
 }
 
 const char* ToString(AllreduceAlgo algo) {
@@ -149,8 +299,10 @@ namespace {
 
 bool IsPowerOfTwo(int n) { return n > 0 && (n & (n - 1)) == 0; }
 
-void AllreduceRecursiveDoubling(Communicator& comm, std::span<float> data,
-                                int tag) {
+CollectiveResult TryAllreduceRecursiveDoubling(Communicator& comm,
+                                               std::span<float> data,
+                                               const Deadline& deadline,
+                                               int tag) {
   const int n = comm.size();
   std::vector<float> incoming(data.size());
   int round = 0;
@@ -158,39 +310,53 @@ void AllreduceRecursiveDoubling(Communicator& comm, std::span<float> data,
     const int partner = comm.rank() ^ mask;
     comm.SendT(partner, tag + round,
                std::span<const float>(data.data(), data.size()));
-    comm.RecvT(partner, tag + round, std::span<float>(incoming));
+    CollectiveResult r = TimedRecvFloats(
+        comm, partner, tag + round, std::span<float>(incoming), deadline);
+    if (!r.ok()) return r;
     AddInto(data, incoming);
   }
+  return {};
 }
 
 }  // namespace
 
-void Allreduce(Communicator& comm, std::span<float> data, AllreduceAlgo algo,
-               int tag) {
+CollectiveResult TryAllreduce(Communicator& comm, std::span<float> data,
+                              AllreduceAlgo algo, const Deadline& deadline,
+                              int tag) {
   switch (algo) {
-    case AllreduceAlgo::kRing:
+    case AllreduceAlgo::kRing: {
       // For tiny payloads relative to rank count the ring degenerates;
       // still correct, and netsim models the latency cost.
-      ReduceScatterRing(comm, data, tag);
-      AllgatherRing(comm, data, tag + comm.size());
-      return;
-    case AllreduceAlgo::kTree:
-      Reduce(comm, 0, data, tag);
-      Broadcast(comm, 0, data, tag + 1);
-      return;
-    case AllreduceAlgo::kRecursiveDoubling:
+      CollectiveResult r = TryReduceScatterRing(comm, data, deadline, tag);
+      if (!r.ok()) return r;
+      return TryAllgatherRing(comm, data, deadline, tag + comm.size());
+    }
+    case AllreduceAlgo::kTree: {
+      CollectiveResult r = TryReduce(comm, 0, data, deadline, tag);
+      if (!r.ok()) return r;
+      return TryBroadcast(comm, 0, data, deadline, tag + 1);
+    }
+    case AllreduceAlgo::kRecursiveDoubling: {
       if (IsPowerOfTwo(comm.size())) {
-        AllreduceRecursiveDoubling(comm, data, tag);
-      } else {
-        Reduce(comm, 0, data, tag);
-        Broadcast(comm, 0, data, tag + 1);
+        return TryAllreduceRecursiveDoubling(comm, data, deadline, tag);
       }
-      return;
+      CollectiveResult r = TryReduce(comm, 0, data, deadline, tag);
+      if (!r.ok()) return r;
+      return TryBroadcast(comm, 0, data, deadline, tag + 1);
+    }
   }
+  return {};
 }
 
-void Gather(Communicator& comm, int root, std::span<const float> data,
-            std::span<float> out, int tag) {
+void Allreduce(Communicator& comm, std::span<float> data, AllreduceAlgo algo,
+               int tag) {
+  Require(comm, "Allreduce",
+          TryAllreduce(comm, data, algo, Deadline(kNoTimeout), tag));
+}
+
+CollectiveResult TryGather(Communicator& comm, int root,
+                           std::span<const float> data, std::span<float> out,
+                           const Deadline& deadline, int tag) {
   const int n = comm.size();
   if (comm.rank() == root) {
     EXACLIM_CHECK(out.size() == data.size() * static_cast<std::size_t>(n),
@@ -200,14 +366,24 @@ void Gather(Communicator& comm, int root, std::span<const float> data,
                                 data.size() * static_cast<std::size_t>(root)));
     for (int r = 0; r < n; ++r) {
       if (r == root) continue;
-      comm.RecvT(r, tag,
-                 std::span<float>(out.data() + data.size() *
-                                                   static_cast<std::size_t>(r),
-                                  data.size()));
+      CollectiveResult recv = TimedRecvFloats(
+          comm, r, tag,
+          std::span<float>(out.data() + data.size() *
+                                            static_cast<std::size_t>(r),
+                           data.size()),
+          deadline);
+      if (!recv.ok()) return recv;
     }
   } else {
     comm.SendT(root, tag, data);
   }
+  return {};
+}
+
+void Gather(Communicator& comm, int root, std::span<const float> data,
+            std::span<float> out, int tag) {
+  Require(comm, "Gather",
+          TryGather(comm, root, data, out, Deadline(kNoTimeout), tag));
 }
 
 }  // namespace exaclim

@@ -15,17 +15,50 @@ namespace exaclim {
 ///
 /// Each call takes a `tag` namespace; sequential collectives on the same
 /// communicator may reuse a tag, concurrent ones must not.
+///
+/// Every collective has a deadline-aware Try* variant returning a
+/// CollectiveResult instead of hanging or throwing when a peer dies
+/// mid-operation — the substrate of elastic training (DESIGN §13). The
+/// blocking functions are thin wrappers that delegate with kNoTimeout,
+/// so both paths execute the identical message pattern and combining
+/// order (bit-identical results).
+
+/// Outcome of a deadline-aware collective.
+enum class CollectiveStatus {
+  kOk,        // completed on every participating edge of this rank
+  kPeerDead,  // a participant died; suspect_rank names it
+  kTimeout,   // deadline expired with no dead rank detected
+};
+
+const char* ToString(CollectiveStatus status);
+
+struct CollectiveResult {
+  CollectiveStatus status = CollectiveStatus::kOk;
+  /// The dead rank (kPeerDead) or the rank whose message never arrived
+  /// (kTimeout). -1 on kOk.
+  int suspect_rank = -1;
+
+  bool ok() const { return status == CollectiveStatus::kOk; }
+};
 
 /// Dissemination barrier: ceil(log2 n) rounds.
 void Barrier(Communicator& comm, int tag = 1000);
+CollectiveResult TryBarrier(Communicator& comm, const Deadline& deadline,
+                            int tag = 1000);
 
 /// Binomial-tree broadcast from root.
 void Broadcast(Communicator& comm, int root, std::span<float> data,
                int tag = 1100);
+CollectiveResult TryBroadcast(Communicator& comm, int root,
+                              std::span<float> data,
+                              const Deadline& deadline, int tag = 1100);
 
 /// Binomial-tree sum-reduction to root (other ranks' buffers untouched).
 void Reduce(Communicator& comm, int root, std::span<float> data,
             int tag = 1200);
+CollectiveResult TryReduce(Communicator& comm, int root,
+                           std::span<float> data, const Deadline& deadline,
+                           int tag = 1200);
 
 /// Ring reduce-scatter: on return, rank r owns the fully reduced shard
 /// (r+1) mod n (the classic systolic-ring layout, matched by
@@ -38,10 +71,16 @@ struct ShardExtent {
 std::vector<ShardExtent> ComputeShards(std::size_t n, int parts);
 void ReduceScatterRing(Communicator& comm, std::span<float> data,
                        int tag = 1300);
+CollectiveResult TryReduceScatterRing(Communicator& comm,
+                                      std::span<float> data,
+                                      const Deadline& deadline,
+                                      int tag = 1300);
 
 /// Ring allgather of the per-rank shards produced by ReduceScatterRing.
 void AllgatherRing(Communicator& comm, std::span<float> data,
                    int tag = 1400);
+CollectiveResult TryAllgatherRing(Communicator& comm, std::span<float> data,
+                                  const Deadline& deadline, int tag = 1400);
 
 enum class AllreduceAlgo {
   kRing,               // reduce-scatter + allgather (bandwidth-optimal)
@@ -55,9 +94,15 @@ const char* ToString(AllreduceAlgo algo);
 /// falls back to tree for non-power-of-two sizes.
 void Allreduce(Communicator& comm, std::span<float> data,
                AllreduceAlgo algo = AllreduceAlgo::kRing, int tag = 1500);
+CollectiveResult TryAllreduce(Communicator& comm, std::span<float> data,
+                              AllreduceAlgo algo, const Deadline& deadline,
+                              int tag = 1500);
 
 /// Gathers `data` from every rank to root (concatenated rank-major).
 void Gather(Communicator& comm, int root, std::span<const float> data,
             std::span<float> out, int tag = 1600);
+CollectiveResult TryGather(Communicator& comm, int root,
+                           std::span<const float> data, std::span<float> out,
+                           const Deadline& deadline, int tag = 1600);
 
 }  // namespace exaclim

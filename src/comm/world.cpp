@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/logging.hpp"
 
 namespace exaclim {
 
@@ -59,8 +60,12 @@ RecvResult Communicator::RecvTimeout(int src, int tag,
                                      double timeout_seconds) {
   SimWorld::Message message;
   RecvResult result;
-  result.status = world_->Take(rank_, src, tag,
-                               std::max(timeout_seconds, 0.0), &message);
+  // kNoTimeout means "wait forever, but still report kPeerDead" — the
+  // blocking collectives delegate here with it so one implementation
+  // serves both the bounded and unbounded paths.
+  const double take_timeout =
+      timeout_seconds == kNoTimeout ? -1.0 : std::max(timeout_seconds, 0.0);
+  result.status = world_->Take(rank_, src, tag, take_timeout, &message);
   if (result.status == RecvStatus::kOk) {
     result.src = message.src;
     result.payload = std::move(message.payload);
@@ -81,9 +86,14 @@ bool Communicator::PeerDead(int rank) const {
   return world_->RankDead(rank);
 }
 
+void Communicator::KillSelf() { world_->KillRank(rank_); }
+
 // ------------------------------------------------------------ SimWorld --
 
-SimWorld::SimWorld(int size) : size_(size) {
+SimWorld::SimWorld(int size)
+    : size_(size),
+      drop_logged_(static_cast<std::size_t>(size) *
+                   static_cast<std::size_t>(size)) {
   EXACLIM_CHECK(size_ >= 1, "world size must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(size_));
   for (int i = 0; i < size_; ++i) {
@@ -97,6 +107,18 @@ void SimWorld::Deliver(int dst, Message message) {
   Mailbox& box = *mailboxes_[static_cast<std::size_t>(dst)];
   if (box.dead.load(std::memory_order_acquire)) {
     FaultCounterBump("fault.comm.send_to_dead");
+    FaultCounterBump("comm.send.dropped_dead");
+    // Log the first drop per (src, dst) pair; after that only the
+    // counter moves, so a chatty retry loop can't flood the log.
+    std::atomic<bool>& logged =
+        drop_logged_[static_cast<std::size_t>(message.src) *
+                         static_cast<std::size_t>(size_) +
+                     static_cast<std::size_t>(dst)];
+    if (!logged.exchange(true, std::memory_order_relaxed)) {
+      EXACLIM_LOG(kWarn) << "comm: dropping send " << message.src << " -> "
+                         << dst << " (tag " << message.tag
+                         << "): destination rank is dead";
+    }
     return;
   }
   // Fault points are consulted before any lock is taken: the injector
@@ -201,6 +223,9 @@ void SimWorld::Run(const std::function<void(Communicator&)>& fn) {
     MutexLock lock(box->mutex);
     box->poisoned = false;
     box->dead.store(false, std::memory_order_release);
+  }
+  for (auto& flag : drop_logged_) {
+    flag.store(false, std::memory_order_relaxed);
   }
   std::vector<Communicator> comms;
   comms.reserve(static_cast<std::size_t>(size_));

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -19,6 +21,43 @@ namespace exaclim {
 
 /// Matches any source rank in Recv (like MPI_ANY_SOURCE).
 inline constexpr int kAnySource = -1;
+
+/// Timeout value meaning "wait forever" for RecvTimeout / Deadline. A
+/// bounded call with this timeout still reports kPeerDead instead of
+/// throwing, which is how the blocking collectives share one
+/// implementation with their deadline-aware variants.
+inline constexpr double kNoTimeout = std::numeric_limits<double>::infinity();
+
+/// Absolute deadline carried through a multi-message operation (one
+/// collective, one consensus round): constructed once at entry, every
+/// receive inside uses Remaining() so the whole operation — not each
+/// message — is bounded. kNoTimeout never expires.
+class Deadline {
+ public:
+  explicit Deadline(double timeout_seconds)
+      : unbounded_(timeout_seconds == kNoTimeout),
+        end_(unbounded_
+                 ? std::chrono::steady_clock::time_point::max()
+                 : std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               std::max(timeout_seconds, 0.0)))) {}
+
+  /// Seconds left (>= 0), or kNoTimeout when unbounded.
+  double Remaining() const {
+    if (unbounded_) return kNoTimeout;
+    const double left = std::chrono::duration<double>(
+                            end_ - std::chrono::steady_clock::now())
+                            .count();
+    return left > 0.0 ? left : 0.0;
+  }
+  bool Expired() const { return !unbounded_ && Remaining() <= 0.0; }
+
+ private:
+  bool unbounded_;
+  std::chrono::steady_clock::time_point end_;
+};
 
 class SimWorld;
 
@@ -72,6 +111,12 @@ class Communicator {
   /// True when `rank` has been killed (SimWorld::KillRank or an armed
   /// "comm.kill.<rank>" fault site).
   bool PeerDead(int rank) const;
+
+  /// Marks this rank dead in the world — the chaos-schedule stand-in for
+  /// a process crash. Queued messages drop, later sends to it drop, and
+  /// peers' timed receives report kPeerDead. The caller must unwind out
+  /// of its rank function without touching the communicator again.
+  void KillSelf();
 
   // Typed convenience wrappers.
   template <typename T>
@@ -193,6 +238,9 @@ class SimWorld {
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::int64_t total_messages_ = 0;
   std::int64_t total_bytes_ = 0;
+  // One flag per (src, dst) pair so a dropped send to a dead rank is
+  // logged once, not once per message. Reset at each Run.
+  std::vector<std::atomic<bool>> drop_logged_;
 };
 
 /// Maps flat ranks onto a (node, local rank) topology — Summit runs 6

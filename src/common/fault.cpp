@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
 
 namespace exaclim {
 
@@ -24,6 +25,66 @@ void FaultCounterBump(std::string_view name, std::int64_t delta) {
   if (FaultMetricSink sink = g_fault_sink.load(std::memory_order_acquire)) {
     sink(name, delta);
   }
+}
+
+// ------------------------------------------------------ site registry --
+
+namespace {
+
+struct SiteRegistry {
+  Mutex mutex;
+  // Entries ending in '.' are prefixes taking a nonnegative integer.
+  std::vector<std::string> entries EXACLIM_GUARDED_BY(mutex) = {
+      "comm.drop",        "comm.delay",      "comm.kill.",
+      "fs.read",          "pipeline.produce", "checkpoint.write",
+      "epoch.step",       "elastic.kill.",   "elastic.exchange.kill.",
+  };
+};
+
+SiteRegistry& GlobalSiteRegistry() {
+  static SiteRegistry registry;
+  return registry;
+}
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void RegisterFaultSite(std::string_view site_or_prefix) {
+  SiteRegistry& registry = GlobalSiteRegistry();
+  MutexLock lock(registry.mutex);
+  for (const auto& e : registry.entries) {
+    if (e == site_or_prefix) return;
+  }
+  registry.entries.emplace_back(site_or_prefix);
+}
+
+bool IsKnownFaultSite(std::string_view site) {
+  SiteRegistry& registry = GlobalSiteRegistry();
+  MutexLock lock(registry.mutex);
+  for (const auto& e : registry.entries) {
+    if (e.back() == '.') {
+      if (site.size() > e.size() && site.substr(0, e.size()) == e &&
+          AllDigits(site.substr(e.size()))) {
+        return true;
+      }
+    } else if (site == e) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> KnownFaultSites() {
+  SiteRegistry& registry = GlobalSiteRegistry();
+  MutexLock lock(registry.mutex);
+  return registry.entries;
 }
 
 // ------------------------------------------------------- FaultInjector --
@@ -91,6 +152,17 @@ int FaultInjector::ArmFromString(std::string_view specs) {
     } catch (const std::exception&) {
       throw Error("EXACLIM_FAULTS entry '" + std::string(one) +
                   "' has a non-numeric field");
+    }
+    if (!IsKnownFaultSite(spec.site)) {
+      std::string valid;
+      for (const auto& s : KnownFaultSites()) {
+        if (!valid.empty()) valid += ", ";
+        valid += s;
+        if (s.back() == '.') valid += "<rank>";
+      }
+      throw Error("EXACLIM_FAULTS names unknown site '" + spec.site +
+                  "' — nothing consults it, so it would never fire. "
+                  "Valid sites: " + valid);
     }
     Arm(spec);
     ++armed;

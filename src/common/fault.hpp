@@ -19,13 +19,17 @@ namespace exaclim {
 /// between the injector and the instrumented code; the ones the library
 /// itself consults are listed in DESIGN §8 ("Fault model"):
 ///
-///   comm.drop          drop a delivered message
-///   comm.delay         delay a delivered message by delay_seconds
-///   comm.kill.<rank>   kill rank <rank> at SimWorld::Run entry
-///   fs.read            MockGlobalFs::Read throws (transient I/O error)
-///   pipeline.produce   InputPipeline producer attempt throws
-///   checkpoint.write   SaveCheckpoint fails before the atomic rename
-///   epoch.step         RunEpochs throws mid-epoch (simulated job kill)
+///   comm.drop                     drop a delivered message
+///   comm.delay                    delay a delivered message by delay_seconds
+///   comm.kill.<rank>              kill rank <rank> at SimWorld::Run entry
+///   fs.read                       MockGlobalFs::Read throws (transient I/O)
+///   pipeline.produce              InputPipeline producer attempt throws
+///   checkpoint.write              SaveCheckpoint fails before the rename
+///   epoch.step                    RunEpochs throws mid-epoch (job kill)
+///   elastic.kill.<rank>           kill rank <rank> at training-step entry
+///   elastic.exchange.kill.<rank>  kill rank <rank> mid-exchange, after the
+///                                 tensor order was negotiated (peers starve
+///                                 inside the allreduce rounds)
 struct FaultSpec {
   std::string site;
   /// Chance each evaluation fires, drawn from the site's own seeded
@@ -62,7 +66,10 @@ class FaultInjector {
 
   void Arm(const FaultSpec& spec) EXACLIM_EXCLUDES(mutex_);
   /// Parses the EXACLIM_FAULTS grammar; throws exaclim::Error on a
-  /// malformed spec (a bad fault config should be loud, not silent).
+  /// malformed spec (a bad fault config should be loud, not silent) or
+  /// on a site the library does not consult — a typo'd site would arm
+  /// silently and never fire, so the error lists every valid site.
+  /// Programmatic Arm() stays free-form for tests with synthetic sites.
   /// Returns the number of sites armed.
   int ArmFromString(std::string_view specs) EXACLIM_EXCLUDES(mutex_);
   /// Reads EXACLIM_FAULTS; no-op (returns 0) when unset or empty.
@@ -136,6 +143,15 @@ struct RetryOutcome {
 /// retry on them. Publishes "fault.retry.attempts" / "fault.retry.giveups".
 RetryOutcome RunWithRetry(const RetryPolicy& policy, std::string_view what,
                           const std::function<bool()>& op);
+
+/// The EXACLIM_FAULTS site vocabulary. Entries ending in '.' are
+/// parameterized prefixes that take a nonnegative rank number
+/// ("comm.kill." accepts "comm.kill.3"). RegisterFaultSite lets code
+/// outside the core library (tests, new subsystems) extend the
+/// vocabulary; registration is process-global and append-only.
+void RegisterFaultSite(std::string_view site_or_prefix);
+bool IsKnownFaultSite(std::string_view site);
+std::vector<std::string> KnownFaultSites();
 
 /// Counter bridge out of the base layer: common/ cannot depend on obs/,
 /// so obs::Enable installs a sink that forwards these bumps into the

@@ -1,6 +1,8 @@
 #include "hvd/control_plane.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <numeric>
 #include <unordered_map>
 
 #include "common/error.hpp"
@@ -27,47 +29,154 @@ void DCheckIsPermutation([[maybe_unused]] std::span<const int> ready_ids,
 #endif
 }
 
+/// Failure result for a control-plane receive. With kAnySource there is
+/// no single waited-on rank, so the dead-member scan does the naming.
+CollectiveResult PlaneFail(Communicator& comm, const RankGroup& group,
+                           int waited_world_rank, RecvStatus status) {
+  CollectiveResult result;
+  result.suspect_rank = waited_world_rank;
+  result.status = status == RecvStatus::kPeerDead
+                      ? CollectiveStatus::kPeerDead
+                      : CollectiveStatus::kTimeout;
+  if (result.status == CollectiveStatus::kTimeout) {
+    for (int i = 0; i < group.size(); ++i) {
+      if (comm.PeerDead(group.WorldRank(i))) {
+        result.status = CollectiveStatus::kPeerDead;
+        result.suspect_rank = group.WorldRank(i);
+        return result;
+      }
+    }
+    for (int r = 0; r < comm.size(); ++r) {
+      if (comm.PeerDead(r)) {
+        result.status = CollectiveStatus::kPeerDead;
+        result.suspect_rank = r;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+/// How often a waiting rank re-checks member liveness. Scoped to the
+/// negotiation group (elastic generations run with ex-members dead in
+/// the world); keeps controller/worker failure detection at one slice
+/// instead of the whole deadline — the kAnySource readiness wait has no
+/// single source whose death could wake it early.
+constexpr double kDeadScanSlice = 0.025;
+
+/// Receive from `src` (may be kAnySource) in short slices, scanning the
+/// group for dead members in between. On a death, returns kPeerDead
+/// with `src` naming the dead member.
+RecvResult RecvScanningForDeadMember(Communicator& comm,
+                                     const RankGroup& group, int src,
+                                     int tag, const Deadline& deadline) {
+  for (;;) {
+    const double remaining = deadline.Remaining();
+    const double slice = remaining == kNoTimeout
+                             ? kDeadScanSlice
+                             : std::min(kDeadScanSlice, remaining);
+    RecvResult r = comm.RecvTimeout(src, tag, slice);
+    if (r.status == RecvStatus::kPeerDead) {
+      r.src = src;
+      return r;
+    }
+    if (r.status == RecvStatus::kOk) return r;
+    for (int i = 0; i < group.size(); ++i) {
+      if (comm.PeerDead(group.WorldRank(i))) {
+        r.status = RecvStatus::kPeerDead;
+        r.src = group.WorldRank(i);
+        return r;
+      }
+    }
+    if (deadline.Expired()) return r;
+  }
+}
+
 }  // namespace
+
+std::vector<int> ControlPlane::NegotiateOrder(Communicator& comm,
+                                              std::span<const int> ready_ids) {
+  std::vector<int> world(static_cast<std::size_t>(comm.size()));
+  std::iota(world.begin(), world.end(), 0);
+  const RankGroup group(world, comm.rank());
+  std::vector<int> order;
+  const CollectiveResult result = TryNegotiateOrder(
+      comm, group, ready_ids, Deadline(kNoTimeout), /*tag_salt=*/0, &order);
+  EXACLIM_CHECK(result.ok(),
+                "rank " << comm.rank()
+                        << ": blocking NegotiateOrder cannot complete: rank "
+                        << result.suspect_rank
+                        << (result.status == CollectiveStatus::kPeerDead
+                                ? " is dead"
+                                : " is unresponsive"));
+  return order;
+}
 
 // ---------------------------------------------------- FlatControlPlane --
 
-std::vector<int> FlatControlPlane::NegotiateOrder(
-    Communicator& comm, std::span<const int> ready_ids) {
-  const int p = comm.size();
+CollectiveResult FlatControlPlane::TryNegotiateOrder(
+    Communicator& comm, const RankGroup& group,
+    std::span<const int> ready_ids, const Deadline& deadline, int tag_salt,
+    std::vector<int>* order) {
+  const int p = group.size();
   const auto n = static_cast<std::int64_t>(ready_ids.size());
-  if (p == 1) return {ready_ids.begin(), ready_ids.end()};
+  order->assign(ready_ids.begin(), ready_ids.end());
+  if (p == 1) return {};
   // Readiness latency: how long this rank spends agreeing on the global
   // collective order — the Sec V-A3 bottleneck metric.
   obs::ScopedTimer timer("control.negotiate", "hvd", nullptr,
                          obs::HistogramOrNull("control.negotiate_s"));
+  const int tag_ready = kTagReady + tag_salt;
+  const int tag_order = kTagOrder + tag_salt;
+  const int controller = group.WorldRank(0);
 
-  if (comm.rank() != 0) {
+  if (group.my_index() != 0) {
     // Stream one readiness message per tensor to the controller, in this
     // rank's local scheduling order.
-    for (const int id : ready_ids) comm.SendValue(0, kTagReady, id);
-    std::vector<int> order(static_cast<std::size_t>(n));
-    comm.RecvT(0, kTagOrder, std::span<int>(order));  // fault: blocking-ok
-    return order;
+    for (const int id : ready_ids) comm.SendValue(controller, tag_ready, id);
+    RecvResult r = RecvScanningForDeadMember(comm, group, controller,
+                                             tag_order, deadline);
+    if (!r.ok()) {
+      return PlaneFail(
+          comm, group,
+          r.status == RecvStatus::kPeerDead ? r.src : controller, r.status);
+    }
+    EXACLIM_CHECK(r.payload.size() ==
+                      static_cast<std::size_t>(n) * sizeof(int),
+                  "negotiated order has wrong wire size");
+    order->resize(static_cast<std::size_t>(n));
+    std::memcpy(order->data(), r.payload.data(), r.payload.size());
+    DCheckIsPermutation(ready_ids, *order);
+    return {};
   }
 
-  // Controller: a tensor enters the order once every rank reported it.
+  // Controller: a tensor enters the order once every member reported it.
   std::unordered_map<int, int> counts;
-  std::vector<int> order;
-  order.reserve(static_cast<std::size_t>(n));
+  order->clear();
+  order->reserve(static_cast<std::size_t>(n));
   for (const int id : ready_ids) counts[id] = 1;  // own readiness
-  std::int64_t expected = (p - 1) * n;
+  std::int64_t expected = static_cast<std::int64_t>(p - 1) * n;
   while (expected-- > 0) {
-    const int id =
-        comm.RecvValue<int>(kAnySource, kTagReady);  // fault: blocking-ok
-    if (++counts[id] == p) order.push_back(id);
+    const RecvResult r = RecvScanningForDeadMember(comm, group, kAnySource,
+                                                   tag_ready, deadline);
+    if (!r.ok()) {
+      return PlaneFail(comm, group,
+                       r.status == RecvStatus::kPeerDead ? r.src : -1,
+                       r.status);
+    }
+    EXACLIM_CHECK(r.payload.size() == sizeof(int),
+                  "readiness report has wrong wire size");
+    int id = 0;
+    std::memcpy(&id, r.payload.data(), sizeof(int));
+    if (++counts[id] == p) order->push_back(id);
   }
-  EXACLIM_CHECK(static_cast<std::int64_t>(order.size()) == n,
+  EXACLIM_CHECK(static_cast<std::int64_t>(order->size()) == n,
                 "controller: not all tensors reached full readiness");
-  for (int r = 1; r < p; ++r) {
-    comm.SendT(r, kTagOrder, std::span<const int>(order));
+  for (int i = 1; i < p; ++i) {
+    comm.SendT(group.WorldRank(i), tag_order, std::span<const int>(*order));
   }
-  DCheckIsPermutation(ready_ids, order);
-  return order;
+  DCheckIsPermutation(ready_ids, *order);
+  return {};
 }
 
 // -------------------------------------------- HierarchicalControlPlane --
@@ -77,38 +186,34 @@ HierarchicalControlPlane::HierarchicalControlPlane(int radix)
   EXACLIM_CHECK(radix_ >= 1, "radix must be >= 1");
 }
 
-std::vector<int> HierarchicalControlPlane::Children(int rank, int radix,
-                                                    int world_size) {
-  std::vector<int> children;
-  for (int c = rank * radix + 1;
-       c <= rank * radix + radix && c < world_size; ++c) {
-    children.push_back(c);
-  }
-  return children;
-}
-
-std::vector<int> HierarchicalControlPlane::NegotiateOrder(
-    Communicator& comm, std::span<const int> ready_ids) {
-  const int p = comm.size();
+CollectiveResult HierarchicalControlPlane::TryNegotiateOrder(
+    Communicator& comm, const RankGroup& group,
+    std::span<const int> ready_ids, const Deadline& deadline, int tag_salt,
+    std::vector<int>* order) {
+  const int p = group.size();
   const auto n = static_cast<std::int64_t>(ready_ids.size());
-  if (p == 1) return {ready_ids.begin(), ready_ids.end()};
+  order->assign(ready_ids.begin(), ready_ids.end());
+  if (p == 1) return {};
   obs::ScopedTimer timer("control.negotiate", "hvd", nullptr,
                          obs::HistogramOrNull("control.negotiate_s"));
+  const int tag_ready = kTagReady + tag_salt;
+  const int tag_order = kTagOrder + tag_salt;
 
-  const int rank = comm.rank();
-  const auto children = Children(rank, radix_, p);
+  const int index = group.my_index();
+  const auto children = TreeChildren(index, radix_, p);
   const int needed = static_cast<int>(children.size()) + 1;
 
   // Upward aggregation: report a tensor to the parent only once the whole
-  // subtree is ready for it. Rank 0 appends completed tensors to the
+  // subtree is ready for it. The root appends completed tensors to the
   // order instead.
   std::unordered_map<int, int> counts;
-  std::vector<int> order;
+  order->clear();
   auto on_complete = [&](int id) {
-    if (rank == 0) {
-      order.push_back(id);
+    if (index == 0) {
+      order->push_back(id);
     } else {
-      comm.SendValue(Parent(rank, radix_), kTagReady, id);
+      comm.SendValue(group.WorldRank(TreeParent(index, radix_)), tag_ready,
+                     id);
     }
   };
   for (const int id : ready_ids) {
@@ -116,25 +221,45 @@ std::vector<int> HierarchicalControlPlane::NegotiateOrder(
   }
   std::int64_t expected = static_cast<std::int64_t>(children.size()) * n;
   while (expected-- > 0) {
-    const int id =
-        comm.RecvValue<int>(kAnySource, kTagReady);  // fault: blocking-ok
+    const RecvResult r = RecvScanningForDeadMember(comm, group, kAnySource,
+                                                   tag_ready, deadline);
+    if (!r.ok()) {
+      return PlaneFail(comm, group,
+                       r.status == RecvStatus::kPeerDead ? r.src : -1,
+                       r.status);
+    }
+    EXACLIM_CHECK(r.payload.size() == sizeof(int),
+                  "readiness report has wrong wire size");
+    int id = 0;
+    std::memcpy(&id, r.payload.data(), sizeof(int));
     if (++counts[id] == needed) on_complete(id);
   }
 
   // Downward recursive broadcast of the agreed order.
-  if (rank == 0) {
-    EXACLIM_CHECK(static_cast<std::int64_t>(order.size()) == n,
+  if (index == 0) {
+    EXACLIM_CHECK(static_cast<std::int64_t>(order->size()) == n,
                   "root: incomplete readiness aggregation");
   } else {
-    order.resize(static_cast<std::size_t>(n));
-    comm.RecvT(Parent(rank, radix_),  // fault: blocking-ok
-               kTagOrder, std::span<int>(order));
+    const int parent = group.WorldRank(TreeParent(index, radix_));
+    RecvResult r =
+        RecvScanningForDeadMember(comm, group, parent, tag_order, deadline);
+    if (!r.ok()) {
+      return PlaneFail(comm, group,
+                       r.status == RecvStatus::kPeerDead ? r.src : parent,
+                       r.status);
+    }
+    EXACLIM_CHECK(r.payload.size() ==
+                      static_cast<std::size_t>(n) * sizeof(int),
+                  "negotiated order has wrong wire size");
+    order->resize(static_cast<std::size_t>(n));
+    std::memcpy(order->data(), r.payload.data(), r.payload.size());
   }
   for (const int child : children) {
-    comm.SendT(child, kTagOrder, std::span<const int>(order));
+    comm.SendT(group.WorldRank(child), tag_order,
+               std::span<const int>(*order));
   }
-  DCheckIsPermutation(ready_ids, order);
-  return order;
+  DCheckIsPermutation(ready_ids, *order);
+  return {};
 }
 
 // ---------------------------------------------------------------- Load --

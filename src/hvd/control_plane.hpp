@@ -4,7 +4,10 @@
 #include <span>
 #include <vector>
 
+#include "comm/collectives.hpp"
+#include "comm/elastic.hpp"
 #include "comm/world.hpp"
+#include "hvd/group.hpp"
 
 namespace exaclim {
 
@@ -16,11 +19,27 @@ namespace exaclim {
 /// operations. NegotiateOrder submits this rank's tensor ids in its local
 /// readiness order and returns the globally agreed execution order
 /// (identical on every rank).
+/// Both planes also expose a deadline-aware, group-scoped negotiation
+/// (TryNegotiateOrder) for the elastic path: the coordinator is the
+/// group's index-0 member instead of world rank 0, tags are salted into
+/// the current generation's namespace, and a dead member surfaces as a
+/// CollectiveResult instead of a hang. The blocking NegotiateOrder
+/// delegates over the full world with no deadline — identical messages.
 class ControlPlane {
  public:
   virtual ~ControlPlane() = default;
-  virtual std::vector<int> NegotiateOrder(Communicator& comm,
-                                          std::span<const int> ready_ids) = 0;
+  /// Blocking negotiation over the full world (throws on a dead peer).
+  std::vector<int> NegotiateOrder(Communicator& comm,
+                                  std::span<const int> ready_ids);
+  /// Bounded negotiation over `group`; on kOk `*order` holds the agreed
+  /// execution order. `tag_salt` shifts the control tags into a
+  /// generation's namespace (ElasticWorld::GenTag(0)).
+  virtual CollectiveResult TryNegotiateOrder(Communicator& comm,
+                                             const RankGroup& group,
+                                             std::span<const int> ready_ids,
+                                             const Deadline& deadline,
+                                             int tag_salt,
+                                             std::vector<int>* order) = 0;
   virtual const char* Name() const = 0;
 };
 
@@ -30,8 +49,11 @@ class ControlPlane {
 /// bottleneck the paper hit beyond ~1024 GPUs.
 class FlatControlPlane : public ControlPlane {
  public:
-  std::vector<int> NegotiateOrder(Communicator& comm,
-                                  std::span<const int> ready_ids) override;
+  CollectiveResult TryNegotiateOrder(Communicator& comm,
+                                     const RankGroup& group,
+                                     std::span<const int> ready_ids,
+                                     const Deadline& deadline, int tag_salt,
+                                     std::vector<int>* order) override;
   const char* Name() const override { return "flat"; }
 };
 
@@ -45,15 +67,22 @@ class HierarchicalControlPlane : public ControlPlane {
  public:
   explicit HierarchicalControlPlane(int radix);
 
-  std::vector<int> NegotiateOrder(Communicator& comm,
-                                  std::span<const int> ready_ids) override;
+  CollectiveResult TryNegotiateOrder(Communicator& comm,
+                                     const RankGroup& group,
+                                     std::span<const int> ready_ids,
+                                     const Deadline& deadline, int tag_salt,
+                                     std::vector<int>* order) override;
   const char* Name() const override { return "hierarchical"; }
   int radix() const { return radix_; }
 
   /// Tree helpers (world rank <-> radix-r heap layout), exposed for the
-  /// message-count analysis in netsim.
-  static int Parent(int rank, int radix) { return (rank - 1) / radix; }
-  static std::vector<int> Children(int rank, int radix, int world_size);
+  /// message-count analysis in netsim. The topology is the shared radix
+  /// heap of comm/elastic.hpp — the same tree the elastic survivor
+  /// consensus reuses.
+  static int Parent(int rank, int radix) { return TreeParent(rank, radix); }
+  static std::vector<int> Children(int rank, int radix, int world_size) {
+    return TreeChildren(rank, radix, world_size);
+  }
 
  private:
   int radix_;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "comm/collectives.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "hvd/group.hpp"
 #include "obs/obs.hpp"
 
 namespace exaclim {
@@ -27,14 +30,37 @@ GradientExchanger::GradientExchanger(const ExchangerOptions& opts,
 
 void GradientExchanger::Exchange(Communicator& comm,
                                  const std::vector<Param*>& params) {
+  // The blocking path is the elastic path at generation 0 over the full
+  // world with no deadline — one implementation, identical messages.
+  ElasticWorld identity(comm, ElasticOptions{});
+  const CollectiveResult result =
+      TryExchange(comm, params, identity, Deadline(kNoTimeout));
+  EXACLIM_CHECK(result.ok(),
+                "rank " << comm.rank()
+                        << ": blocking Exchange cannot complete: rank "
+                        << result.suspect_rank
+                        << (result.status == CollectiveStatus::kPeerDead
+                                ? " is dead"
+                                : " is unresponsive"));
+}
+
+CollectiveResult GradientExchanger::TryExchange(
+    Communicator& comm, const std::vector<Param*>& params,
+    ElasticWorld& elastic, const Deadline& deadline) {
   EXACLIM_REENTRANCY_SCOPE(reentrancy_);
+  const ElasticView& view = elastic.view();
+  EXACLIM_CHECK(view.my_index >= 0,
+                "rank " << comm.rank()
+                        << " exchanging outside its elastic view");
   const auto n = static_cast<int>(params.size());
   last_tensors_ = n;
   last_fused_buffers_ = 0;
-  if (n == 0) return;
+  if (n == 0) return {};
 
   // Local readiness order: TensorFlow's dynamic scheduler finishes
-  // backprop ops in a timing-dependent order, different per rank.
+  // backprop ops in a timing-dependent order, different per rank. Keyed
+  // by (world rank, step); the step counter only advances on success, so
+  // a post-rebuild retry replays the same shuffle.
   std::vector<int> ready(static_cast<std::size_t>(n));
   std::iota(ready.begin(), ready.end(), 0);
   if (opts_.shuffle_ready_order) {
@@ -44,12 +70,32 @@ void GradientExchanger::Exchange(Communicator& comm,
     std::shuffle(ready.begin(), ready.end(), step_rng.engine());
   }
 
-  const std::vector<int> order = control_->NegotiateOrder(comm, ready);
+  const RankGroup group(view.members, comm.rank());
+  std::vector<int> order;
+  {
+    CollectiveResult r = control_->TryNegotiateOrder(
+        comm, group, ready, deadline, elastic.GenTag(0), &order);
+    if (!r.ok()) return r;
+  }
   EXACLIM_CHECK(static_cast<int>(order.size()) == n,
                 "negotiated order has wrong tensor count");
 
+  // Chaos site "elastic.exchange.kill.<rank>": this rank dies right
+  // after the order was agreed, so its peers starve *inside* the
+  // allreduce rounds — the mid-collective failure mode of DESIGN §13.
+  {
+    FaultInjector& injector = FaultInjector::Global();
+    if (injector.ArmedSiteCount() > 0 &&
+        injector.ShouldInject("elastic.exchange.kill." +
+                              std::to_string(comm.rank()))) {
+      comm.KillSelf();
+      throw RankKilledError("rank " + std::to_string(comm.rank()) +
+                            " killed mid-exchange by the chaos schedule");
+    }
+  }
+
   const float inv_world =
-      opts_.average ? 1.0f / static_cast<float>(comm.size()) : 1.0f;
+      opts_.average ? 1.0f / static_cast<float>(view.size()) : 1.0f;
   const int bpe = BytesPerElement(opts_.wire_precision);
 
   EXACLIM_TRACE_SPAN("exchange.allreduce", "hvd");
@@ -84,18 +130,30 @@ void GradientExchanger::Exchange(Communicator& comm,
 
     if (opts_.wire_precision == Precision::kFP16) RoundTripHalf(fusion);
 
-    const int tag = 20000 + buffer_index * 700;
+    const int tag = elastic.GenTag(20000 + buffer_index * 700);
+    CollectiveResult reduce_result;
     switch (opts_.transport) {
       case ReduceTransport::kMpiRing:
-        Allreduce(comm, fusion, AllreduceAlgo::kRing, tag);
+        reduce_result =
+            TryGroupAllreduceRing(comm, group, fusion, deadline, tag);
         break;
       case ReduceTransport::kMpiTree:
-        Allreduce(comm, fusion, AllreduceAlgo::kTree, tag);
+        reduce_result =
+            TryGroupAllreduceTree(comm, group, fusion, deadline, tag);
         break;
       case ReduceTransport::kHybrid:
-        HybridAllreduce(comm, fusion, opts_.hybrid, tag);
+        // The hybrid scheme needs whole nodes; a shrunk view falls back
+        // to the bandwidth-optimal group ring over the survivors.
+        if (view.generation == 0 && view.size() == comm.size()) {
+          reduce_result = TryHybridAllreduce(comm, fusion, opts_.hybrid,
+                                             deadline, tag);
+        } else {
+          reduce_result =
+              TryGroupAllreduceRing(comm, group, fusion, deadline, tag);
+        }
         break;
     }
+    if (!reduce_result.ok()) return reduce_result;
 
     for (auto& v : fusion) v *= inv_world;
     if (opts_.wire_precision == Precision::kFP16) RoundTripHalf(fusion);
@@ -118,6 +176,7 @@ void GradientExchanger::Exchange(Communicator& comm,
   if (auto* c = obs::CounterOrNull("exchange.bytes")) c->Add(total_bytes);
   if (auto* c = obs::CounterOrNull("exchange.buffers")) c->Add(buffer_index);
   ++step_;
+  return {};
 }
 
 }  // namespace exaclim

@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/elastic.hpp"
 #include "comm/world.hpp"
 #include "common/rng.hpp"
 #include "common/sync.hpp"
@@ -53,6 +54,20 @@ class GradientExchanger {
   /// On return, each param's grad holds the rank-averaged gradient,
   /// bit-identical on every rank.
   void Exchange(Communicator& comm, const std::vector<Param*>& params);
+
+  /// Elastic variant: the same negotiation + fusion + allreduce, run
+  /// over the current view's members with generation-salted tags and a
+  /// bounded deadline. On failure the partial step must be discarded by
+  /// the caller (gradients may hold partially averaged data) and the
+  /// step counter is NOT advanced, so the retried step reproduces the
+  /// same readiness shuffle. At generation 0 over the full world this is
+  /// message-for-message identical to Exchange. After a shrink the
+  /// hybrid transport falls back to the group ring (survivors rarely
+  /// form whole nodes).
+  CollectiveResult TryExchange(Communicator& comm,
+                               const std::vector<Param*>& params,
+                               ElasticWorld& elastic,
+                               const Deadline& deadline);
 
   /// Fused buffers formed in the last Exchange (diagnostic).
   std::int64_t last_fused_buffers() const { return last_fused_buffers_; }

@@ -1,8 +1,8 @@
 #include "hvd/group.hpp"
 
 #include <algorithm>
+#include <cstring>
 
-#include "comm/collectives.hpp"
 #include "common/error.hpp"
 
 namespace exaclim {
@@ -10,6 +10,107 @@ namespace {
 
 void AddInto(std::span<float> acc, std::span<const float> other) {
   for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += other[i];
+}
+
+/// Failure result for a group receive that did not complete; a timeout
+/// on a live neighbour is usually a cascade from a dead rank elsewhere
+/// (possibly outside this group, in another phase of the hybrid scheme),
+/// so scan the whole world for the culprit.
+CollectiveResult GroupFail(Communicator& comm, int waited_world_rank,
+                           RecvStatus status) {
+  CollectiveResult result;
+  result.suspect_rank = waited_world_rank;
+  result.status = status == RecvStatus::kPeerDead
+                      ? CollectiveStatus::kPeerDead
+                      : CollectiveStatus::kTimeout;
+  if (result.status == CollectiveStatus::kTimeout) {
+    for (int r = 0; r < comm.size(); ++r) {
+      if (comm.PeerDead(r)) {
+        result.status = CollectiveStatus::kPeerDead;
+        result.suspect_rank = r;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+/// How often a waiting member re-checks group liveness. The scan is
+/// scoped to the group — not the world — because elastic generations
+/// deliberately run group collectives while ex-members stay dead in the
+/// world; only a dead *member* dooms this collective. A death outside
+/// the group (another phase of the hybrid scheme) is still caught at
+/// the deadline by GroupFail's world scan.
+constexpr double kDeadScanSlice = 0.025;
+
+/// Receive from `src` in short slices, scanning the group for dead
+/// members in between, so a member death anywhere in the group fails
+/// the collective within one slice even when this rank's wait edge is
+/// with a live member that is itself stuck on the dead one.
+RecvResult RecvScanningForDeadMember(Communicator& comm,
+                                     const RankGroup& group, int src,
+                                     int tag, const Deadline& deadline,
+                                     DeadScan scan) {
+  for (;;) {
+    const double remaining = deadline.Remaining();
+    const double slice = remaining == kNoTimeout
+                             ? kDeadScanSlice
+                             : std::min(kDeadScanSlice, remaining);
+    RecvResult r = comm.RecvTimeout(src, tag, slice);
+    if (r.status == RecvStatus::kPeerDead) {
+      r.src = src;
+      return r;
+    }
+    if (r.status == RecvStatus::kOk) return r;
+    if (scan == DeadScan::kWorld) {
+      for (int rank = 0; rank < comm.size(); ++rank) {
+        if (comm.PeerDead(rank)) {
+          r.status = RecvStatus::kPeerDead;
+          r.src = rank;
+          return r;
+        }
+      }
+    } else {
+      for (int i = 0; i < group.size(); ++i) {
+        if (comm.PeerDead(group.WorldRank(i))) {
+          r.status = RecvStatus::kPeerDead;
+          r.src = group.WorldRank(i);
+          return r;
+        }
+      }
+    }
+    if (deadline.Expired()) return r;
+  }
+}
+
+CollectiveResult TimedRecvFloats(Communicator& comm, const RankGroup& group,
+                                 int src, int tag, std::span<float> data,
+                                 const Deadline& deadline, DeadScan scan) {
+  RecvResult r =
+      RecvScanningForDeadMember(comm, group, src, tag, deadline, scan);
+  if (!r.ok()) {
+    return GroupFail(comm, r.status == RecvStatus::kPeerDead ? r.src : src,
+                     r.status);
+  }
+  EXACLIM_CHECK(r.payload.size() == data.size() * sizeof(float),
+                "group recv size mismatch: got "
+                    << r.payload.size() << " expected "
+                    << data.size() * sizeof(float) << " (tag " << tag
+                    << ")");
+  if (!r.payload.empty()) {
+    std::memcpy(data.data(), r.payload.data(), r.payload.size());
+  }
+  return {};
+}
+
+void Require(Communicator& comm, const char* what,
+             const CollectiveResult& result) {
+  EXACLIM_CHECK(result.ok(),
+                "rank " << comm.rank() << ": blocking " << what
+                        << " cannot complete: rank " << result.suspect_rank
+                        << (result.status == CollectiveStatus::kPeerDead
+                                ? " is dead"
+                                : " is unresponsive"));
 }
 
 }  // namespace
@@ -26,17 +127,21 @@ RankGroup::RankGroup(std::span<const int> ranks, int my_world_rank)
                 "rank " << my_world_rank << " not a member of the group");
 }
 
-void GroupBroadcast(Communicator& comm, const RankGroup& group,
-                    int root_index, std::span<float> data, int tag) {
+CollectiveResult TryGroupBroadcast(Communicator& comm, const RankGroup& group,
+                                   int root_index, std::span<float> data,
+                                   const Deadline& deadline, int tag,
+                                   DeadScan scan) {
   const int n = group.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   const int vrank = (group.my_index() - root_index + n) % n;
   if (vrank != 0) {
     int mask = 1;
     while (mask <= vrank) mask <<= 1;
     mask >>= 1;
     const int parent = group.WorldRank(((vrank - mask) + root_index) % n);
-    comm.RecvT(parent, tag, data);  // fault: blocking-ok
+    CollectiveResult r =
+        TimedRecvFloats(comm, group, parent, tag, data, deadline, scan);
+    if (!r.ok()) return r;
   }
   int mask = 1;
   while (mask <= vrank) mask <<= 1;
@@ -46,12 +151,22 @@ void GroupBroadcast(Communicator& comm, const RankGroup& group,
     comm.SendT(group.WorldRank((vchild + root_index) % n), tag,
                std::span<const float>(data.data(), data.size()));
   }
+  return {};
 }
 
-void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
-                 std::span<float> data, int tag) {
+void GroupBroadcast(Communicator& comm, const RankGroup& group,
+                    int root_index, std::span<float> data, int tag) {
+  Require(comm, "GroupBroadcast",
+          TryGroupBroadcast(comm, group, root_index, data,
+                            Deadline(kNoTimeout), tag));
+}
+
+CollectiveResult TryGroupReduce(Communicator& comm, const RankGroup& group,
+                                int root_index, std::span<float> data,
+                                const Deadline& deadline, int tag,
+                                DeadScan scan) {
   const int n = group.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   const int vrank = (group.my_index() - root_index + n) % n;
   std::vector<float> incoming(data.size());
   for (int mask = 1; mask < n; mask <<= 1) {
@@ -59,22 +174,34 @@ void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
       const int dst = group.WorldRank(((vrank - mask) + root_index) % n);
       comm.SendT(dst, tag,
                  std::span<const float>(data.data(), data.size()));
-      return;
+      return {};
     }
     const int vsrc = vrank + mask;
     if (vsrc < n) {
-      comm.RecvT(group.WorldRank((vsrc + root_index) % n),  // fault: blocking-ok
-                 tag,
-                 std::span<float>(incoming));
+      CollectiveResult r = TimedRecvFloats(
+          comm, group, group.WorldRank((vsrc + root_index) % n), tag,
+          std::span<float>(incoming), deadline, scan);
+      if (!r.ok()) return r;
       AddInto(data, incoming);
     }
   }
+  return {};
 }
 
-void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
-                        std::span<float> data, int tag) {
+void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
+                 std::span<float> data, int tag) {
+  Require(comm, "GroupReduce",
+          TryGroupReduce(comm, group, root_index, data, Deadline(kNoTimeout),
+                         tag));
+}
+
+CollectiveResult TryGroupAllreduceRing(Communicator& comm,
+                                       const RankGroup& group,
+                                       std::span<float> data,
+                                       const Deadline& deadline, int tag,
+                                       DeadScan scan) {
   const int n = group.size();
-  if (n == 1) return;
+  if (n == 1) return {};
   const auto shards = ComputeShards(data.size(), n);
   const int idx = group.my_index();
   const int next = group.WorldRank((idx + 1) % n);
@@ -88,8 +215,10 @@ void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
     comm.SendT(next, tag + k,
                std::span<const float>(data.data() + s.offset, s.count));
-    comm.RecvT(prev, tag + k,  // fault: blocking-ok
-               std::span<float>(incoming.data(), r.count));
+    CollectiveResult recv = TimedRecvFloats(
+        comm, group, prev, tag + k,
+        std::span<float>(incoming.data(), r.count), deadline, scan);
+    if (!recv.ok()) return recv;
     AddInto(std::span<float>(data.data() + r.offset, r.count),
             std::span<const float>(incoming.data(), r.count));
   }
@@ -100,15 +229,37 @@ void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
     comm.SendT(next, tag + n + k,
                std::span<const float>(data.data() + s.offset, s.count));
-    comm.RecvT(prev, tag + n + k,  // fault: blocking-ok
-               std::span<float>(data.data() + r.offset, r.count));
+    CollectiveResult recv = TimedRecvFloats(
+        comm, group, prev, tag + n + k,
+        std::span<float>(data.data() + r.offset, r.count), deadline, scan);
+    if (!recv.ok()) return recv;
   }
+  return {};
+}
+
+void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
+                        std::span<float> data, int tag) {
+  Require(comm, "GroupAllreduceRing",
+          TryGroupAllreduceRing(comm, group, data, Deadline(kNoTimeout),
+                                tag));
+}
+
+CollectiveResult TryGroupAllreduceTree(Communicator& comm,
+                                       const RankGroup& group,
+                                       std::span<float> data,
+                                       const Deadline& deadline, int tag,
+                                       DeadScan scan) {
+  CollectiveResult r =
+      TryGroupReduce(comm, group, 0, data, deadline, tag, scan);
+  if (!r.ok()) return r;
+  return TryGroupBroadcast(comm, group, 0, data, deadline, tag + 1, scan);
 }
 
 void GroupAllreduceTree(Communicator& comm, const RankGroup& group,
                         std::span<float> data, int tag) {
-  GroupReduce(comm, group, 0, data, tag);
-  GroupBroadcast(comm, group, 0, data, tag + 1);
+  Require(comm, "GroupAllreduceTree",
+          TryGroupAllreduceTree(comm, group, data, Deadline(kNoTimeout),
+                                tag));
 }
 
 }  // namespace exaclim

@@ -3,6 +3,7 @@
 #include <span>
 #include <vector>
 
+#include "comm/collectives.hpp"
 #include "comm/world.hpp"
 
 namespace exaclim {
@@ -29,18 +30,52 @@ class RankGroup {
   int my_index_;
 };
 
+/// Scope of the periodic liveness scan a waiting member runs inside a
+/// bounded group collective. kGroup (the default) only aborts on a dead
+/// *member* — elastic generations deliberately keep collectives alive
+/// while ex-members stay dead in the world. kWorld aborts on a death
+/// anywhere; correct only when the caller knows any death dooms the
+/// operation, e.g. the hybrid allreduce whose subgroup phases require
+/// the entire generation-0 world.
+enum class DeadScan { kGroup, kWorld };
+
+/// Every group collective has a deadline-aware Try* variant (mirroring
+/// comm/collectives.hpp); the blocking form delegates with kNoTimeout,
+/// so both run the identical message pattern and combining order. Over
+/// the full world the group algorithms are element-for-element the same
+/// arithmetic as the flat collectives — the property that makes the
+/// elastic generation-0 path bit-identical to the non-elastic one.
+
 void GroupBroadcast(Communicator& comm, const RankGroup& group,
                     int root_index, std::span<float> data, int tag);
+CollectiveResult TryGroupBroadcast(Communicator& comm, const RankGroup& group,
+                                   int root_index, std::span<float> data,
+                                   const Deadline& deadline, int tag,
+                                   DeadScan scan = DeadScan::kGroup);
 
 void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
                  std::span<float> data, int tag);
+CollectiveResult TryGroupReduce(Communicator& comm, const RankGroup& group,
+                                int root_index, std::span<float> data,
+                                const Deadline& deadline, int tag,
+                                DeadScan scan = DeadScan::kGroup);
 
 /// Ring reduce-scatter + allgather within the group (in-place sum).
 void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
                         std::span<float> data, int tag);
+CollectiveResult TryGroupAllreduceRing(Communicator& comm,
+                                       const RankGroup& group,
+                                       std::span<float> data,
+                                       const Deadline& deadline, int tag,
+                                       DeadScan scan = DeadScan::kGroup);
 
 /// Tree (reduce + broadcast) all-reduce within the group.
 void GroupAllreduceTree(Communicator& comm, const RankGroup& group,
                         std::span<float> data, int tag);
+CollectiveResult TryGroupAllreduceTree(Communicator& comm,
+                                       const RankGroup& group,
+                                       std::span<float> data,
+                                       const Deadline& deadline, int tag,
+                                       DeadScan scan = DeadScan::kGroup);
 
 }  // namespace exaclim

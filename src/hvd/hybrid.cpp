@@ -8,8 +8,9 @@
 
 namespace exaclim {
 
-void HybridAllreduce(Communicator& comm, std::span<float> data,
-                     const HybridAllreduceOptions& opts, int tag) {
+CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
+                                    const HybridAllreduceOptions& opts,
+                                    const Deadline& deadline, int tag) {
   const int p = comm.size();
   const Topology& topo = opts.topology;
   const int rpn = topo.ranks_per_node;
@@ -28,11 +29,17 @@ void HybridAllreduce(Communicator& comm, std::span<float> data,
   std::iota(node_ranks.begin(), node_ranks.end(), node * rpn);
   const RankGroup node_group(node_ranks, rank);
 
-  // Phase 1 (NCCL): intra-node ring all-reduce.
+  // Phase 1 (NCCL): intra-node ring all-reduce. All phases scan the
+  // whole world for deaths: the hybrid scheme only runs over the full
+  // generation-0 world, so a death anywhere dooms it — waiting out the
+  // deadline inside an unaffected subgroup would just delay recovery.
   if (rpn > 1) {
-    GroupAllreduceRing(comm, node_group, data, tag);
+    CollectiveResult r = TryGroupAllreduceRing(comm, node_group, data,
+                                               deadline, tag,
+                                               DeadScan::kWorld);
+    if (!r.ok()) return r;
   }
-  if (nodes == 1) return;
+  if (nodes == 1) return {};
 
   // Phase 2 (MPI): the first `mpi_ranks` local ranks each all-reduce one
   // shard with their same-indexed peers across nodes.
@@ -47,11 +54,13 @@ void HybridAllreduce(Communicator& comm, std::span<float> data,
     std::span<float> shard(data.data() + s.offset, s.count);
     if (!shard.empty()) {
       const int shard_tag = tag + 100 + local;
-      if (opts.inter_node_tree) {
-        GroupAllreduceTree(comm, peers, shard, shard_tag);
-      } else {
-        GroupAllreduceRing(comm, peers, shard, shard_tag);
-      }
+      CollectiveResult r =
+          opts.inter_node_tree
+              ? TryGroupAllreduceTree(comm, peers, shard, deadline,
+                                      shard_tag, DeadScan::kWorld)
+              : TryGroupAllreduceRing(comm, peers, shard, deadline,
+                                      shard_tag, DeadScan::kWorld);
+      if (!r.ok()) return r;
     }
   }
 
@@ -60,11 +69,27 @@ void HybridAllreduce(Communicator& comm, std::span<float> data,
     for (int owner = 0; owner < mpi_ranks; ++owner) {
       const auto& s = shards[static_cast<std::size_t>(owner)];
       if (s.count == 0) continue;
-      GroupBroadcast(comm, node_group, owner,
-                     std::span<float>(data.data() + s.offset, s.count),
-                     tag + 500 + owner);
+      CollectiveResult r = TryGroupBroadcast(
+          comm, node_group, owner,
+          std::span<float>(data.data() + s.offset, s.count), deadline,
+          tag + 500 + owner, DeadScan::kWorld);
+      if (!r.ok()) return r;
     }
   }
+  return {};
+}
+
+void HybridAllreduce(Communicator& comm, std::span<float> data,
+                     const HybridAllreduceOptions& opts, int tag) {
+  const CollectiveResult result =
+      TryHybridAllreduce(comm, data, opts, Deadline(kNoTimeout), tag);
+  EXACLIM_CHECK(result.ok(),
+                "rank " << comm.rank()
+                        << ": blocking HybridAllreduce cannot complete: rank "
+                        << result.suspect_rank
+                        << (result.status == CollectiveStatus::kPeerDead
+                                ? " is dead"
+                                : " is unresponsive"));
 }
 
 }  // namespace exaclim

@@ -2,6 +2,7 @@
 
 #include <span>
 
+#include "comm/collectives.hpp"
 #include "comm/world.hpp"
 
 namespace exaclim {
@@ -33,5 +34,12 @@ struct HybridAllreduceOptions {
 /// nodes. All ranks must call collectively.
 void HybridAllreduce(Communicator& comm, std::span<float> data,
                      const HybridAllreduceOptions& opts, int tag = 9500);
+
+/// Deadline-aware variant: returns instead of hanging when a rank dies
+/// in any of the three phases. The blocking form delegates here with
+/// kNoTimeout (identical message pattern and combining order).
+CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
+                                    const HybridAllreduceOptions& opts,
+                                    const Deadline& deadline, int tag = 9500);
 
 }  // namespace exaclim

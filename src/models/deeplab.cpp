@@ -82,6 +82,13 @@ std::vector<Param*> ASPP::Params() {
   return params;
 }
 
+std::vector<Layer::StateTensor> ASPP::StateTensors() {
+  std::vector<StateTensor> state;
+  for (auto& b : branches_) AppendStateTensors(state, *b);
+  AppendStateTensors(state, *project_);
+  return state;
+}
+
 void ASPP::SetPrecisionAll(Precision p) {
   SetPrecision(p);
   for (auto& b : branches_) b->SetPrecisionRecursive(p);
@@ -257,6 +264,18 @@ std::vector<Param*> DeepLabV3Plus::Params() {
   for (auto& up : upsample_tail_) AppendParams(params, *up);
   AppendParams(params, *classifier_);
   return params;
+}
+
+std::vector<Layer::StateTensor> DeepLabV3Plus::StateTensors() {
+  std::vector<StateTensor> state;
+  AppendStateTensors(state, *encoder_);
+  AppendStateTensors(state, *aspp_);
+  AppendStateTensors(state, *skip_reduce_);
+  AppendStateTensors(state, *up1_);
+  AppendStateTensors(state, *refine_);
+  for (auto& up : upsample_tail_) AppendStateTensors(state, *up);
+  AppendStateTensors(state, *classifier_);
+  return state;
 }
 
 void DeepLabV3Plus::SetPrecisionAll(Precision p) {

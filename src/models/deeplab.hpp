@@ -25,6 +25,7 @@ class ASPP : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
+  std::vector<StateTensor> StateTensors() override;
   void SetPrecisionAll(Precision p);
 
   std::int64_t out_channels() const { return opts_.branch_c; }
@@ -69,6 +70,7 @@ class DeepLabV3Plus : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
+  std::vector<StateTensor> StateTensors() override;
   void SetPrecisionAll(Precision p);
 
   const Config& config() const { return config_; }

@@ -78,6 +78,13 @@ std::vector<Param*> Bottleneck::Params() {
   return params;
 }
 
+std::vector<Layer::StateTensor> Bottleneck::StateTensors() {
+  std::vector<StateTensor> state;
+  AppendStateTensors(state, *main_);
+  if (shortcut_) AppendStateTensors(state, *shortcut_);
+  return state;
+}
+
 void Bottleneck::SetPrecisionAll(Precision p) {
   SetPrecision(p);
   main_->SetPrecisionRecursive(p);
@@ -193,6 +200,13 @@ std::vector<Param*> ResNetEncoder::Params() {
   AppendParams(params, *stem_);
   for (auto& b : blocks_) AppendParams(params, *b);
   return params;
+}
+
+std::vector<Layer::StateTensor> ResNetEncoder::StateTensors() {
+  std::vector<StateTensor> state;
+  AppendStateTensors(state, *stem_);
+  for (auto& b : blocks_) AppendStateTensors(state, *b);
+  return state;
 }
 
 void ResNetEncoder::SetPrecisionAll(Precision p) {

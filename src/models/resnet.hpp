@@ -31,6 +31,7 @@ class Bottleneck : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
+  std::vector<StateTensor> StateTensors() override;
   void SetPrecisionAll(Precision p);
 
  private:
@@ -73,6 +74,7 @@ class ResNetEncoder : public Layer {
   TensorShape OutputShape(const TensorShape& input) const override;
   TensorShape LowLevelShape(const TensorShape& input) const;
   std::vector<Param*> Params() override;
+  std::vector<StateTensor> StateTensors() override;
   void SetPrecisionAll(Precision p);
 
   const Tensor& low_level() const { return low_level_; }

@@ -102,6 +102,12 @@ std::vector<Param*> DenseBlock::Params() {
   return params;
 }
 
+std::vector<Layer::StateTensor> DenseBlock::StateTensors() {
+  std::vector<StateTensor> state;
+  for (auto& unit : units_) AppendStateTensors(state, *unit);
+  return state;
+}
+
 void DenseBlock::SetPrecisionAll(Precision p) {
   SetPrecision(p);
   for (auto& unit : units_) unit->SetPrecisionRecursive(p);
@@ -286,6 +292,18 @@ std::vector<Param*> Tiramisu::Params() {
   for (auto& b : up_blocks_) AppendParams(params, *b);
   AppendParams(params, *final_conv_);
   return params;
+}
+
+std::vector<Layer::StateTensor> Tiramisu::StateTensors() {
+  std::vector<StateTensor> state;
+  AppendStateTensors(state, *first_conv_);
+  for (auto& b : down_blocks_) AppendStateTensors(state, *b);
+  for (auto& d : downs_) AppendStateTensors(state, *d);
+  AppendStateTensors(state, *bottleneck_);
+  for (auto& u : ups_) AppendStateTensors(state, *u);
+  for (auto& b : up_blocks_) AppendStateTensors(state, *b);
+  AppendStateTensors(state, *final_conv_);
+  return state;
 }
 
 void Tiramisu::SetPrecisionAll(Precision p) {

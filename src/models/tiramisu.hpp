@@ -36,6 +36,7 @@ class DenseBlock : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
+  std::vector<StateTensor> StateTensors() override;
   void SetPrecisionAll(Precision p);
 
   std::int64_t out_channels() const {
@@ -101,6 +102,7 @@ class Tiramisu : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
+  std::vector<StateTensor> StateTensors() override;
 
   /// Propagates precision to every sub-layer (FP16 emulation).
   void SetPrecisionAll(Precision p);

@@ -50,6 +50,16 @@ class Layer {
 
   virtual std::vector<Param*> Params() { return {}; }
 
+  /// Non-trainable state that must survive checkpoint/resume — e.g.
+  /// batch-norm running statistics. Named like params but outside the
+  /// optimizer and the gradient exchange; checkpoints store them as
+  /// "__state__<name>" datasets.
+  struct StateTensor {
+    std::string name;
+    Tensor* tensor;
+  };
+  virtual std::vector<StateTensor> StateTensors() { return {}; }
+
   const std::string& name() const { return name_; }
 
   void SetPrecision(Precision p) { precision_ = p; }
@@ -73,6 +83,12 @@ using LayerPtr = std::unique_ptr<Layer>;
 /// Collects Params from a list of layers (helper for containers/models).
 inline void AppendParams(std::vector<Param*>& out, Layer& layer) {
   for (Param* p : layer.Params()) out.push_back(p);
+}
+
+/// Same for non-trainable state tensors.
+inline void AppendStateTensors(std::vector<Layer::StateTensor>& out,
+                               Layer& layer) {
+  for (auto& s : layer.StateTensors()) out.push_back(std::move(s));
 }
 
 }  // namespace exaclim

@@ -151,4 +151,9 @@ Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
 
 std::vector<Param*> BatchNorm2d::Params() { return {&gamma_, &beta_}; }
 
+std::vector<Layer::StateTensor> BatchNorm2d::StateTensors() {
+  return {{name() + ".running_mean", &running_mean_},
+          {name() + ".running_var", &running_var_}};
+}
+
 }  // namespace exaclim

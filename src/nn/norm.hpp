@@ -17,6 +17,9 @@ class BatchNorm2d : public Layer {
   Tensor Backward(const Tensor& grad_output) override;
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
+  /// Running mean/var: inference state that checkpoint/resume must carry
+  /// for bit-exact validation metrics after a restart.
+  std::vector<StateTensor> StateTensors() override;
 
   const Tensor& running_mean() const { return running_mean_; }
   const Tensor& running_var() const { return running_var_; }

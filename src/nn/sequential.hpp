@@ -51,6 +51,12 @@ class Sequential : public Layer {
     return params;
   }
 
+  std::vector<StateTensor> StateTensors() override {
+    std::vector<StateTensor> state;
+    for (auto& layer : layers_) AppendStateTensors(state, *layer);
+    return state;
+  }
+
   /// Propagates precision to every contained layer.
   void SetPrecisionRecursive(Precision p) {
     SetPrecision(p);

@@ -24,6 +24,7 @@ constexpr char kCrcMagic[4] = {'X', 'C', 'R', 'C'};
 constexpr std::size_t kCrcTailBytes = sizeof(std::uint64_t) + 4;
 
 constexpr const char* kMetaPrefix = "__meta__";
+constexpr const char* kStatePrefix = "__state__";
 
 void AppendScalar(std::vector<std::uint8_t>* out, const void* p,
                   std::size_t n) {
@@ -89,7 +90,8 @@ bool ReadCrcFooter(const std::filesystem::path& path,
 
 std::int64_t SaveCheckpoint(const std::filesystem::path& path,
                             const std::vector<Param*>& params,
-                            const std::map<std::string, double>& meta) {
+                            const std::map<std::string, double>& meta,
+                            const std::vector<Layer::StateTensor>& state) {
   const std::filesystem::path tmp = path.string() + ".tmp";
 
   std::vector<std::pair<std::string, std::uint32_t>> crcs;
@@ -104,6 +106,11 @@ std::int64_t SaveCheckpoint(const std::filesystem::path& path,
       const std::string name = kMetaPrefix + key;
       writer.AddFloat(name, std::span<const float>(&v, 1));
       crcs.emplace_back(name, CrcOfFloats(std::span<const float>(&v, 1)));
+    }
+    for (const auto& s : state) {
+      const std::string name = kStatePrefix + s.name;
+      writer.AddFloat(name, s.tensor->Data());
+      crcs.emplace_back(name, CrcOfFloats(s.tensor->Data()));
     }
     writer.Finish();
   }
@@ -149,7 +156,8 @@ std::int64_t SaveCheckpoint(const std::filesystem::path& path,
 
 void LoadCheckpoint(const std::filesystem::path& path,
                     const std::vector<Param*>& params,
-                    std::map<std::string, double>* meta) {
+                    std::map<std::string, double>* meta,
+                    const std::vector<Layer::StateTensor>& state) {
   std::map<std::string, std::uint32_t> crcs;
   const bool verified = ReadCrcFooter(path, &crcs);
 
@@ -177,6 +185,20 @@ void LoadCheckpoint(const std::filesystem::path& path,
                                                   << values.size());
     check_crc(p->name, values);
     std::copy(values.begin(), values.end(), p->value.Data().begin());
+  }
+  for (const auto& s : state) {
+    const std::string name = kStatePrefix + s.name;
+    // Absent dataset: a checkpoint from before state capture existed —
+    // leave the tensor as constructed rather than failing the resume.
+    if (!reader.Has(name)) continue;
+    const auto values = reader.ReadFloat(name);
+    EXACLIM_CHECK(static_cast<std::int64_t>(values.size()) ==
+                      s.tensor->NumElements(),
+                  "checkpoint size mismatch for state " << s.name
+                                                        << ": file has "
+                                                        << values.size());
+    check_crc(name, values);
+    std::copy(values.begin(), values.end(), s.tensor->Data().begin());
   }
   if (meta != nullptr) {
     const std::size_t prefix_len = std::string(kMetaPrefix).size();

@@ -26,22 +26,32 @@ namespace exaclim {
 ///
 /// Scalar run metadata (e.g. the epoch index) rides along as float[1]
 /// datasets named "__meta__<key>", checksummed like everything else.
+/// Non-trainable layer state (batch-norm running statistics, via
+/// Layer::StateTensors) rides along as "__state__<name>" datasets, so a
+/// resumed run reproduces validation metrics bit-exactly, not just the
+/// training trajectory.
 
-/// Writes every Param's value (not gradients) plus `meta`, atomically,
-/// with a CRC32 footer. Returns bytes written. The "checkpoint.write"
-/// fault site simulates a crash mid-write: the temp file is torn and an
-/// Error thrown before the rename, preserving the previous checkpoint.
+/// Writes every Param's value (not gradients) plus `meta` and `state`,
+/// atomically, with a CRC32 footer. Returns bytes written. The
+/// "checkpoint.write" fault site simulates a crash mid-write: the temp
+/// file is torn and an Error thrown before the rename, preserving the
+/// previous checkpoint.
 std::int64_t SaveCheckpoint(const std::filesystem::path& path,
                             const std::vector<Param*>& params,
-                            const std::map<std::string, double>& meta = {});
+                            const std::map<std::string, double>& meta = {},
+                            const std::vector<Layer::StateTensor>& state = {});
 
 /// Loads values into the given params; every param must be present in
 /// the file with a matching element count (name-keyed, so architectures
 /// must match). Verifies the CRC32 footer when present. Throws
 /// exaclim::Error on any mismatch or corruption. When `meta` is non-null
-/// it receives every "__meta__<key>" entry in the file.
+/// it receives every "__meta__<key>" entry in the file. State tensors
+/// load from their "__state__<name>" datasets; entries absent from the
+/// file (a checkpoint written before state was captured) are left
+/// untouched, so legacy checkpoints still load.
 void LoadCheckpoint(const std::filesystem::path& path,
                     const std::vector<Param*>& params,
-                    std::map<std::string, double>* meta = nullptr);
+                    std::map<std::string, double>* meta = nullptr,
+                    const std::vector<Layer::StateTensor>& state = {});
 
 }  // namespace exaclim

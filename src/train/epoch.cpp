@@ -34,7 +34,8 @@ EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
       std::filesystem::exists(opts.checkpoint_path)) {
     std::map<std::string, double> meta;
     try {
-      LoadCheckpoint(opts.checkpoint_path, trainer.params(), &meta);
+      LoadCheckpoint(opts.checkpoint_path, trainer.params(), &meta,
+                     trainer.model().StateTensors());
       const auto it = meta.find("epoch");
       EXACLIM_CHECK(it != meta.end(),
                     "checkpoint " << opts.checkpoint_path
@@ -93,7 +94,8 @@ EpochRunnerResult RunEpochs(const TrainerOptions& trainer_opts,
       try {
         std::map<std::string, double> meta;
         meta["epoch"] = static_cast<double>(epoch + 1);
-        SaveCheckpoint(opts.checkpoint_path, trainer.params(), meta);
+        SaveCheckpoint(opts.checkpoint_path, trainer.params(), meta,
+                       trainer.model().StateTensors());
         ++result.checkpoints_written;
       } catch (const Error& e) {
         FaultCounterBump("fault.checkpoint.save_failures");

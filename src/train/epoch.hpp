@@ -21,14 +21,16 @@ struct EpochRunnerOptions {
   AugmentOptions augment_options{};
 
   // Checkpoint/restart (DESIGN §8). With checkpoint_every > 0 and a
-  // non-empty path, a checksummed checkpoint (model params + epoch
-  // index) is written atomically after every Nth epoch. With resume on,
-  // an existing readable checkpoint restarts the run from the epoch
-  // after the one it recorded; a corrupt or unreadable one is rejected
-  // (counted as "fault.checkpoint.rejected") and training starts fresh.
-  // Per-epoch RNG streams are forked from the seed by epoch index, so a
-  // resumed run retraces the uninterrupted trajectory exactly as long as
-  // the optimizer itself is stateless (plain SGD, momentum 0, no LARC).
+  // non-empty path, a checksummed checkpoint (model params + batch-norm
+  // running statistics + epoch index) is written atomically after every
+  // Nth epoch. With resume on, an existing readable checkpoint restarts
+  // the run from the epoch after the one it recorded; a corrupt or
+  // unreadable one is rejected (counted as "fault.checkpoint.rejected")
+  // and training starts fresh. Per-epoch RNG streams are forked from the
+  // seed by epoch index, so a resumed run retraces the uninterrupted
+  // trajectory — training losses AND validation metrics — exactly, as
+  // long as the optimizer itself is stateless (plain SGD, momentum 0,
+  // no LARC).
   int checkpoint_every = 0;
   std::filesystem::path checkpoint_path{};
   bool resume = false;

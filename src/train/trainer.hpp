@@ -3,6 +3,7 @@
 #include <memory>
 #include <vector>
 
+#include "comm/elastic.hpp"
 #include "comm/world.hpp"
 #include "data/dataset.hpp"
 #include "hvd/exchanger.hpp"
@@ -41,6 +42,9 @@ struct TrainerOptions {
   int lag = 0;
 
   ExchangerOptions exchanger{};
+  /// Elastic training (DESIGN §13): survive rank death mid-step via
+  /// bounded collectives + world rebuild + live-peer weight resync.
+  ElasticOptions elastic{};
   std::int64_t local_batch = 1;
   std::uint64_t seed = 42;
 };
@@ -80,6 +84,29 @@ class RankTrainer {
   /// process, no gradient exchange).
   StepResult Step(const Batch& batch, Communicator* comm = nullptr);
 
+  /// Elastic step: the exchange runs bounded over the current view. On a
+  /// failed exchange (`!exchange.ok()`) the partial gradients are
+  /// discarded — no optimizer or loss-scaler update happens — so every
+  /// survivor's replica stays bit-identical and the step can be retried
+  /// after Rebuild()+ResyncFromRoot().
+  struct ElasticStepResult {
+    StepResult step;
+    CollectiveResult exchange;
+  };
+  ElasticStepResult StepElastic(const Batch& batch, Communicator& comm,
+                                ElasticWorld& elastic);
+
+  /// Re-aligns replicas after a rebuild: the view's index-0 survivor
+  /// broadcasts its weights in memory (no disk checkpoint on the hot
+  /// recovery path), CRC32-verified on every receiver. `*resync_bytes`
+  /// gets the broadcast payload size.
+  CollectiveResult ResyncFromRoot(Communicator& comm, ElasticWorld& elastic,
+                                  std::int64_t* resync_bytes);
+
+  /// CRC32 over all parameter values — the replica-consistency probe the
+  /// chaos tests assert with.
+  std::uint32_t ParamsCrc32() const;
+
   /// Runs inference over up to `max_samples` of a split, accumulating a
   /// confusion matrix (mean IoU is the Sec VII-D metric).
   ConfusionMatrix Evaluate(const ClimateDataset& dataset, DatasetSplit split,
@@ -90,6 +117,10 @@ class RankTrainer {
   std::int64_t ParameterCount() const;
 
  private:
+  StepResult StepImpl(const Batch& batch, Communicator* comm,
+                      ElasticWorld* elastic,
+                      CollectiveResult* exchange_status);
+
   TrainerOptions opts_;
   std::vector<float> class_weights_;
   std::unique_ptr<Layer> model_;
@@ -104,10 +135,19 @@ class RankTrainer {
 /// each rank drawing batches from its own local shard (Sec V-A1
 /// resampling), and records the rank-0 loss curve.
 struct TrainRunResult {
-  std::vector<double> loss_history;       // per step (rank 0)
-  std::vector<double> accuracy_history;   // per step (rank 0)
+  std::vector<double> loss_history;       // per step (lowest live rank)
+  std::vector<double> accuracy_history;   // per step (lowest live rank)
   std::int64_t skipped_steps = 0;         // FP16 overflow skips
   double final_loss = 0.0;
+
+  // Elastic outcome (populated when opts.elastic.enabled; with no
+  // failures: final_world_size == ranks, generation 0, 0 recoveries).
+  int final_world_size = 0;
+  int final_generation = 0;
+  std::int64_t recoveries = 0;      // world rebuilds survived
+  std::int64_t resync_bytes = 0;    // weight bytes re-broadcast in memory
+  std::vector<char> survived;       // per world rank: finished the run
+  std::vector<std::uint32_t> survivor_param_crcs;  // per rank, 0 if dead
 };
 
 TrainRunResult RunDistributedTraining(const TrainerOptions& opts,

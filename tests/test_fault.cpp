@@ -125,10 +125,10 @@ TEST(FaultInjector, DisarmAndReset) {
 TEST(FaultInjector, ArmFromStringParsesTheGrammar) {
   FaultScope scope;
   auto& inj = FaultInjector::Global();
-  EXPECT_EQ(inj.ArmFromString("a:0.5:7:3:0.25:2,comm.kill.1:1"), 2);
-  EXPECT_TRUE(inj.IsArmed("a"));
+  EXPECT_EQ(inj.ArmFromString("comm.delay:0.5:7:3:0.25:2,comm.kill.1:1"), 2);
+  EXPECT_TRUE(inj.IsArmed("comm.delay"));
   EXPECT_TRUE(inj.IsArmed("comm.kill.1"));
-  EXPECT_DOUBLE_EQ(inj.DelaySeconds("a"), 0.25);
+  EXPECT_DOUBLE_EQ(inj.DelaySeconds("comm.delay"), 0.25);
   EXPECT_DOUBLE_EQ(inj.DelaySeconds("comm.kill.1"), 0.0);
 }
 
@@ -136,8 +136,36 @@ TEST(FaultInjector, ArmFromStringRejectsMalformedSpecs) {
   FaultScope scope;
   auto& inj = FaultInjector::Global();
   EXPECT_THROW(inj.ArmFromString("siteonly"), Error);
-  EXPECT_THROW(inj.ArmFromString("a:notanumber"), Error);
-  EXPECT_THROW(inj.ArmFromString("a:2.0"), Error);  // probability > 1
+  EXPECT_THROW(inj.ArmFromString("fs.read:notanumber"), Error);
+  EXPECT_THROW(inj.ArmFromString("fs.read:2.0"), Error);  // probability > 1
+}
+
+TEST(FaultInjector, ArmFromStringRejectsUnknownSitesListingValidOnes) {
+  FaultScope scope;
+  auto& inj = FaultInjector::Global();
+  // A typo'd site would arm silently and never fire — the parse layer
+  // fails fast and names the whole vocabulary instead.
+  try {
+    inj.ArmFromString("comm.kil.1:1");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("comm.kil.1"), std::string::npos);
+    EXPECT_NE(what.find("comm.kill.<rank>"), std::string::npos);
+    EXPECT_NE(what.find("elastic.exchange.kill.<rank>"), std::string::npos);
+    EXPECT_NE(what.find("pipeline.produce"), std::string::npos);
+  }
+  EXPECT_EQ(inj.ArmedSiteCount(), 0);
+  // Parameterized kill sites take a rank number, nothing else.
+  EXPECT_THROW(inj.ArmFromString("elastic.kill.x:1"), Error);
+  EXPECT_THROW(inj.ArmFromString("elastic.kill.:1"), Error);
+  // Programmatic Arm stays free-form (tests use synthetic sites), and
+  // RegisterFaultSite extends the env vocabulary.
+  inj.Arm(Spec("synthetic.site"));
+  EXPECT_TRUE(inj.IsArmed("synthetic.site"));
+  RegisterFaultSite("test.registered");
+  EXPECT_EQ(inj.ArmFromString("test.registered:1"), 1);
+  EXPECT_TRUE(inj.IsArmed("test.registered"));
 }
 
 // -------------------------------------------------------- RetryPolicy --
@@ -920,11 +948,11 @@ TEST_F(EpochFault, MidRunKillThenResumeMatchesUninterruptedRun) {
   ASSERT_EQ(resumed.train_loss.size(), 2u);
   EXPECT_DOUBLE_EQ(resumed.train_loss[0], reference.train_loss[2]);
   EXPECT_DOUBLE_EQ(resumed.train_loss[1], reference.train_loss[3]);
-  // Validation mIoU is NOT bit-compared: batch-norm running statistics
-  // are inference-only state outside Params(), so they are not part of
-  // the checkpoint (which covers trainable params + epoch index). The
-  // training trajectory above is the resume-determinism claim.
+  // Batch-norm running statistics are checkpointed alongside the params
+  // (Layer::StateTensors), so validation metrics are bit-exact too.
   ASSERT_EQ(resumed.validation_miou.size(), 2u);
+  EXPECT_DOUBLE_EQ(resumed.validation_miou[0], reference.validation_miou[2]);
+  EXPECT_DOUBLE_EQ(resumed.validation_miou[1], reference.validation_miou[3]);
 }
 
 TEST_F(EpochFault, CorruptCheckpointFallsBackToFreshStart) {

@@ -122,5 +122,15 @@ run env TSAN_OPTIONS=halt_on_error=1 \
   EXACLIM_FAULTS="comm.kill.1:1:7,pipeline.produce:1:11:4" \
   ./build-tsan/tests/test_fault --gtest_filter='FaultSmoke.*'
 
+# ---- 9. chaos-smoke ------------------------------------------------------
+# Elastic-training chaos soak under TSan through the EXACLIM_FAULTS env
+# path (DESIGN §13): rank 4 dies at its step-3 entry, rank 1 dies
+# mid-exchange at step 4; the survivors must rebuild to generation 2,
+# resync weights, finish all steps with bit-identical replicas, and the
+# whole recovery machinery must be race-free.
+run env TSAN_OPTIONS=halt_on_error=1 \
+  EXACLIM_FAULTS="elastic.kill.4:1:7:1:0:3,elastic.exchange.kill.1:1:9:1:0:4" \
+  ./build-tsan/tests/test_elastic --gtest_filter='ChaosSmoke.*'
+
 echo
-echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, alloc-smoke, asan+ubsan, tsan-stress, fault-smoke)"
+echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, alloc-smoke, asan+ubsan, tsan-stress, fault-smoke, chaos-smoke)"

@@ -311,10 +311,11 @@ class NakedNewRule(Rule):
 class UnboundedRecvRule(Rule):
     id = "unbounded-recv"
     doc = ("no unbounded Recv/RecvT/RecvAny/RecvValue in src/ outside "
-           "src/comm/: a blocking receive hangs forever on a dead peer "
-           "(DESIGN §8). Use RecvTimeout / TryRecv / RecvValueTimeout, or "
-           "annotate the line with `// fault: blocking-ok` where a blocking "
-           "wait is intended (e.g. collectives over live ranks).")
+           "src/comm/world.*: a blocking receive hangs forever on a dead "
+           "peer (DESIGN §8, §13 — the elastic exchange path must stay "
+           "fully bounded). Use RecvTimeout / TryRecv / RecvValueTimeout, "
+           "or annotate the line with `// fault: blocking-ok` where a "
+           "blocking wait is intended (e.g. collectives over live ranks).")
 
     # Won't match RecvTimeout / TryRecv / RecvValueTimeout, whose names
     # diverge after the prefix.
@@ -323,7 +324,11 @@ class UnboundedRecvRule(Rule):
 
     def check(self, ctx: FileContext, linter: Linter) -> None:
         posix = ctx.rel.as_posix()
-        if not posix.startswith("src/") or posix.startswith("src/comm/"):
+        # Only the transport itself (world.*) may block: it implements the
+        # primitives. Everything else — including comm/collectives.cpp,
+        # comm/elastic.cpp and all of hvd/ — rides the exchange path and
+        # must use the bounded forms.
+        if not posix.startswith("src/") or posix.startswith("src/comm/world."):
             return
         for lineno, (raw, code) in enumerate(
                 zip(ctx.raw_lines, ctx.code_lines), 1):

@@ -146,9 +146,15 @@ class UnboundedRecvTest(unittest.TestCase):
         f = run_lint({"src/train/a.cpp": "comm.Recv(0, 1);\n"})
         self.assertIn("unbounded-recv", rules_fired(f))
 
-    def test_comm_exempt(self):
-        f = run_lint({"src/comm/a.cpp": "comm.Recv(0, 1);\n"})
+    def test_world_substrate_exempt(self):
+        f = run_lint({"src/comm/world.cpp": "comm.Recv(0, 1);\n"})
         self.assertNotIn("unbounded-recv", rules_fired(f))
+
+    def test_rest_of_comm_fires(self):
+        # The exemption covers only the substrate (world.*): the elastic
+        # exchange path through collectives/elastic must stay bounded.
+        f = run_lint({"src/comm/collectives.cpp": "comm.Recv(0, 1);\n"})
+        self.assertIn("unbounded-recv", rules_fired(f))
 
     def test_tests_exempt(self):
         f = run_lint({"tests/a.cpp": "comm.Recv(0, 1);\n"})
