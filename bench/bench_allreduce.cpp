@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "comm/collectives.hpp"
+#include "hvd/exchanger.hpp"
 #include "hvd/hybrid.hpp"
 #include "netsim/scale.hpp"
 
@@ -97,6 +98,33 @@ int Main() {
         HybridAllreduceOptions{}.mpi_ranks_per_node,
         HybridAllreduceOptions{}.topology.ranks_per_node,
         HybridAllreduceOptions{}.mpi_ranks_per_node);
+  }
+
+  // Packed FP16 wire (DESIGN §14): the exchanger rounds gradients
+  // through binary16 and moves 2-byte words, halving the bytes of every
+  // transport while the reduction still accumulates in FP32.
+  {
+    std::printf("\n  packed wire (gradient exchange, same 4 MB buffer):\n");
+    for (const Precision wire : {Precision::kFP32, Precision::kFP16}) {
+      SimWorld world(ranks);
+      world.Run([&](Communicator& comm) {
+        Param param("g", Tensor::Zeros(TensorShape{
+                             static_cast<std::int64_t>(elems)}));
+        param.grad.Fill(static_cast<float>(comm.rank() + 1) * 0.25f);
+        ExchangerOptions opts;
+        opts.transport = ReduceTransport::kMpiRing;
+        opts.shuffle_ready_order = false;
+        opts.wire_precision = wire;
+        GradientExchanger exchanger(opts, 7);
+        std::vector<Param*> params{&param};
+        exchanger.Exchange(comm, params);
+      });
+      std::printf("  %-22s %10s %10lld %12.1f\n",
+                  wire == Precision::kFP16 ? "ring, FP16 wire"
+                                           : "ring, FP32 wire",
+                  "", static_cast<long long>(world.total_messages()),
+                  world.total_bytes() / 1e6);
+    }
   }
 
   // ---- Modelled at Summit scale.

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/workspace.hpp"
+#include "tensor/cast.hpp"
 
 namespace exaclim {
 namespace {
@@ -384,6 +386,48 @@ void Gather(Communicator& comm, int root, std::span<const float> data,
             std::span<float> out, int tag) {
   Require(comm, "Gather",
           TryGather(comm, root, data, out, Deadline(kNoTimeout), tag));
+}
+
+const char* ToString(WireFormat wire) {
+  switch (wire) {
+    case WireFormat::kFP32: return "fp32";
+    case WireFormat::kFP16: return "fp16";
+  }
+  return "?";
+}
+
+void SendFloats(Communicator& comm, int dst, int tag,
+                std::span<const float> data, WireFormat wire) {
+  if (wire == WireFormat::kFP32) {
+    comm.SendT(dst, tag, data);
+    return;
+  }
+  // Pack into the thread-local wire scratch; Send buffers (copies) the
+  // payload before returning, so the scratch is immediately reusable.
+  std::uint16_t* packed = AcquireScratchU16(ScratchSlot::kWirePack,
+                                            data.size());
+  PackHalf(data, std::span<std::uint16_t>(packed, data.size()));
+  comm.Send(dst, tag,
+            std::as_bytes(std::span<const std::uint16_t>(packed,
+                                                         data.size())));
+}
+
+void DecodeFloats(std::span<const std::byte> payload, std::span<float> out,
+                  WireFormat wire) {
+  EXACLIM_CHECK(payload.size() == WireBytes(out.size(), wire),
+                "wire payload size mismatch: got "
+                    << payload.size() << " expected "
+                    << WireBytes(out.size(), wire) << " ("
+                    << ToString(wire) << ")");
+  if (out.empty()) return;
+  if (wire == WireFormat::kFP32) {
+    std::memcpy(out.data(), payload.data(), payload.size());
+    return;
+  }
+  UnpackHalf(std::span<const std::uint16_t>(
+                 reinterpret_cast<const std::uint16_t*>(payload.data()),
+                 out.size()),
+             out);
 }
 
 }  // namespace exaclim

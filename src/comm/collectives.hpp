@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -104,5 +106,35 @@ void Gather(Communicator& comm, int root, std::span<const float> data,
 CollectiveResult TryGather(Communicator& comm, int root,
                            std::span<const float> data, std::span<float> out,
                            const Deadline& deadline, int tag = 1600);
+
+/// On-the-wire encoding of a float payload. kFP32 sends raw floats;
+/// kFP16 packs each element through IEEE binary16 (PackHalf), halving
+/// the bytes every message moves. Reductions still accumulate in FP32 —
+/// the wire format only controls what crosses rank boundaries, so a
+/// packed send quantises exactly like RoundTripHalf on the sender.
+/// Values already representable in binary16 survive a pack/unpack hop
+/// bit-exactly, which is what keeps forwarded (already-quantised)
+/// payloads identical along broadcast and allgather paths.
+enum class WireFormat { kFP32, kFP16 };
+
+const char* ToString(WireFormat wire);
+
+/// Bytes a `count`-element float span occupies under `wire`.
+inline std::size_t WireBytes(std::size_t count, WireFormat wire) {
+  return count * (wire == WireFormat::kFP32 ? sizeof(float)
+                                            : sizeof(std::uint16_t));
+}
+
+/// Sends `data` to `dst` encoded per `wire`. The kFP16 path packs into a
+/// pooled thread-local scratch buffer (no heap traffic on the exchange
+/// hot path) before the buffered send copies it out.
+void SendFloats(Communicator& comm, int dst, int tag,
+                std::span<const float> data, WireFormat wire);
+
+/// Decodes a received payload (previously produced by SendFloats with
+/// the same `wire`) into `out`. The payload size must equal
+/// WireBytes(out.size(), wire) — callers check before decoding.
+void DecodeFloats(std::span<const std::byte> payload, std::span<float> out,
+                  WireFormat wire);
 
 }  // namespace exaclim

@@ -25,6 +25,9 @@ const char* ScratchSlotName(ScratchSlot slot) {
     case ScratchSlot::kGemmRefPanel: return "gemm.ref_panel";
     case ScratchSlot::kLossProbs: return "loss.probs";
     case ScratchSlot::kStagingDecode: return "staging.decode";
+    case ScratchSlot::kExchangeFusion: return "exchange.fusion";
+    case ScratchSlot::kWirePack: return "comm.wire_pack";
+    case ScratchSlot::kGroupIncoming: return "comm.group_incoming";
     case ScratchSlot::kSlotCount: break;
   }
   return "?";
@@ -39,6 +42,12 @@ float* AcquireScratch(ScratchSlot slot, std::size_t elems) {
     buf = AcquirePoolBuffer(elems > 0 ? elems : 1);
   }
   return buf.data();
+}
+
+std::uint16_t* AcquireScratchU16(ScratchSlot slot, std::size_t elems) {
+  // Two packed words per float element; round up so odd counts fit.
+  return reinterpret_cast<std::uint16_t*>(
+      AcquireScratch(slot, (elems + 1) / 2));
 }
 
 std::size_t ScratchCapacity(ScratchSlot slot) {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace exaclim {
 
@@ -40,6 +41,9 @@ enum class ScratchSlot {
   kGemmRefPanel,    // op(B) panel of the reference (pre-PR5) kernel
   kLossProbs,       // per-pixel softmax probabilities of the loss kernel
   kStagingDecode,   // per-channel decode panel of the sample reader
+  kExchangeFusion,  // fused gradient staging of the hvd exchanger
+  kWirePack,        // packed-binary16 encode buffer of the comm wire
+  kGroupIncoming,   // partial-sum receive buffer of the group collectives
   kSlotCount,
 };
 
@@ -49,6 +53,12 @@ const char* ScratchSlotName(ScratchSlot slot);
 /// Returns this thread's buffer for `slot`, grown to at least `elems`
 /// floats (and at least one pool bucket). Never returns nullptr.
 float* AcquireScratch(ScratchSlot slot, std::size_t elems);
+
+/// Same stream viewed as packed binary16 words: grows the float buffer
+/// to cover `elems` uint16 elements and reinterprets it. A slot must be
+/// used with one element type at a time (the wire pack path owns
+/// kWirePack); capacities still account in floats.
+std::uint16_t* AcquireScratchU16(ScratchSlot slot, std::size_t elems);
 
 /// Capacity (in floats) of this thread's buffer for `slot`; 0 before the
 /// first acquire. Exposed for tests asserting reuse (no re-allocation

@@ -25,6 +25,14 @@ namespace exaclim {
 /// the current generation's namespace, and a dead member surfaces as a
 /// CollectiveResult instead of a hang. The blocking NegotiateOrder
 /// delegates over the full world with no deadline — identical messages.
+///
+/// Sequential reuse: the overlapped exchange (DESIGN §14) negotiates once
+/// per fused bucket with the *same* tag salt. That is safe without extra
+/// tag space because negotiations are strictly serialized — a rank only
+/// starts bucket k+1's negotiation after receiving bucket k's order,
+/// which the coordinator sent only after collecting every rank's bucket-k
+/// readiness — so at most one negotiation is ever in flight, and the
+/// mailbox's per-(src, tag) FIFO matching keeps the reused tags unambiguous.
 class ControlPlane {
  public:
   virtual ~ControlPlane() = default;

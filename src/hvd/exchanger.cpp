@@ -1,12 +1,15 @@
 #include "hvd/exchanger.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <string>
+#include <utility>
 
 #include "comm/collectives.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/workspace.hpp"
 #include "hvd/group.hpp"
 #include "obs/obs.hpp"
 
@@ -21,6 +24,25 @@ const char* ToString(ReduceTransport t) {
   return "?";
 }
 
+ExchangerOptions ExchangerOptions::FromEnv(ExchangerOptions base) {
+  if (const char* v = std::getenv("EXACLIM_OVERLAP")) {
+    const std::string s(v);
+    base.overlap = !(s.empty() || s == "off" || s == "0" || s == "false");
+  }
+  if (const char* v = std::getenv("EXACLIM_FUSION_BYTES")) {
+    base.fusion_threshold_bytes = std::stoll(v);
+  }
+  if (const char* v = std::getenv("EXACLIM_WIRE")) {
+    const std::string s(v);
+    if (s == "fp16" || s == "half") {
+      base.wire_precision = Precision::kFP16;
+    } else if (s == "fp32") {
+      base.wire_precision = Precision::kFP32;
+    }
+  }
+  return base;
+}
+
 GradientExchanger::GradientExchanger(const ExchangerOptions& opts,
                                      std::uint64_t seed)
     : opts_(opts),
@@ -28,13 +50,58 @@ GradientExchanger::GradientExchanger(const ExchangerOptions& opts,
                                 opts.control_radix)),
       rng_(seed) {}
 
+GradientExchanger::~GradientExchanger() {
+  if (thread_started_) {
+    {
+      MutexLock lock(mu_);
+      shutdown_ = true;
+    }
+    cv_.NotifyAll();
+    exchange_thread_.join();
+  }
+}
+
+ElasticWorld& GradientExchanger::Identity(Communicator& comm) {
+  // Built once and reused — the previous implementation constructed a
+  // fresh ElasticWorld (liveness state, member vector) on every call.
+  if (identity_ == nullptr || identity_comm_ != &comm ||
+      identity_->view().size() != comm.size()) {
+    identity_ = std::make_unique<ElasticWorld>(  // lint:allow(hot-path-alloc)
+        comm, ElasticOptions{});
+    identity_comm_ = &comm;
+  }
+  EXACLIM_CHECK(identity_->view().size() == comm.size() &&
+                    identity_->view().my_index == comm.rank(),
+                "identity elastic view out of sync with communicator: view "
+                    << identity_->view().size() << "/"
+                    << identity_->view().my_index << " vs comm "
+                    << comm.size() << "/" << comm.rank());
+  return *identity_;
+}
+
+void GradientExchanger::MaybeChaosKill(Communicator& comm) {
+  // Chaos site "elastic.exchange.kill.<rank>": this rank dies right
+  // after an order was agreed, so its peers starve *inside* the
+  // allreduce rounds — the mid-collective failure mode of DESIGN §13.
+  // Checked exactly once per step in both the serialized and the
+  // overlapped path, so schedules count occurrences identically.
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.ArmedSiteCount() > 0 &&
+      injector.ShouldInject("elastic.exchange.kill." +
+                            std::to_string(comm.rank()))) {
+    comm.KillSelf();
+    throw RankKilledError("rank " + std::to_string(comm.rank()) +
+                          " killed mid-exchange by the chaos schedule");
+  }
+}
+
 void GradientExchanger::Exchange(Communicator& comm,
-                                 const std::vector<Param*>& params) {
+                                 const std::vector<Param*>& params,
+                                 std::span<const int> ready_order) {
   // The blocking path is the elastic path at generation 0 over the full
   // world with no deadline — one implementation, identical messages.
-  ElasticWorld identity(comm, ElasticOptions{});
-  const CollectiveResult result =
-      TryExchange(comm, params, identity, Deadline(kNoTimeout));
+  const CollectiveResult result = TryExchange(
+      comm, params, Identity(comm), Deadline(kNoTimeout), ready_order);
   EXACLIM_CHECK(result.ok(),
                 "rank " << comm.rank()
                         << ": blocking Exchange cannot complete: rank "
@@ -44,9 +111,80 @@ void GradientExchanger::Exchange(Communicator& comm,
                                 : " is unresponsive"));
 }
 
+CollectiveResult GradientExchanger::ReduceFusedBucket(
+    Communicator& comm, const std::vector<Param*>& params,
+    ElasticWorld& elastic, const RankGroup& group, std::span<const int> ids,
+    int bucket_index, const Deadline& deadline) {
+  std::int64_t elems = 0;
+  for (const int id : ids) {
+    elems += params[static_cast<std::size_t>(id)]->grad.NumElements();
+  }
+  if (elems == 0) return {};  // identical on every rank: shapes agree
+
+  // Pooled fusion buffer (per thread): the serialized path packs on the
+  // trainer thread, the overlapped path on the exchange thread — each
+  // gets its own slot, and buckets on one thread run strictly in order.
+  std::span<float> fusion(
+      AcquireScratch(ScratchSlot::kExchangeFusion,
+                     static_cast<std::size_t>(elems)),
+      static_cast<std::size_t>(elems));
+  std::size_t off = 0;
+  for (const int id : ids) {
+    const Tensor& g = params[static_cast<std::size_t>(id)]->grad;
+    std::copy(g.Data().begin(), g.Data().end(), fusion.begin() + off);
+    off += static_cast<std::size_t>(g.NumElements());
+  }
+
+  const bool fp16 = opts_.wire_precision == Precision::kFP16;
+  if (fp16) RoundTripHalf(fusion);
+  const WireFormat wire = fp16 ? WireFormat::kFP16 : WireFormat::kFP32;
+
+  const ElasticView& view = elastic.view();
+  const int tag = elastic.GenTag(BucketTag(bucket_index));
+  CollectiveResult reduce_result;
+  switch (opts_.transport) {
+    case ReduceTransport::kMpiRing:
+      reduce_result = TryGroupAllreduceRing(comm, group, fusion, deadline,
+                                            tag, DeadScan::kGroup, wire);
+      break;
+    case ReduceTransport::kMpiTree:
+      reduce_result = TryGroupAllreduceTree(comm, group, fusion, deadline,
+                                            tag, DeadScan::kGroup, wire);
+      break;
+    case ReduceTransport::kHybrid:
+      // The hybrid scheme needs whole nodes; a shrunk view falls back
+      // to the bandwidth-optimal group ring over the survivors.
+      if (view.generation == 0 && view.size() == comm.size()) {
+        reduce_result = TryHybridAllreduce(comm, fusion, opts_.hybrid,
+                                           deadline, tag, wire);
+      } else {
+        reduce_result = TryGroupAllreduceRing(comm, group, fusion, deadline,
+                                              tag, DeadScan::kGroup, wire);
+      }
+      break;
+  }
+  if (!reduce_result.ok()) return reduce_result;
+
+  const float inv_world =
+      opts_.average ? 1.0f / static_cast<float>(view.size()) : 1.0f;
+  for (auto& v : fusion) v *= inv_world;
+  if (fp16) RoundTripHalf(fusion);
+
+  off = 0;
+  for (const int id : ids) {
+    Tensor& g = params[static_cast<std::size_t>(id)]->grad;
+    std::copy(fusion.begin() + off,
+              fusion.begin() + off + static_cast<std::size_t>(g.NumElements()),
+              g.Data().begin());
+    off += static_cast<std::size_t>(g.NumElements());
+  }
+  return {};
+}
+
 CollectiveResult GradientExchanger::TryExchange(
     Communicator& comm, const std::vector<Param*>& params,
-    ElasticWorld& elastic, const Deadline& deadline) {
+    ElasticWorld& elastic, const Deadline& deadline,
+    std::span<const int> ready_order) {
   EXACLIM_REENTRANCY_SCOPE(reentrancy_);
   const ElasticView& view = elastic.view();
   EXACLIM_CHECK(view.my_index >= 0,
@@ -57,116 +195,65 @@ CollectiveResult GradientExchanger::TryExchange(
   last_fused_buffers_ = 0;
   if (n == 0) return {};
 
-  // Local readiness order: TensorFlow's dynamic scheduler finishes
-  // backprop ops in a timing-dependent order, different per rank. Keyed
-  // by (world rank, step); the step counter only advances on success, so
-  // a post-rebuild retry replays the same shuffle.
-  std::vector<int> ready(static_cast<std::size_t>(n));
-  std::iota(ready.begin(), ready.end(), 0);
+  // Local readiness order: either the backward emission order handed in
+  // by the trainer (so serialized steps fuse the exact buckets the
+  // overlapped path forms) or the index order. TensorFlow's dynamic
+  // scheduler finishes backprop ops in a timing-dependent order,
+  // different per rank — emulated by the optional shuffle, keyed by
+  // (world rank, step); the step counter only advances on success, so a
+  // post-rebuild retry replays the same shuffle.
+  if (ready_order.empty()) {
+    ready_.assign(static_cast<std::size_t>(n), 0);
+    std::iota(ready_.begin(), ready_.end(), 0);
+  } else {
+    EXACLIM_CHECK(static_cast<int>(ready_order.size()) == n,
+                  "ready_order covers " << ready_order.size() << " of " << n
+                                        << " tensors");
+    ready_.assign(ready_order.begin(), ready_order.end());
+  }
   if (opts_.shuffle_ready_order) {
     Rng step_rng = rng_.Fork(
         static_cast<std::uint64_t>(comm.rank()) * 1000003u +
         static_cast<std::uint64_t>(step_));
-    std::shuffle(ready.begin(), ready.end(), step_rng.engine());
+    std::shuffle(ready_.begin(), ready_.end(), step_rng.engine());
   }
 
   const RankGroup group(view.members, comm.rank());
-  std::vector<int> order;
   {
     CollectiveResult r = control_->TryNegotiateOrder(
-        comm, group, ready, deadline, elastic.GenTag(0), &order);
+        comm, group, ready_, deadline, elastic.GenTag(0), &order_);
     if (!r.ok()) return r;
   }
-  EXACLIM_CHECK(static_cast<int>(order.size()) == n,
+  EXACLIM_CHECK(static_cast<int>(order_.size()) == n,
                 "negotiated order has wrong tensor count");
 
-  // Chaos site "elastic.exchange.kill.<rank>": this rank dies right
-  // after the order was agreed, so its peers starve *inside* the
-  // allreduce rounds — the mid-collective failure mode of DESIGN §13.
-  {
-    FaultInjector& injector = FaultInjector::Global();
-    if (injector.ArmedSiteCount() > 0 &&
-        injector.ShouldInject("elastic.exchange.kill." +
-                              std::to_string(comm.rank()))) {
-      comm.KillSelf();
-      throw RankKilledError("rank " + std::to_string(comm.rank()) +
-                            " killed mid-exchange by the chaos schedule");
-    }
-  }
+  MaybeChaosKill(comm);
 
-  const float inv_world =
-      opts_.average ? 1.0f / static_cast<float>(view.size()) : 1.0f;
   const int bpe = BytesPerElement(opts_.wire_precision);
 
   EXACLIM_TRACE_SPAN("exchange.allreduce", "hvd");
   std::int64_t total_bytes = 0;
   std::size_t pos = 0;
   int buffer_index = 0;
-  std::vector<float> fusion;
-  while (pos < order.size()) {
+  while (pos < order_.size()) {
     // Greedy fusion: take consecutive tensors from the agreed order until
     // the byte threshold is reached (always at least one).
     std::size_t end = pos;
     std::int64_t bytes = 0;
-    std::int64_t elems = 0;
-    while (end < order.size()) {
+    while (end < order_.size()) {
       const std::int64_t t_bytes =
-          params[static_cast<std::size_t>(order[end])]->grad.NumElements() *
+          params[static_cast<std::size_t>(order_[end])]->grad.NumElements() *
           bpe;
       if (end > pos && bytes + t_bytes > opts_.fusion_threshold_bytes) break;
       bytes += t_bytes;
-      elems +=
-          params[static_cast<std::size_t>(order[end])]->grad.NumElements();
       ++end;
     }
 
-    fusion.resize(static_cast<std::size_t>(elems));
-    std::size_t off = 0;
-    for (std::size_t i = pos; i < end; ++i) {
-      const Tensor& g = params[static_cast<std::size_t>(order[i])]->grad;
-      std::copy(g.Data().begin(), g.Data().end(), fusion.begin() + off);
-      off += static_cast<std::size_t>(g.NumElements());
-    }
-
-    if (opts_.wire_precision == Precision::kFP16) RoundTripHalf(fusion);
-
-    const int tag = elastic.GenTag(20000 + buffer_index * 700);
-    CollectiveResult reduce_result;
-    switch (opts_.transport) {
-      case ReduceTransport::kMpiRing:
-        reduce_result =
-            TryGroupAllreduceRing(comm, group, fusion, deadline, tag);
-        break;
-      case ReduceTransport::kMpiTree:
-        reduce_result =
-            TryGroupAllreduceTree(comm, group, fusion, deadline, tag);
-        break;
-      case ReduceTransport::kHybrid:
-        // The hybrid scheme needs whole nodes; a shrunk view falls back
-        // to the bandwidth-optimal group ring over the survivors.
-        if (view.generation == 0 && view.size() == comm.size()) {
-          reduce_result = TryHybridAllreduce(comm, fusion, opts_.hybrid,
-                                             deadline, tag);
-        } else {
-          reduce_result =
-              TryGroupAllreduceRing(comm, group, fusion, deadline, tag);
-        }
-        break;
-    }
-    if (!reduce_result.ok()) return reduce_result;
-
-    for (auto& v : fusion) v *= inv_world;
-    if (opts_.wire_precision == Precision::kFP16) RoundTripHalf(fusion);
-
-    off = 0;
-    for (std::size_t i = pos; i < end; ++i) {
-      Tensor& g = params[static_cast<std::size_t>(order[i])]->grad;
-      std::copy(fusion.begin() + off,
-                fusion.begin() + off +
-                    static_cast<std::size_t>(g.NumElements()),
-                g.Data().begin());
-      off += static_cast<std::size_t>(g.NumElements());
-    }
+    CollectiveResult r = ReduceFusedBucket(
+        comm, params, elastic, group,
+        std::span<const int>(order_.data() + pos, end - pos), buffer_index,
+        deadline);
+    if (!r.ok()) return r;
 
     total_bytes += bytes;
     pos = end;
@@ -177,6 +264,252 @@ CollectiveResult GradientExchanger::TryExchange(
   if (auto* c = obs::CounterOrNull("exchange.buffers")) c->Add(buffer_index);
   ++step_;
   return {};
+}
+
+// ---- overlapped exchange ---------------------------------------------------
+
+void GradientExchanger::StartExchangeThread() {
+  if (thread_started_) return;
+  exchange_thread_ = std::thread([this] { ExchangeThreadMain(); });
+  thread_started_ = true;
+}
+
+void GradientExchanger::BeginStep(Communicator& comm,
+                                  const std::vector<Param*>& params,
+                                  ElasticWorld* elastic,
+                                  const Deadline& deadline) {
+  EXACLIM_CHECK(!step_open_, "BeginStep while a step is already open");
+  ElasticWorld& world = elastic != nullptr ? *elastic : Identity(comm);
+  EXACLIM_CHECK(world.view().my_index >= 0,
+                "rank " << comm.rank()
+                        << " exchanging outside its elastic view");
+  StartExchangeThread();
+  {
+    MutexLock lock(mu_);
+    EXACLIM_CHECK(!step_active_, "previous overlapped step still draining");
+    ol_comm_ = &comm;
+    ol_params_ = &params;
+    ol_elastic_ = &world;
+    ol_deadline_ = deadline;
+    sched_order_.assign(params.size(), -1);
+    sched_count_ = 0;
+    buckets_.assign(params.size(), Bucket{});  // never more buckets than tensors
+    buckets_closed_ = 0;
+    pend_begin_ = 0;
+    pend_bytes_ = 0;
+    pend_elems_ = 0;
+    emit_done_ = false;
+    ol_failed_ = false;
+    ol_result_ = {};
+    ol_exception_ = nullptr;
+    ol_bytes_ = 0;
+    ol_buffers_ = 0;
+    step_active_ = true;
+  }
+  cv_.NotifyAll();
+  step_open_ = true;
+}
+
+void GradientExchanger::CloseBucketLocked() {
+  Bucket& b = buckets_[static_cast<std::size_t>(buckets_closed_)];
+  b.begin = pend_begin_;
+  b.end = sched_count_;
+  b.elems = pend_elems_;
+  b.bytes = pend_bytes_;
+  ++buckets_closed_;
+  pend_begin_ = sched_count_;
+  pend_bytes_ = 0;
+  pend_elems_ = 0;
+}
+
+void GradientExchanger::NotifyGradReady(int param_index) {
+  EXACLIM_CHECK(step_open_, "NotifyGradReady outside BeginStep/WaitAll");
+  const std::int64_t t_elems =
+      (*ol_params_)[static_cast<std::size_t>(param_index)]
+          ->grad.NumElements();
+  const std::int64_t t_bytes =
+      t_elems * BytesPerElement(opts_.wire_precision);
+  bool closed = false;
+  {
+    MutexLock lock(mu_);
+    // Same greedy rule as the serialized fusion loop: a bucket always
+    // takes at least one tensor, and closes when the next would push it
+    // past the threshold — identical bucket composition by construction.
+    if (sched_count_ > pend_begin_ &&
+        pend_bytes_ + t_bytes > opts_.fusion_threshold_bytes) {
+      CloseBucketLocked();
+      closed = true;
+    }
+    sched_order_[static_cast<std::size_t>(sched_count_)] = param_index;
+    ++sched_count_;
+    pend_bytes_ += t_bytes;
+    pend_elems_ += t_elems;
+  }
+  if (closed) cv_.NotifyAll();
+}
+
+CollectiveResult GradientExchanger::WaitAll() {
+  EXACLIM_CHECK(step_open_, "WaitAll without BeginStep");
+  {
+    MutexLock lock(mu_);
+    if (sched_count_ > pend_begin_) CloseBucketLocked();
+    emit_done_ = true;
+  }
+  cv_.NotifyAll();
+  {
+    MutexLock lock(mu_);
+    while (step_active_) cv_.Wait(lock);
+  }
+  // The exchange thread cleared step_active_ under mu_ after its last
+  // write to the result fields; observing the clear under mu_ orders
+  // every read below after those writes.
+  step_open_ = false;
+  last_tensors_ = sched_count_;
+  last_fused_buffers_ = ol_buffers_;
+  if (ol_exception_ != nullptr) {
+    const std::exception_ptr e = ol_exception_;
+    ol_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  if (!ol_result_.ok()) return ol_result_;
+  if (auto* c = obs::CounterOrNull("exchange.bytes")) c->Add(ol_bytes_);
+  if (auto* c = obs::CounterOrNull("exchange.buffers")) c->Add(ol_buffers_);
+  ++step_;
+  return {};
+}
+
+void GradientExchanger::ExchangeThreadMain() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && !step_active_) cv_.Wait(lock);
+      if (shutdown_) return;
+    }
+    RunOverlapStep();
+    {
+      MutexLock lock(mu_);
+      step_active_ = false;
+    }
+    cv_.NotifyAll();
+  }
+}
+
+void GradientExchanger::RunOverlapStep() {
+  Communicator& comm = *ol_comm_;
+  ElasticWorld& elastic = *ol_elastic_;
+  const ElasticView& view = elastic.view();
+  const RankGroup group(view.members, comm.rank());
+  int next_bucket = 0;
+  bool chaos_checked = false;
+  for (;;) {
+    Bucket b;
+    {
+      MutexLock lock(mu_);
+      while (buckets_closed_ <= next_bucket && !emit_done_) cv_.Wait(lock);
+      if (next_bucket >= buckets_closed_) break;  // drained & emission done
+      b = buckets_[static_cast<std::size_t>(next_bucket)];
+    }
+    // After the first failure the step is doomed: drain the remaining
+    // buckets without touching the communicator so WaitAll can return
+    // the first result and the trainer can roll the step back.
+    if (!ol_failed_) {
+      try {
+        EXACLIM_TRACE_SPAN("exchange.bucket", "hvd");
+        // Entries [b.begin, b.end) were written under mu_ before the
+        // bucket close we just observed under mu_ — safe to read.
+        const std::span<const int> ids(
+            sched_order_.data() + b.begin,
+            static_cast<std::size_t>(b.end - b.begin));
+        // Per-bucket negotiation reuses the control tag window: safe
+        // because buckets run strictly sequentially on this thread and
+        // every peer orders its buckets identically (see
+        // hvd/control_plane.hpp).
+        CollectiveResult r = control_->TryNegotiateOrder(
+            comm, group, ids, ol_deadline_, elastic.GenTag(0), &ol_order_);
+        if (r.ok()) {
+          EXACLIM_CHECK(ol_order_.size() == ids.size(),
+                        "negotiated bucket order has wrong tensor count");
+          if (!chaos_checked) {
+            chaos_checked = true;
+            MaybeChaosKill(comm);
+          }
+          r = ReduceFusedBucket(comm, *ol_params_, elastic, group, ol_order_,
+                                next_bucket, ol_deadline_);
+        }
+        if (!r.ok()) {
+          ol_result_ = r;
+          ol_failed_ = true;
+        } else {
+          ol_bytes_ += b.bytes;
+          ++ol_buffers_;
+        }
+      } catch (...) {
+        ol_exception_ = std::current_exception();
+        ol_failed_ = true;
+      }
+    }
+    ++next_bucket;
+  }
+}
+
+// ---- GradReadyRecorder -----------------------------------------------------
+
+void GradReadyRecorder::Bind(const std::vector<Param*>& params) {
+  if (params_ == &params && index_of_.size() == params.size()) return;
+  params_ = &params;
+  index_of_.clear();
+  layer_indices_.clear();
+  index_of_.reserve(params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    index_of_.emplace(params[i], static_cast<int>(i));
+  }
+  seen_.assign(params.size(), 0);
+  order_.assign(params.size(), -1);
+  count_ = 0;
+  sink_ = nullptr;
+}
+
+void GradReadyRecorder::BeginStep(GradientExchanger* sink) {
+  EXACLIM_CHECK(params_ != nullptr, "GradReadyRecorder used before Bind");
+  seen_.assign(params_->size(), 0);
+  order_.assign(params_->size(), -1);
+  count_ = 0;
+  sink_ = sink;
+}
+
+void GradReadyRecorder::OnGradsReady(Layer& layer) {
+  auto it = layer_indices_.find(&layer);
+  if (it == layer_indices_.end()) {
+    // First sighting of this layer: snapshot its param indices
+    // (Layer::Params allocates a fresh vector — once per layer, after
+    // which steady-state notifications are heap-free).
+    const std::vector<Param*> ps = layer.Params();
+    std::vector<int> ids(ps.size());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      const auto idx = index_of_.find(ps[i]);
+      EXACLIM_CHECK(idx != index_of_.end(),
+                    "layer '" << layer.name()
+                              << "' announced a param outside the bound "
+                                 "param list");
+      ids[i] = idx->second;
+    }
+    it = layer_indices_.emplace(&layer, std::move(ids)).first;
+  }
+  for (const int id : it->second) Emit(id);
+}
+
+void GradReadyRecorder::FlushRemaining() {
+  EXACLIM_CHECK(params_ != nullptr, "GradReadyRecorder used before Bind");
+  const int n = static_cast<int>(params_->size());
+  for (int i = 0; i < n; ++i) Emit(i);
+}
+
+void GradReadyRecorder::Emit(int param_index) {
+  if (seen_[static_cast<std::size_t>(param_index)] != 0) return;
+  seen_[static_cast<std::size_t>(param_index)] = 1;
+  order_[count_] = param_index;
+  ++count_;
+  if (sink_ != nullptr) sink_->NotifyGradReady(param_index);
 }
 
 }  // namespace exaclim

@@ -1,6 +1,11 @@
 #pragma once
 
+#include <cstdint>
+#include <exception>
 #include <memory>
+#include <span>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "comm/elastic.hpp"
@@ -23,6 +28,41 @@ enum class ReduceTransport {
 
 const char* ToString(ReduceTransport t);
 
+/// Bucket tag layout (DESIGN §14). Every fused buffer's collective runs
+/// in its own tag window so concurrent in-flight buckets can never
+/// cross-match; the window index wraps inside a *bounded* field so the
+/// largest bucket tag stays below the elastic generation stride — the
+/// previous open-ended layout (20000 + i*700) crossed into generation
+/// N+1's namespace at ~1400 buckets, letting a stale generation-N bucket
+/// message alias a post-rebuild control or collective tag.
+///
+///   [ 0 .. kBucketTagBase )                   control/consensus/resync
+///   [ kBucketTagBase .. kGenTagStride )       bucket windows, stride
+///                                             kBucketTagStride each
+///
+/// Wrap-around reuse of a window is safe for the same reason step-count
+/// tag reuse is: each rank issues its buckets strictly in order and the
+/// mailbox matches per (src, tag) FIFO, so two uses of one window are
+/// never concurrently in flight on an edge.
+inline constexpr int kBucketTagBase = 40000;
+/// Tags a single bucket's collective may touch: the group ring uses
+/// tag+k and tag+n+k (2n tags), the hybrid offsets by up to 500+owner.
+inline constexpr int kBucketTagStride = 700;
+inline constexpr int kBucketTagSlots =
+    (kGenTagStride - kBucketTagBase) / kBucketTagStride;
+static_assert(kBucketTagBase + kBucketTagSlots * kBucketTagStride <=
+                  kGenTagStride,
+              "bucket tag field must fit inside one generation's salt "
+              "budget — a bucket tag crossing kGenTagStride would alias "
+              "the next generation's namespace");
+static_assert(kBucketTagSlots >= 1000,
+              "bucket tag field unexpectedly small");
+
+/// Collective tag (pre-generation-salt) of fused buffer `bucket_index`.
+inline int BucketTag(int bucket_index) {
+  return kBucketTagBase + (bucket_index % kBucketTagSlots) * kBucketTagStride;
+}
+
 /// Data-parallel gradient aggregation in the style of Horovod (Sec V-A3):
 /// negotiate a global tensor order through the control plane (emulating
 /// TensorFlow's nondeterministic per-rank scheduling by shuffling the
@@ -36,24 +76,40 @@ struct ExchangerOptions {
   HybridAllreduceOptions hybrid{};
   /// Fuse consecutive tensors into buffers of up to this many bytes.
   std::int64_t fusion_threshold_bytes = 4 << 20;
-  /// FP16 wire format: gradients are rounded through binary16 before and
-  /// after the reduction (reduction itself accumulates in FP32, like
-  /// Tensor Core FMA / NCCL's fp32 accumulation mode).
+  /// FP16 wire format: gradients are rounded through binary16 and move
+  /// across ranks as packed 2-byte words (WireFormat::kFP16), halving
+  /// the bytes on the wire; the reduction itself accumulates in FP32
+  /// (Tensor Core FMA / NCCL fp32-accumulation style).
   Precision wire_precision = Precision::kFP32;
   bool average = true;
   /// Emulate TensorFlow's dynamic scheduler: shuffle the local readiness
   /// order per step (all ranks still converge on one global order).
+  /// Ignored by the overlapped path, whose readiness order *is* the
+  /// backward emission order.
   bool shuffle_ready_order = true;
+  /// Overlap the exchange with backward compute: the trainer streams
+  /// grad-ready notifications during Backward and a dedicated exchange
+  /// thread reduces each fused bucket as soon as it closes (DESIGN §14).
+  bool overlap = false;
+
+  /// EXACLIM_OVERLAP=on|off, EXACLIM_FUSION_BYTES=<bytes>,
+  /// EXACLIM_WIRE=fp16|fp32 applied over `base`.
+  static ExchangerOptions FromEnv(ExchangerOptions base);
 };
 
 class GradientExchanger {
  public:
   GradientExchanger(const ExchangerOptions& opts, std::uint64_t seed);
+  ~GradientExchanger();
 
   /// Collective: every rank calls with its (identically shaped) params.
   /// On return, each param's grad holds the rank-averaged gradient,
-  /// bit-identical on every rank.
-  void Exchange(Communicator& comm, const std::vector<Param*>& params);
+  /// bit-identical on every rank. A non-empty `ready_order` replaces the
+  /// iota local readiness order (the trainer passes the backward
+  /// emission order so the serialized path fuses the exact buckets the
+  /// overlapped path does).
+  void Exchange(Communicator& comm, const std::vector<Param*>& params,
+                std::span<const int> ready_order = {});
 
   /// Elastic variant: the same negotiation + fusion + allreduce, run
   /// over the current view's members with generation-salted tags and a
@@ -67,7 +123,29 @@ class GradientExchanger {
   CollectiveResult TryExchange(Communicator& comm,
                                const std::vector<Param*>& params,
                                ElasticWorld& elastic,
-                               const Deadline& deadline);
+                               const Deadline& deadline,
+                               std::span<const int> ready_order = {});
+
+  /// ---- Overlapped exchange (DESIGN §14) -------------------------------
+  /// BeginStep arms a step: NotifyGradReady calls (from the backward
+  /// pass, via GradReadyRecorder) append tensors to the emission order
+  /// and greedily close fusion buckets; a persistent exchange thread
+  /// negotiates and reduces each closed bucket while the remaining
+  /// backward layers keep computing. WaitAll closes the final bucket,
+  /// blocks until the exchange thread drained the step, and returns the
+  /// first failure (kOk when every bucket reduced). `elastic == nullptr`
+  /// uses the lazily built identity view (blocking semantics: WaitAll
+  /// checks success). Bucket composition and reduce order are identical
+  /// to the serialized path fed the same readiness order, so
+  /// overlap-on/off is bit-identical.
+  void BeginStep(Communicator& comm, const std::vector<Param*>& params,
+                 ElasticWorld* elastic, const Deadline& deadline);
+  /// Announces that `param_index`'s gradient is final for this step.
+  /// Called on the trainer thread, between BeginStep and WaitAll.
+  void NotifyGradReady(int param_index);
+  /// Barrier before optimizer.Step: rethrows a RankKilledError raised on
+  /// the exchange thread (chaos schedule) on the calling thread.
+  CollectiveResult WaitAll();
 
   /// Fused buffers formed in the last Exchange (diagnostic).
   std::int64_t last_fused_buffers() const { return last_fused_buffers_; }
@@ -76,6 +154,41 @@ class GradientExchanger {
   const ExchangerOptions& options() const { return opts_; }
 
  private:
+  /// One fused buffer: the half-open range [begin, end) of the step's
+  /// emission order.
+  struct Bucket {
+    int begin = 0;
+    int end = 0;
+    std::int64_t elems = 0;
+    std::int64_t bytes = 0;
+  };
+
+  /// Lazily built generation-0 view over `comm` for the non-elastic
+  /// path; rebuilt only if the communicator changes, asserted in sync
+  /// with comm.size() (previously re-derived every call).
+  ElasticWorld& Identity(Communicator& comm);
+
+  /// Packs `ids` (param indices) into the fusion scratch, reduces the
+  /// buffer in bucket_index's tag window, averages and scatters back.
+  CollectiveResult ReduceFusedBucket(Communicator& comm,
+                                     const std::vector<Param*>& params,
+                                     ElasticWorld& elastic,
+                                     const RankGroup& group,
+                                     std::span<const int> ids,
+                                     int bucket_index,
+                                     const Deadline& deadline);
+
+  /// Fires the "elastic.exchange.kill.<rank>" chaos site (at most once
+  /// per step, right after an order was agreed).
+  void MaybeChaosKill(Communicator& comm);
+
+  void StartExchangeThread();
+  void ExchangeThreadMain();
+  /// Runs one armed step on the exchange thread: negotiate + reduce each
+  /// closed bucket in order, latch the first failure, drain the rest.
+  void RunOverlapStep();
+  void CloseBucketLocked();
+
   ExchangerOptions opts_;
   std::unique_ptr<ControlPlane> control_;
   Rng rng_;
@@ -86,6 +199,84 @@ class GradientExchanger {
   // calling Exchange on the same instance (which would corrupt rng_ and
   // the step counter without any TSan-visible lock).
   ReentrancyGuard reentrancy_;
+
+  // Non-elastic identity view (see Identity()).
+  std::unique_ptr<ElasticWorld> identity_;
+  Communicator* identity_comm_ = nullptr;
+
+  // Serialized-path reusable buffers (grow-only across steps).
+  std::vector<int> ready_;
+  std::vector<int> order_;
+
+  // ---- overlap engine state ----
+  // Hand-off discipline: the trainer thread writes sched_order_ /
+  // bucket bookkeeping under mu_ (NotifyGradReady); the exchange thread
+  // copies closed buckets out under mu_ and touches comm/grads only for
+  // tensors already announced, so the two threads never race on a
+  // tensor. Result fields are written by the exchange thread before it
+  // clears step_active_ under mu_ and read by WaitAll after observing
+  // step_active_ == false — ordered by the mutex.
+  Mutex mu_;
+  CondVar cv_;
+  std::thread exchange_thread_;
+  bool thread_started_ = false;
+  bool shutdown_ = false;        // guarded by mu_
+  bool step_active_ = false;     // guarded by mu_
+  bool emit_done_ = false;       // guarded by mu_
+  bool step_open_ = false;       // trainer thread only
+  Communicator* ol_comm_ = nullptr;
+  const std::vector<Param*>* ol_params_ = nullptr;
+  ElasticWorld* ol_elastic_ = nullptr;
+  Deadline ol_deadline_{kNoTimeout};
+  std::vector<int> sched_order_;  // emission order; writes guarded by mu_
+  int sched_count_ = 0;           // guarded by mu_
+  std::vector<Bucket> buckets_;   // closed buckets; guarded by mu_
+  int buckets_closed_ = 0;        // guarded by mu_
+  int pend_begin_ = 0;            // open bucket start; guarded by mu_
+  std::int64_t pend_bytes_ = 0;   // guarded by mu_
+  std::int64_t pend_elems_ = 0;   // guarded by mu_
+  std::vector<int> ol_order_;     // exchange thread's negotiation buffer
+  CollectiveResult ol_result_;    // first failure of the armed step
+  bool ol_failed_ = false;
+  std::exception_ptr ol_exception_;
+  std::int64_t ol_bytes_ = 0;
+  std::int64_t ol_buffers_ = 0;
+};
+
+/// Bridges Layer grad-ready hooks to the exchanger: the trainer installs
+/// it as the model's GradReadyListener for the backward pass. It maps
+/// each announcing layer to its param indices (cached after the first
+/// step — steady-state notifications do zero heap work), dedups, records
+/// the emission order, and forwards newly ready indices to the exchanger
+/// when one is armed. FlushRemaining emits params no hook announced
+/// (models without instrumented containers), so every param always
+/// exchanges exactly once per step.
+class GradReadyRecorder : public GradReadyListener {
+ public:
+  /// Binds the flat param list the indices refer to (cheap when
+  /// unchanged; rebinding clears the layer cache).
+  void Bind(const std::vector<Param*>& params);
+  /// Starts a step. `sink` receives NotifyGradReady(index) per newly
+  /// ready param; nullptr records the order only (serialized path).
+  void BeginStep(GradientExchanger* sink);
+  void OnGradsReady(Layer& layer) override;
+  /// Emits every param not announced by a hook, in index order.
+  void FlushRemaining();
+  /// Emission order of the current/last step.
+  std::span<const int> order() const {
+    return std::span<const int>(order_.data(), count_);
+  }
+
+ private:
+  void Emit(int param_index);
+
+  const std::vector<Param*>* params_ = nullptr;
+  std::unordered_map<const Param*, int> index_of_;
+  std::unordered_map<const Layer*, std::vector<int>> layer_indices_;
+  std::vector<char> seen_;
+  std::vector<int> order_;
+  std::size_t count_ = 0;
+  GradientExchanger* sink_ = nullptr;
 };
 
 }  // namespace exaclim

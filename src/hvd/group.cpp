@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "common/error.hpp"
+#include "common/workspace.hpp"
+#include "tensor/cast.hpp"
 
 namespace exaclim {
 namespace {
@@ -85,21 +87,20 @@ RecvResult RecvScanningForDeadMember(Communicator& comm,
 
 CollectiveResult TimedRecvFloats(Communicator& comm, const RankGroup& group,
                                  int src, int tag, std::span<float> data,
-                                 const Deadline& deadline, DeadScan scan) {
+                                 const Deadline& deadline, DeadScan scan,
+                                 WireFormat wire) {
   RecvResult r =
       RecvScanningForDeadMember(comm, group, src, tag, deadline, scan);
   if (!r.ok()) {
     return GroupFail(comm, r.status == RecvStatus::kPeerDead ? r.src : src,
                      r.status);
   }
-  EXACLIM_CHECK(r.payload.size() == data.size() * sizeof(float),
+  EXACLIM_CHECK(r.payload.size() == WireBytes(data.size(), wire),
                 "group recv size mismatch: got "
                     << r.payload.size() << " expected "
-                    << data.size() * sizeof(float) << " (tag " << tag
-                    << ")");
-  if (!r.payload.empty()) {
-    std::memcpy(data.data(), r.payload.data(), r.payload.size());
-  }
+                    << WireBytes(data.size(), wire) << " (tag " << tag
+                    << ", wire " << ToString(wire) << ")");
+  DecodeFloats(r.payload, data, wire);
   return {};
 }
 
@@ -130,7 +131,7 @@ RankGroup::RankGroup(std::span<const int> ranks, int my_world_rank)
 CollectiveResult TryGroupBroadcast(Communicator& comm, const RankGroup& group,
                                    int root_index, std::span<float> data,
                                    const Deadline& deadline, int tag,
-                                   DeadScan scan) {
+                                   DeadScan scan, WireFormat wire) {
   const int n = group.size();
   if (n == 1) return {};
   const int vrank = (group.my_index() - root_index + n) % n;
@@ -139,17 +140,22 @@ CollectiveResult TryGroupBroadcast(Communicator& comm, const RankGroup& group,
     while (mask <= vrank) mask <<= 1;
     mask >>= 1;
     const int parent = group.WorldRank(((vrank - mask) + root_index) % n);
-    CollectiveResult r =
-        TimedRecvFloats(comm, group, parent, tag, data, deadline, scan);
+    CollectiveResult r = TimedRecvFloats(comm, group, parent, tag, data,
+                                         deadline, scan, wire);
     if (!r.ok()) return r;
+  } else if (wire == WireFormat::kFP16) {
+    // Quantise what the root keeps to match what everyone receives off
+    // the packed wire (receivers forward already-quantised data, a
+    // bit-exact pack/unpack round trip).
+    RoundTripHalf(data);
   }
   int mask = 1;
   while (mask <= vrank) mask <<= 1;
   for (; mask < n; mask <<= 1) {
     const int vchild = vrank + mask;
     if (vchild >= n) break;
-    comm.SendT(group.WorldRank((vchild + root_index) % n), tag,
-               std::span<const float>(data.data(), data.size()));
+    SendFloats(comm, group.WorldRank((vchild + root_index) % n), tag,
+               std::span<const float>(data.data(), data.size()), wire);
   }
   return {};
 }
@@ -164,23 +170,27 @@ void GroupBroadcast(Communicator& comm, const RankGroup& group,
 CollectiveResult TryGroupReduce(Communicator& comm, const RankGroup& group,
                                 int root_index, std::span<float> data,
                                 const Deadline& deadline, int tag,
-                                DeadScan scan) {
+                                DeadScan scan, WireFormat wire) {
   const int n = group.size();
   if (n == 1) return {};
   const int vrank = (group.my_index() - root_index + n) % n;
-  std::vector<float> incoming(data.size());
+  // Pooled per-thread receive buffer: the binomial rounds run strictly
+  // sequentially on this thread, so one slot serves every round without
+  // a heap allocation per call (DESIGN §12).
+  std::span<float> incoming(
+      AcquireScratch(ScratchSlot::kGroupIncoming, data.size()), data.size());
   for (int mask = 1; mask < n; mask <<= 1) {
     if (vrank & mask) {
       const int dst = group.WorldRank(((vrank - mask) + root_index) % n);
-      comm.SendT(dst, tag,
-                 std::span<const float>(data.data(), data.size()));
+      SendFloats(comm, dst, tag,
+                 std::span<const float>(data.data(), data.size()), wire);
       return {};
     }
     const int vsrc = vrank + mask;
     if (vsrc < n) {
       CollectiveResult r = TimedRecvFloats(
           comm, group, group.WorldRank((vsrc + root_index) % n), tag,
-          std::span<float>(incoming), deadline, scan);
+          incoming, deadline, scan, wire);
       if (!r.ok()) return r;
       AddInto(data, incoming);
     }
@@ -199,39 +209,51 @@ CollectiveResult TryGroupAllreduceRing(Communicator& comm,
                                        const RankGroup& group,
                                        std::span<float> data,
                                        const Deadline& deadline, int tag,
-                                       DeadScan scan) {
+                                       DeadScan scan, WireFormat wire) {
   const int n = group.size();
   if (n == 1) return {};
   const auto shards = ComputeShards(data.size(), n);
   const int idx = group.my_index();
   const int next = group.WorldRank((idx + 1) % n);
   const int prev = group.WorldRank((idx - 1 + n) % n);
-  std::vector<float> incoming(data.size());
+  // Pooled per-thread receive buffer (see TryGroupReduce).
+  float* incoming = AcquireScratch(ScratchSlot::kGroupIncoming, data.size());
 
   for (int k = 0; k < n - 1; ++k) {
     const int send_shard = ((idx - k) % n + n) % n;
     const int recv_shard = ((idx - k - 1) % n + n) % n;
     const auto& s = shards[static_cast<std::size_t>(send_shard)];
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
-    comm.SendT(next, tag + k,
-               std::span<const float>(data.data() + s.offset, s.count));
+    SendFloats(comm, next, tag + k,
+               std::span<const float>(data.data() + s.offset, s.count),
+               wire);
     CollectiveResult recv = TimedRecvFloats(
-        comm, group, prev, tag + k,
-        std::span<float>(incoming.data(), r.count), deadline, scan);
+        comm, group, prev, tag + k, std::span<float>(incoming, r.count),
+        deadline, scan, wire);
     if (!recv.ok()) return recv;
     AddInto(std::span<float>(data.data() + r.offset, r.count),
-            std::span<const float>(incoming.data(), r.count));
+            std::span<const float>(incoming, r.count));
+  }
+  if (wire == WireFormat::kFP16) {
+    // After the reduce-scatter this rank owns the fully reduced shard
+    // (idx+1) mod n. Quantise it before the allgather so the copy this
+    // rank keeps matches the packed copy every peer receives; forwarded
+    // shards are already quantised, so their pack hop is bit-exact.
+    const auto& own = shards[static_cast<std::size_t>((idx + 1) % n)];
+    RoundTripHalf(std::span<float>(data.data() + own.offset, own.count));
   }
   for (int k = 0; k < n - 1; ++k) {
     const int send_shard = ((idx + 1 - k) % n + n) % n;
     const int recv_shard = ((idx - k) % n + n) % n;
     const auto& s = shards[static_cast<std::size_t>(send_shard)];
     const auto& r = shards[static_cast<std::size_t>(recv_shard)];
-    comm.SendT(next, tag + n + k,
-               std::span<const float>(data.data() + s.offset, s.count));
+    SendFloats(comm, next, tag + n + k,
+               std::span<const float>(data.data() + s.offset, s.count),
+               wire);
     CollectiveResult recv = TimedRecvFloats(
         comm, group, prev, tag + n + k,
-        std::span<float>(data.data() + r.offset, r.count), deadline, scan);
+        std::span<float>(data.data() + r.offset, r.count), deadline, scan,
+        wire);
     if (!recv.ok()) return recv;
   }
   return {};
@@ -248,11 +270,12 @@ CollectiveResult TryGroupAllreduceTree(Communicator& comm,
                                        const RankGroup& group,
                                        std::span<float> data,
                                        const Deadline& deadline, int tag,
-                                       DeadScan scan) {
+                                       DeadScan scan, WireFormat wire) {
   CollectiveResult r =
-      TryGroupReduce(comm, group, 0, data, deadline, tag, scan);
+      TryGroupReduce(comm, group, 0, data, deadline, tag, scan, wire);
   if (!r.ok()) return r;
-  return TryGroupBroadcast(comm, group, 0, data, deadline, tag + 1, scan);
+  return TryGroupBroadcast(comm, group, 0, data, deadline, tag + 1, scan,
+                           wire);
 }
 
 void GroupAllreduceTree(Communicator& comm, const RankGroup& group,

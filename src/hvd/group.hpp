@@ -45,20 +45,31 @@ enum class DeadScan { kGroup, kWorld };
 /// the full world the group algorithms are element-for-element the same
 /// arithmetic as the flat collectives — the property that makes the
 /// elastic generation-0 path bit-identical to the non-elastic one.
+///
+/// `wire` selects the on-the-wire encoding (comm/collectives.hpp): under
+/// WireFormat::kFP16 every message moves packed binary16 words (half the
+/// bytes) while accumulation stays FP32. The algorithms quantise
+/// *kept* data at the same points the wire quantises *sent* data — the
+/// ring quantises each owner's fully reduced shard before the allgather,
+/// the tree's root quantises before broadcasting — so every member still
+/// finishes with bit-identical buffers. kFP32 (the default) is
+/// bit-identical to the pre-wire behaviour.
 
 void GroupBroadcast(Communicator& comm, const RankGroup& group,
                     int root_index, std::span<float> data, int tag);
 CollectiveResult TryGroupBroadcast(Communicator& comm, const RankGroup& group,
                                    int root_index, std::span<float> data,
                                    const Deadline& deadline, int tag,
-                                   DeadScan scan = DeadScan::kGroup);
+                                   DeadScan scan = DeadScan::kGroup,
+                                   WireFormat wire = WireFormat::kFP32);
 
 void GroupReduce(Communicator& comm, const RankGroup& group, int root_index,
                  std::span<float> data, int tag);
 CollectiveResult TryGroupReduce(Communicator& comm, const RankGroup& group,
                                 int root_index, std::span<float> data,
                                 const Deadline& deadline, int tag,
-                                DeadScan scan = DeadScan::kGroup);
+                                DeadScan scan = DeadScan::kGroup,
+                                WireFormat wire = WireFormat::kFP32);
 
 /// Ring reduce-scatter + allgather within the group (in-place sum).
 void GroupAllreduceRing(Communicator& comm, const RankGroup& group,
@@ -67,7 +78,8 @@ CollectiveResult TryGroupAllreduceRing(Communicator& comm,
                                        const RankGroup& group,
                                        std::span<float> data,
                                        const Deadline& deadline, int tag,
-                                       DeadScan scan = DeadScan::kGroup);
+                                       DeadScan scan = DeadScan::kGroup,
+                                       WireFormat wire = WireFormat::kFP32);
 
 /// Tree (reduce + broadcast) all-reduce within the group.
 void GroupAllreduceTree(Communicator& comm, const RankGroup& group,
@@ -76,6 +88,7 @@ CollectiveResult TryGroupAllreduceTree(Communicator& comm,
                                        const RankGroup& group,
                                        std::span<float> data,
                                        const Deadline& deadline, int tag,
-                                       DeadScan scan = DeadScan::kGroup);
+                                       DeadScan scan = DeadScan::kGroup,
+                                       WireFormat wire = WireFormat::kFP32);
 
 }  // namespace exaclim

@@ -10,7 +10,8 @@ namespace exaclim {
 
 CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
                                     const HybridAllreduceOptions& opts,
-                                    const Deadline& deadline, int tag) {
+                                    const Deadline& deadline, int tag,
+                                    WireFormat wire) {
   const int p = comm.size();
   const Topology& topo = opts.topology;
   const int rpn = topo.ranks_per_node;
@@ -36,7 +37,7 @@ CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
   if (rpn > 1) {
     CollectiveResult r = TryGroupAllreduceRing(comm, node_group, data,
                                                deadline, tag,
-                                               DeadScan::kWorld);
+                                               DeadScan::kWorld, wire);
     if (!r.ok()) return r;
   }
   if (nodes == 1) return {};
@@ -57,9 +58,9 @@ CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
       CollectiveResult r =
           opts.inter_node_tree
               ? TryGroupAllreduceTree(comm, peers, shard, deadline,
-                                      shard_tag, DeadScan::kWorld)
+                                      shard_tag, DeadScan::kWorld, wire)
               : TryGroupAllreduceRing(comm, peers, shard, deadline,
-                                      shard_tag, DeadScan::kWorld);
+                                      shard_tag, DeadScan::kWorld, wire);
       if (!r.ok()) return r;
     }
   }
@@ -72,7 +73,7 @@ CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
       CollectiveResult r = TryGroupBroadcast(
           comm, node_group, owner,
           std::span<float>(data.data() + s.offset, s.count), deadline,
-          tag + 500 + owner, DeadScan::kWorld);
+          tag + 500 + owner, DeadScan::kWorld, wire);
       if (!r.ok()) return r;
     }
   }
@@ -80,9 +81,10 @@ CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
 }
 
 void HybridAllreduce(Communicator& comm, std::span<float> data,
-                     const HybridAllreduceOptions& opts, int tag) {
+                     const HybridAllreduceOptions& opts, int tag,
+                     WireFormat wire) {
   const CollectiveResult result =
-      TryHybridAllreduce(comm, data, opts, Deadline(kNoTimeout), tag);
+      TryHybridAllreduce(comm, data, opts, Deadline(kNoTimeout), tag, wire);
   EXACLIM_CHECK(result.ok(),
                 "rank " << comm.rank()
                         << ": blocking HybridAllreduce cannot complete: rank "

@@ -31,15 +31,20 @@ struct HybridAllreduceOptions {
 };
 
 /// In-place sum across all ranks. World size must be a whole number of
-/// nodes. All ranks must call collectively.
+/// nodes. All ranks must call collectively. `wire` selects the message
+/// encoding (packed binary16 halves every phase's traffic; each phase
+/// quantises kept data exactly where it quantises sent data, so all
+/// ranks still finish bit-identical — see hvd/group.hpp).
 void HybridAllreduce(Communicator& comm, std::span<float> data,
-                     const HybridAllreduceOptions& opts, int tag = 9500);
+                     const HybridAllreduceOptions& opts, int tag = 9500,
+                     WireFormat wire = WireFormat::kFP32);
 
 /// Deadline-aware variant: returns instead of hanging when a rank dies
 /// in any of the three phases. The blocking form delegates here with
 /// kNoTimeout (identical message pattern and combining order).
 CollectiveResult TryHybridAllreduce(Communicator& comm, std::span<float> data,
                                     const HybridAllreduceOptions& opts,
-                                    const Deadline& deadline, int tag = 9500);
+                                    const Deadline& deadline, int tag = 9500,
+                                    WireFormat wire = WireFormat::kFP32);
 
 }  // namespace exaclim

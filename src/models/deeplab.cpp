@@ -234,23 +234,36 @@ Tensor DeepLabV3Plus::Forward(const Tensor& input, bool train) {
 }
 
 Tensor DeepLabV3Plus::Backward(const Tensor& grad_output) {
+  // Each child is announced grad-ready right after its Backward — the
+  // overlap hooks of DESIGN §14 (no-ops without a listener installed).
+  // The encoder inherits the listener so it announces per-block instead
+  // of as one giant tensor group.
+  encoder_->SetGradReadyListener(grad_ready_listener());
   Tensor g;
   if (config_.full_res_decoder) {
     g = classifier_->Backward(grad_output);
+    NotifyGradsReady(*classifier_);
     for (std::size_t i = upsample_tail_.size(); i-- > 0;) {
       g = upsample_tail_[i]->Backward(g);
+      NotifyGradsReady(*upsample_tail_[i]);
     }
   } else {
     g = upsample_tail_[0]->Backward(grad_output);
+    NotifyGradsReady(*upsample_tail_[0]);
     g = classifier_->Backward(g);
+    NotifyGradsReady(*classifier_);
   }
   g = refine_->Backward(g);
+  NotifyGradsReady(*refine_);
   const std::vector<std::int64_t> channels{
       config_.decoder_channels[0], config_.decoder_skip_channels};
   auto parts = SplitChannels(g, channels);
   encoder_->AddLowLevelGradient(skip_reduce_->Backward(parts[1]));
+  NotifyGradsReady(*skip_reduce_);
   g = up1_->Backward(parts[0]);
+  NotifyGradsReady(*up1_);
   g = aspp_->Backward(g);
+  NotifyGradsReady(*aspp_);
   return encoder_->Backward(g);
 }
 

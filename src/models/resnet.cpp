@@ -185,14 +185,20 @@ void ResNetEncoder::AddLowLevelGradient(Tensor grad) {
 }
 
 Tensor ResNetEncoder::Backward(const Tensor& grad_output) {
+  // Overlap hooks (DESIGN §14): each block announced right after its
+  // Backward. The listener arrives via DeepLabV3Plus, which forwards its
+  // own before calling into the encoder.
   Tensor g = grad_output;
   for (std::size_t i = blocks_.size(); i-- > 0;) {
     if (i + 1 == low_level_block_end_ && !low_level_grad_.Empty()) {
       g += low_level_grad_;
     }
     g = blocks_[i]->Backward(g);
+    NotifyGradsReady(*blocks_[i]);
   }
-  return stem_->Backward(g);
+  g = stem_->Backward(g);
+  NotifyGradsReady(*stem_);
+  return g;
 }
 
 std::vector<Param*> ResNetEncoder::Params() {

@@ -262,24 +262,34 @@ Tensor Tiramisu::Forward(const Tensor& input, bool train) {
 }
 
 Tensor Tiramisu::Backward(const Tensor& grad_output) {
+  // Each child is announced grad-ready right after its Backward — the
+  // overlap hooks of DESIGN §14 (no-ops without a listener installed).
   Tensor g = final_conv_->Backward(grad_output);
+  NotifyGradsReady(*final_conv_);
   skip_grads_.resize(skips_.size());  // capacity-stable after warmup
   for (std::size_t u = up_blocks_.size(); u-- > 0;) {
     const std::size_t skip_idx = ups_.size() - 1 - u;
     g = up_blocks_[u]->Backward(g);
+    NotifyGradsReady(*up_blocks_[u]);
     const std::array<std::int64_t, 2> channels{
         g.shape().c() - skip_channels_[skip_idx], skip_channels_[skip_idx]};
     SplitChannelsInto(g, channels, up_split_);
     skip_grads_[skip_idx] = std::move(up_split_[1]);
     g = ups_[u]->Backward(up_split_[0]);
+    NotifyGradsReady(*ups_[u]);
   }
   g = bottleneck_->Backward(g);
+  NotifyGradsReady(*bottleneck_);
   for (std::size_t i = down_blocks_.size(); i-- > 0;) {
     g = downs_[i]->Backward(g);
+    NotifyGradsReady(*downs_[i]);
     g += skip_grads_[i];
     g = down_blocks_[i]->Backward(g);
+    NotifyGradsReady(*down_blocks_[i]);
   }
-  return first_conv_->Backward(g);
+  g = first_conv_->Backward(g);
+  NotifyGradsReady(*first_conv_);
+  return g;
 }
 
 std::vector<Param*> Tiramisu::Params() {

@@ -107,10 +107,19 @@ ScalePoint ScaleSimulator::SimulateStrongScaling(
   // Communication is batch-independent (gradients have fixed size), so
   // the shrinking compute window hides less and less of it.
   const double a = AllreduceSeconds(gpus);
-  pt.exposed_comm_seconds = opts_.lag >= 1 ? std::max(0.0, a - 0.9 * c)
-                                           : std::max(0.15 * a, a - 0.7 * c);
   const double ctrl = ControlSeconds(gpus);
-  pt.control_seconds = opts_.lag >= 1 ? std::max(0.0, ctrl - 0.5 * c) : ctrl;
+  if (!opts_.overlap_exchange) {
+    // Serialized compute-then-comm (the pre-DESIGN-§14 exchanger):
+    // nothing hides behind backward.
+    pt.exposed_comm_seconds = a;
+    pt.control_seconds = ctrl;
+  } else {
+    pt.exposed_comm_seconds = opts_.lag >= 1
+                                  ? std::max(0.0, a - 0.9 * c)
+                                  : std::max(0.15 * a, a - 0.7 * c);
+    pt.control_seconds =
+        opts_.lag >= 1 ? std::max(0.0, ctrl - 0.5 * c) : ctrl;
+  }
   if (gpus > 1) {
     pt.straggler_seconds =
         m.variability.sigma_frac *
@@ -139,19 +148,26 @@ ScalePoint ScaleSimulator::Simulate(int gpus) const {
   pt.compute_seconds = compute_seconds_;
   const double c = compute_seconds_;
 
-  // Communication overlap: most all-reduces hide behind back-prop; the
-  // top layer's gradient is sequential without lag (Sec V-B4). With lag
-  // the whole exchange can overlap the next step's compute.
+  // Communication overlap: the as-ready bucketed exchange (DESIGN §14)
+  // hides most all-reduces behind back-prop; the top layer's gradient is
+  // sequential without lag (Sec V-B4). With lag the whole exchange can
+  // overlap the next step's compute. overlap_exchange = false models the
+  // serialized compute-then-comm step for comparison (bench_overlap).
   const double a = AllreduceSeconds(gpus);
-  if (opts_.lag >= 1) {
-    pt.exposed_comm_seconds = std::max(0.0, a - 0.9 * c);
-  } else {
-    pt.exposed_comm_seconds = std::max(0.15 * a, a - 0.7 * c);
-  }
-
-  // Control plane: negotiation overlaps with compute under lag as well.
   const double ctrl = ControlSeconds(gpus);
-  pt.control_seconds = opts_.lag >= 1 ? std::max(0.0, ctrl - 0.5 * c) : ctrl;
+  if (!opts_.overlap_exchange) {
+    pt.exposed_comm_seconds = a;
+    pt.control_seconds = ctrl;
+  } else {
+    if (opts_.lag >= 1) {
+      pt.exposed_comm_seconds = std::max(0.0, a - 0.9 * c);
+    } else {
+      pt.exposed_comm_seconds = std::max(0.15 * a, a - 0.7 * c);
+    }
+    // Control plane: negotiation overlaps with compute under lag as well.
+    pt.control_seconds =
+        opts_.lag >= 1 ? std::max(0.0, ctrl - 0.5 * c) : ctrl;
+  }
 
   // Straggler/variability: synchronous steps wait for the slowest rank.
   if (gpus > 1) {

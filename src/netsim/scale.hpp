@@ -26,6 +26,11 @@ struct ScaleOptions {
   int control_radix = 4;
   bool hybrid_allreduce = true;      // Sec V-A3 hybrid vs flat ring
   bool staged_input = true;          // node-local staging vs global FS
+  /// Overlap the gradient exchange with backward compute (the as-ready
+  /// bucketed exchange of DESIGN §14). When false the step pays
+  /// compute-then-comm serially — the pre-overlap exchanger, kept as the
+  /// baseline bench_overlap cross-checks the executed ratio against.
+  bool overlap_exchange = true;
   /// Calibration anchors: override the roofline single-GPU rate and the
   /// per-sample operation count with the paper's measured Fig 2 values
   /// (0 = use this repo's computed values).

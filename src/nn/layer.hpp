@@ -23,6 +23,20 @@ struct Param {
   std::int64_t NumElements() const { return value.NumElements(); }
 };
 
+class Layer;
+
+/// Observer of backward-pass progress: containers (Sequential, the model
+/// backward paths) announce each child layer right after its Backward
+/// returns, at which point that child's Param::grads are final for the
+/// step — the hook that lets the gradient exchange overlap with the rest
+/// of backprop (DESIGN §14). Announcements may repeat or cover layers
+/// without params; listeners dedup.
+class GradReadyListener {
+ public:
+  virtual ~GradReadyListener() = default;
+  virtual void OnGradsReady(Layer& layer) = 0;
+};
+
 /// Base class for network layers.
 ///
 /// Layers cache whatever forward-pass state their backward pass needs, so
@@ -65,6 +79,13 @@ class Layer {
   void SetPrecision(Precision p) { precision_ = p; }
   Precision precision() const { return precision_; }
 
+  /// Installs the backward-progress observer on this layer (the trainer
+  /// sets it on the model root only; nested containers keep nullptr and
+  /// the root announces their children transitively).
+  void SetGradReadyListener(GradReadyListener* listener) {
+    grad_listener_ = listener;
+  }
+
  protected:
   explicit Layer(std::string name) : name_(std::move(name)) {}
 
@@ -73,9 +94,21 @@ class Layer {
     if (precision_ == Precision::kFP16) RoundTripHalf(t);
   }
 
+  /// Announces that `child`'s gradients are final for this step. No-op
+  /// without a listener, so un-instrumented call paths cost one branch.
+  void NotifyGradsReady(Layer& child) const {
+    if (grad_listener_ != nullptr) grad_listener_->OnGradsReady(child);
+  }
+
+  /// The installed listener (for containers that forward it to nested
+  /// instrumented children, e.g. DeepLab handing its encoder over so the
+  /// encoder announces per-block instead of as one giant layer).
+  GradReadyListener* grad_ready_listener() const { return grad_listener_; }
+
  private:
   std::string name_;
   Precision precision_ = Precision::kFP32;
+  GradReadyListener* grad_listener_ = nullptr;
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -35,6 +35,9 @@ class Sequential : public Layer {
     Tensor g = grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       g = (*it)->Backward(g);
+      // This child's param grads are final for the step — the overlap
+      // hook (DESIGN §14). No-op without a listener.
+      NotifyGradsReady(**it);
     }
     return g;
   }

@@ -63,6 +63,7 @@ RankTrainer::RankTrainer(const TrainerOptions& opts,
 
   exchanger_ = std::make_unique<GradientExchanger>(
       opts_.exchanger, opts_.seed ^ 0xe8c4ull);
+  recorder_.Bind(params_);
   // Per-rank construction differences live only in the exchanger's
   // shuffle stream, which is seeded by the communicator rank at use.
   (void)rank;
@@ -116,12 +117,32 @@ RankTrainer::StepResult RankTrainer::StepImpl(
     loss = WeightedSoftmaxCrossEntropy(logits, batch.labels, loss_opts);
     result.loss_scale = loss_opts.loss_scale;
   }
+  const bool overlap = opts_.exchanger.overlap && comm != nullptr;
   {
     obs::ScopedTimer timer("step.backward", "train",
                            &result.timings.backward_seconds,
                            obs::HistogramOrNull("step.backward_s"));
     EXACLIM_ALLOC_CENSUS("step.backward");
+    if (comm != nullptr) {
+      // Record the grad-ready emission order (and, in overlap mode,
+      // stream it straight into the exchanger so fused buckets reduce on
+      // the exchange thread while the rest of backward still computes —
+      // DESIGN §14).
+      if (overlap) {
+        const Deadline deadline(elastic != nullptr
+                                    ? elastic->options().collective_timeout_s
+                                    : kNoTimeout);
+        exchanger_->BeginStep(*comm, params_, elastic, deadline);
+      }
+      recorder_.BeginStep(overlap ? exchanger_.get() : nullptr);
+      model_->SetGradReadyListener(&recorder_);
+    }
     (void)model_->Backward(loss.grad_logits);
+    if (comm != nullptr) {
+      model_->SetGradReadyListener(nullptr);
+      // Params no hook announced (if any) still exchange exactly once.
+      recorder_.FlushRemaining();
+    }
   }
 
   if (comm != nullptr) {
@@ -129,11 +150,21 @@ RankTrainer::StepResult RankTrainer::StepImpl(
                            &result.timings.exchange_seconds,
                            obs::HistogramOrNull("step.exchange_s"));
     EXACLIM_ALLOC_CENSUS("step.exchange");
-    if (elastic != nullptr) {
+    CollectiveResult r;
+    if (overlap) {
+      // Barrier: only the exchange tail not hidden behind backward shows
+      // up here (a RankKilledError raised on the exchange thread by the
+      // chaos schedule rethrows out of WaitAll on this thread).
+      r = exchanger_->WaitAll();
+    } else if (elastic != nullptr) {
       const Deadline deadline(elastic->options().collective_timeout_s);
-      const CollectiveResult r =
-          exchanger_->TryExchange(*comm, params_, *elastic, deadline);
-      if (exchange_status != nullptr) *exchange_status = r;
+      r = exchanger_->TryExchange(*comm, params_, *elastic, deadline,
+                                  recorder_.order());
+    } else {
+      exchanger_->Exchange(*comm, params_, recorder_.order());
+    }
+    if (exchange_status != nullptr) *exchange_status = r;
+    if (elastic != nullptr) {
       if (!r.ok()) {
         // Failed exchange: the gradients are partial garbage. Roll the
         // step back — no optimizer or scaler update — so every survivor
@@ -144,7 +175,13 @@ RankTrainer::StepResult RankTrainer::StepImpl(
         return result;
       }
     } else {
-      exchanger_->Exchange(*comm, params_);
+      EXACLIM_CHECK(r.ok(),
+                    "rank " << comm->rank()
+                            << ": blocking exchange cannot complete: rank "
+                            << r.suspect_rank
+                            << (r.status == CollectiveStatus::kPeerDead
+                                    ? " is dead"
+                                    : " is unresponsive"));
     }
   }
 
@@ -332,6 +369,9 @@ TrainRunResult RunDistributedTraining(const TrainerOptions& raw_opts,
   // EXACLIM_FAULTS.
   TrainerOptions opts = raw_opts;
   opts.elastic = ElasticOptions::FromEnv(opts.elastic);
+  // EXACLIM_OVERLAP / EXACLIM_FUSION_BYTES / EXACLIM_WIRE likewise
+  // override the exchange knobs on an existing binary.
+  opts.exchanger = ExchangerOptions::FromEnv(opts.exchanger);
   const auto freq = dataset.MeasureFrequencies(16);
   const auto weights = MakeClassWeights(freq, opts.weighting);
 

@@ -15,10 +15,16 @@
 #   5. alloc-smoke: bench_alloc_census per-phase allocation ratchet,
 #      pooled (tools/alloc_budget.json, all budgets 0) and with
 #      EXACLIM_POOL=off (tools/alloc_budget_pool_off.json) — DESIGN §11/§12
+#   5b. overlap-smoke (bench): bench_overlap under a deterministic wire
+#      latency — overlapped step must beat serialized, FP16 wire must
+#      halve the bytes, exchange allocation ratchet
+#      (tools/alloc_budget_exchange.json) — DESIGN §14
 #   6. ASan+UBSan: Debug build + full ctest suite    (preset: asan)
 #   7. TSan: Debug build + `stress`-labelled tests   (preset: tsan)
 #   8. fault-smoke: fault suite re-run under TSan with a fixed
 #      EXACLIM_FAULTS spec (env-driven injection path, DESIGN §8)
+#   10. overlap-smoke (TSan): exchange-thread-vs-backward suites re-run
+#      under TSan, incl. the chaos kill on the exchange thread
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -94,11 +100,32 @@ run env EXACLIM_BENCH_DIR="$BENCH_DIR" EXACLIM_POOL=off \
   ./build/bench/bench_alloc_census
 run python3 tools/check_alloc_budget.py "$BENCH_DIR"/BENCH_alloc_census.json \
   tools/alloc_budget_pool_off.json
+
+# ---- 5b. overlap-smoke (bench half) --------------------------------------
+# The overlapped exchange (DESIGN §14) must beat the serialized one.
+# bench_overlap times both modes under a deterministic 5 ms per-message
+# wire latency (the comm.delay fault site), so the win is structural
+# rather than scheduler luck — sleep latency is hideable behind backward
+# on any core count, and CPU load only grows the hiding window. Gates:
+# the overlapped step must be no slower than the serialized step (the
+# headline), its exposed WaitAll tail must stay well under the
+# serialized path's full post-backward exchange (the sharp structural
+# gate), the packed FP16 wire must actually halve the bytes on the
+# wire, and the exchange path must stay within its steady-state
+# allocation ratchet (tools/alloc_budget_exchange.json). The TSan half
+# of overlap-smoke is stage 10 below.
+run env EXACLIM_BENCH_DIR="$BENCH_DIR" ./build/bench/bench_overlap
+run python3 tools/check_bench_json.py "$BENCH_DIR"/BENCH_overlap.json \
+  --assert-le step_overlap_s step_serialized_s 1.0 \
+  --assert-le exchange_exposed_overlap_s exchange_exposed_serialized_s 0.9 \
+  --assert-le exchange_bytes_fp16 exchange_bytes_fp32 0.51
+run python3 tools/check_alloc_budget.py "$BENCH_DIR"/BENCH_overlap.json \
+  tools/alloc_budget_exchange.json
 rm -rf "$BENCH_DIR"
 
 if [[ "$FAST" == 1 ]]; then
   echo
-  echo "ci.sh --fast: lint + tier-1 + bench-smoke + perf-smoke + alloc-smoke OK"
+  echo "ci.sh --fast: lint + tier-1 + bench-smoke + perf-smoke + alloc-smoke + overlap-smoke(bench) OK"
   exit 0
 fi
 
@@ -132,5 +159,16 @@ run env TSAN_OPTIONS=halt_on_error=1 \
   EXACLIM_FAULTS="elastic.kill.4:1:7:1:0:3,elastic.exchange.kill.1:1:9:1:0:4" \
   ./build-tsan/tests/test_elastic --gtest_filter='ChaosSmoke.*'
 
+# ---- 10. overlap-smoke (TSan half) ---------------------------------------
+# The overlapped exchange runs gradient reduction on a dedicated exchange
+# thread while the trainer thread still emits grad-ready notifications
+# (DESIGN §14) — exactly the pairing TSan exists for. Re-run the
+# bit-identity + chaos overlap suites under TSan, including the chaos
+# schedule where rank 1's kill fires on the exchange thread and the
+# RankKilledError must propagate through WaitAll to the trainer thread.
+run env TSAN_OPTIONS=halt_on_error=1 \
+  ./build-tsan/tests/test_overlap \
+  --gtest_filter='Overlap*:AllTransports/*:BucketTagLayout.*'
+
 echo
-echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, alloc-smoke, asan+ubsan, tsan-stress, fault-smoke, chaos-smoke)"
+echo "ci.sh: all gates green (lint, tier-1, bench-smoke, perf-smoke, alloc-smoke, overlap-smoke, asan+ubsan, tsan-stress, fault-smoke, chaos-smoke)"
