@@ -12,10 +12,15 @@
 
 #include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "nn/activation.hpp"
 #include "nn/conv.hpp"
+#include "nn/conv_engine.hpp"
+#include "nn/norm.hpp"
+#include "nn/sequential.hpp"
 #include "obs/bench_report.hpp"
 #include "stats/stats.hpp"
 
@@ -109,11 +114,7 @@ double TimeStepMs(Conv2d& conv, const Tensor& x, const Tensor& g) {
 
 // Times forward+backward of a Tiramisu-growth-scale 3x3 conv at several
 // batch sizes, serial batch walk vs batch-parallel engine.
-void RunEngineComparison() {
-  obs::BenchReport report("micro_conv");
-  report.AddScalar("threads",
-                   static_cast<double>(ThreadPool::Global().size() + 1));
-
+void RunEngineComparison(obs::BenchReport& report) {
   constexpr int kRounds = 5;
   std::printf(
       "\nbatch-parallel conv engine (3x3 32->32 on 48x48, fwd+bwd, "
@@ -154,6 +155,139 @@ void RunEngineComparison() {
                        speedup);
     }
   }
+}
+
+double TimeForwardMs(Layer& layer, const Tensor& x) {
+  const auto start = Clock::now();
+  Tensor y = layer.Forward(x, false);
+  benchmark::DoNotOptimize(y.Raw());
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// -------------------------------------- implicit GEMM vs im2col --------
+
+// Forward timing of the implicit B-panel gather against the materialized
+// im2col lowering (bit-identical outputs, so this is a pure perf A/B),
+// plus the col-buffer footprint the implicit path eliminates per image.
+void RunImplicitComparison(obs::BenchReport& report) {
+  constexpr int kRounds = 7;
+  struct Shape {
+    const char* name;
+    Conv2d::Options opts;
+    std::int64_t h, w, batch;
+  };
+  const Shape shapes[] = {
+      {"b4", {.in_c = 32, .out_c = 32}, 48, 48, 4},  // the conv-tile shape
+      {"atrous",
+       {.in_c = 32, .out_c = 32, .kernel = 3, .pad = 4, .dilation = 4},
+       48, 48, 2},
+      {"stride2",
+       {.in_c = 16, .out_c = 32, .kernel = 3, .stride = 2, .pad = 1},
+       96, 96, 2},
+  };
+  std::printf(
+      "\nimplicit GEMM vs im2col (forward, median of %d):\n"
+      "  %8s %12s %14s %9s %14s\n",
+      kRounds, "shape", "im2col [ms]", "implicit [ms]", "speedup",
+      "col bytes/img");
+  for (const Shape& s : shapes) {
+    Rng xrng(3);
+    const Tensor x = Tensor::Uniform(
+        TensorShape::NCHW(s.batch, s.opts.in_c, s.h, s.w), xrng, -1, 1);
+    double medians[2] = {0, 0};
+    std::int64_t col_bytes = 0;
+    for (const bool implicit : {false, true}) {
+      Conv2d::Options opts = s.opts;
+      opts.algorithm = implicit ? ConvAlgorithm::kImplicitGemm
+                                : ConvAlgorithm::kIm2Col;
+      Rng rng(2);
+      Conv2d conv("c", opts, rng);
+      const TensorShape out = conv.OutputShape(x.shape());
+      col_bytes = s.opts.in_c * opts.kernel * opts.kernel * out.h() *
+                  out.w() * static_cast<std::int64_t>(sizeof(float));
+      (void)TimeForwardMs(conv, x);  // warm-up (workspace + row tables)
+      std::vector<double> times;
+      times.reserve(kRounds);
+      for (int r = 0; r < kRounds; ++r) {
+        times.push_back(TimeForwardMs(conv, x));
+      }
+      const std::string metric = std::string("conv_") +
+                                 (implicit ? "implicit_" : "im2col_") +
+                                 s.name + "_ms";
+      report.AddSeries(metric, times);
+      medians[implicit ? 1 : 0] = Summarize(times).median;
+    }
+    const double speedup = medians[1] > 0 ? medians[0] / medians[1] : 0;
+    report.AddScalar(std::string("implicit_speedup_") + s.name, speedup);
+    report.AddScalar(std::string("col_bytes_eliminated_") + s.name,
+                     static_cast<double>(col_bytes));
+    std::printf("  %8s %12.3f %14.3f %8.2fx %14lld\n", s.name, medians[0],
+                medians[1], speedup, static_cast<long long>(col_bytes));
+  }
+}
+
+// ---------------------------------------- fused epilogue chains --------
+
+// Eval-mode Conv2d→BatchNorm2d→ReLU: unfused layer walk vs the fused
+// GEMM-epilogue fold (bias + BN scale/shift + ReLU in the C writeback).
+void RunFusionComparison(obs::BenchReport& report) {
+  constexpr int kRounds = 7;
+  struct Shape {
+    const char* name;
+    Conv2d::Options opts;
+    std::int64_t h, w, batch;
+  };
+  const Shape shapes[] = {
+      {"tile", {.in_c = 32, .out_c = 32}, 48, 48, 4},  // conv-tile 3x3
+      {"pointwise", {.in_c = 32, .out_c = 48, .kernel = 1, .pad = 0},
+       64, 64, 4},
+  };
+  const bool saved_fuse = ConvFusionEnabled();
+  std::printf(
+      "\nfused conv->BN->ReLU epilogue (eval forward, median of %d):\n"
+      "  %10s %13s %11s %9s\n",
+      kRounds, "shape", "unfused [ms]", "fused [ms]", "speedup");
+  for (const Shape& s : shapes) {
+    Rng xrng(3);
+    const Tensor x = Tensor::Uniform(
+        TensorShape::NCHW(s.batch, s.opts.in_c, s.h, s.w), xrng, -1, 1);
+    double medians[2] = {0, 0};
+    for (const bool fuse : {false, true}) {
+      SetConvFusion(fuse);
+      Rng rng(2);
+      Sequential seq("chain");
+      seq.Emplace<Conv2d>("c", s.opts, rng);
+      seq.Emplace<BatchNorm2d>("bn", s.opts.out_c);
+      seq.Emplace<ReLU>("r");
+      (void)seq.Forward(x, true);   // warm running stats + buffers
+      (void)TimeForwardMs(seq, x);  // warm the eval path
+      std::vector<double> times;
+      times.reserve(kRounds);
+      for (int r = 0; r < kRounds; ++r) {
+        times.push_back(TimeForwardMs(seq, x));
+      }
+      const std::string metric = std::string("conv_") +
+                                 (fuse ? "fused_" : "unfused_") + s.name +
+                                 "_eval_ms";
+      report.AddSeries(metric, times);
+      medians[fuse ? 1 : 0] = Summarize(times).median;
+    }
+    const double speedup = medians[1] > 0 ? medians[0] / medians[1] : 0;
+    report.AddScalar(std::string("fused_speedup_") + s.name, speedup);
+    std::printf("  %10s %13.3f %11.3f %8.2fx\n", s.name, medians[0],
+                medians[1], speedup);
+  }
+  SetConvFusion(saved_fuse);
+}
+
+void RunComparisons() {
+  obs::BenchReport report("micro_conv");
+  report.AddScalar("threads",
+                   static_cast<double>(ThreadPool::Global().size() + 1));
+  RunEngineComparison(report);
+  RunImplicitComparison(report);
+  RunFusionComparison(report);
   const auto path = report.WriteJsonFile();
   if (!path.empty()) std::printf("  wrote %s\n", path.string().c_str());
 }
@@ -165,6 +299,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  exaclim::RunEngineComparison();
+  exaclim::RunComparisons();
   return 0;
 }

@@ -28,6 +28,7 @@ const char* ScratchSlotName(ScratchSlot slot) {
     case ScratchSlot::kExchangeFusion: return "exchange.fusion";
     case ScratchSlot::kWirePack: return "comm.wire_pack";
     case ScratchSlot::kGroupIncoming: return "comm.group_incoming";
+    case ScratchSlot::kConvImplicitRows: return "conv.implicit_rows";
     case ScratchSlot::kSlotCount: break;
   }
   return "?";
@@ -48,6 +49,10 @@ std::uint16_t* AcquireScratchU16(ScratchSlot slot, std::size_t elems) {
   // Two packed words per float element; round up so odd counts fit.
   return reinterpret_cast<std::uint16_t*>(
       AcquireScratch(slot, (elems + 1) / 2));
+}
+
+void* AcquireScratchBytes(ScratchSlot slot, std::size_t bytes) {
+  return AcquireScratch(slot, (bytes + sizeof(float) - 1) / sizeof(float));
 }
 
 std::size_t ScratchCapacity(ScratchSlot slot) {

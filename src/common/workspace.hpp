@@ -44,6 +44,7 @@ enum class ScratchSlot {
   kExchangeFusion,  // fused gradient staging of the hvd exchanger
   kWirePack,        // packed-binary16 encode buffer of the comm wire
   kGroupIncoming,   // partial-sum receive buffer of the group collectives
+  kConvImplicitRows,  // implicit-GEMM row-descriptor tables (DESIGN §15)
   kSlotCount,
 };
 
@@ -59,6 +60,12 @@ float* AcquireScratch(ScratchSlot slot, std::size_t elems);
 /// used with one element type at a time (the wire pack path owns
 /// kWirePack); capacities still account in floats.
 std::uint16_t* AcquireScratchU16(ScratchSlot slot, std::size_t elems);
+
+/// Same stream viewed as raw bytes (e.g. the implicit-GEMM row tables of
+/// kConvImplicitRows): grows the float buffer to cover `bytes` and
+/// reinterprets it. Pool blocks are 16-byte aligned, which bounds the
+/// alignment any plain-old-data overlay may assume.
+void* AcquireScratchBytes(ScratchSlot slot, std::size_t bytes);
 
 /// Capacity (in floats) of this thread's buffer for `slot`; 0 before the
 /// first acquire. Exposed for tests asserting reuse (no re-allocation

@@ -1,6 +1,7 @@
 #include "nn/activation.hpp"
 
 #include "common/thread_pool.hpp"
+#include "tensor/epilogue.hpp"
 
 namespace exaclim {
 namespace {
@@ -23,15 +24,20 @@ Tensor ReLU::Forward(const Tensor& input, bool /*train*/) {
       [&](std::size_t lo, std::size_t hi) {
         // hot-path: begin
         for (std::size_t i = lo; i < hi; ++i) {
-          const bool active = input[i] > 0.0f;
-          mask_[i] = active ? 1 : 0;
-          output[i] = active ? input[i] : 0.0f;
+          mask_[i] = ReluActive(input[i]) ? 1 : 0;
+          output[i] = ReluValue(input[i]);
         }
         // hot-path: end
       },
       kPointwiseGrain);
   MaybeQuantise(output);
   return output;
+}
+
+unsigned char* ReLU::BeginFusedForward(const TensorShape& shape) {
+  input_shape_ = shape;
+  mask_.resize(static_cast<std::size_t>(shape.NumElements()));
+  return mask_.data();
 }
 
 Tensor ReLU::Backward(const Tensor& grad_output) {

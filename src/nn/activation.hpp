@@ -19,6 +19,12 @@ class ReLU : public Layer {
     return input;
   }
 
+  /// Hands the forward mask to a fused producer (conv epilogue or
+  /// BatchNorm2d::ForwardFusedInPlace) which fills it from the pre-ReLU
+  /// values — one byte per element, layout == the tensor. After the
+  /// producer returns, Backward behaves exactly as after Forward().
+  unsigned char* BeginFusedForward(const TensorShape& shape);
+
  private:
   // One byte per element (not vector<bool>): the forward pass fills the
   // mask from parallel blocks, and bit-packing would make neighbouring

@@ -1,6 +1,8 @@
 #include "nn/conv.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
 #include "tensor/gemm.hpp"
@@ -8,6 +10,16 @@
 
 namespace exaclim {
 namespace {
+
+std::atomic<ConvAlgorithm>& DefaultAlgorithmFlag() {
+  static std::atomic<ConvAlgorithm> flag([] {
+    if (const char* env = std::getenv("EXACLIM_CONV_ALGO")) {
+      if (const auto parsed = ParseConvAlgorithm(env)) return *parsed;
+    }
+    return ConvAlgorithm::kAuto;
+  }());
+  return flag;
+}
 
 // "Same" padding must grow with the dilated (effective) kernel, or an
 // ASPP-style dilated conv with the default pad silently shrinks its
@@ -62,10 +74,29 @@ void DirectConvImage(const ConvGeometry& g, std::int64_t out_c,
 const char* ToString(ConvAlgorithm algo) {
   switch (algo) {
     case ConvAlgorithm::kAuto: return "auto";
+    case ConvAlgorithm::kIm2Col: return "im2col";
     case ConvAlgorithm::kImplicitGemm: return "implicit-gemm";
     case ConvAlgorithm::kDirect: return "direct";
   }
   return "?";
+}
+
+std::optional<ConvAlgorithm> ParseConvAlgorithm(std::string_view value) {
+  if (value == "auto") return ConvAlgorithm::kAuto;
+  if (value == "im2col") return ConvAlgorithm::kIm2Col;
+  if (value == "implicit" || value == "implicit-gemm") {
+    return ConvAlgorithm::kImplicitGemm;
+  }
+  if (value == "direct") return ConvAlgorithm::kDirect;
+  return std::nullopt;
+}
+
+ConvAlgorithm DefaultConvAlgorithm() {
+  return DefaultAlgorithmFlag().load(std::memory_order_relaxed);
+}
+
+void SetDefaultConvAlgorithm(ConvAlgorithm algo) {
+  DefaultAlgorithmFlag().store(algo, std::memory_order_relaxed);
 }
 
 // ----------------------------------------------------------- Conv2d -----
@@ -112,13 +143,31 @@ bool Conv2d::UsePointwiseFastPath() const {
 }
 
 ConvAlgorithm Conv2d::chosen_algorithm() const {
-  if (opts_.algorithm == ConvAlgorithm::kAuto) {
+  ConvAlgorithm algo = opts_.algorithm;
+  if (algo == ConvAlgorithm::kAuto) algo = DefaultConvAlgorithm();
+  if (algo == ConvAlgorithm::kAuto) {
     // Direct is strictly better for pointwise convolutions (no patch
     // expansion); implicit GEMM wins elsewhere on this substrate.
-    return UsePointwiseFastPath() ? ConvAlgorithm::kDirect
+    algo = UsePointwiseFastPath() ? ConvAlgorithm::kDirect
                                   : ConvAlgorithm::kImplicitGemm;
   }
-  return opts_.algorithm;
+  // The implicit-B packer lives in the packed engine; the reference
+  // kernel A/B (EXACLIM_GEMM_KERNEL=reference) falls back to the
+  // bit-identical materialized col path.
+  if (algo == ConvAlgorithm::kImplicitGemm && !GemmUsesPackedEngine()) {
+    algo = ConvAlgorithm::kIm2Col;
+  }
+  return algo;
+}
+
+bool Conv2d::CanFuseEpilogue() const {
+  if (precision() != Precision::kFP32 || !GemmUsesPackedEngine()) {
+    return false;
+  }
+  const ConvAlgorithm algo = chosen_algorithm();
+  return algo == ConvAlgorithm::kImplicitGemm ||
+         algo == ConvAlgorithm::kIm2Col ||
+         (algo == ConvAlgorithm::kDirect && UsePointwiseFastPath());
 }
 
 TensorShape Conv2d::OutputShape(const TensorShape& input) const {
@@ -136,7 +185,12 @@ const Tensor& Conv2d::ComputeWeight() {
   return quantised_weight_;
 }
 
-Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
+Tensor Conv2d::Forward(const Tensor& input, bool train) {
+  return ForwardFused(input, train, ConvFusedOps{});
+}
+
+Tensor Conv2d::ForwardFused(const Tensor& input, bool /*train*/,
+                            const ConvFusedOps& ops) {
   const TensorShape out_shape = OutputShape(input.shape());
   const ConvGeometry g = Geometry(input.shape().h(), input.shape().w());
   cached_input_ = input;
@@ -144,46 +198,97 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
   Tensor output(out_shape);
   const Tensor& w = ComputeWeight();
   const ConvAlgorithm algo = chosen_algorithm();
+  const bool pointwise = UsePointwiseFastPath();
+  EXACLIM_CHECK(ops.Empty() || CanFuseEpilogue(),
+                name() << ": epilogue ops on a non-fusable configuration");
+  // Fold the conv's own bias into the GEMM epilogue whenever the packed
+  // writeback allows it: the per-element add is the exact same FP op as
+  // the separate bias pass below, so flipping EXACLIM_CONV_FUSE (or the
+  // algorithm) never changes bits — it only changes how often C is
+  // touched.
+  const bool use_epilogue =
+      !ops.Empty() ||
+      (bias_.has_value() && ConvFusionEnabled() && CanFuseEpilogue());
+  GemmEpilogue epi;
+  if (use_epilogue) {
+    if (bias_) epi.bias = bias_->value.Raw();
+    epi.bn_mean = ops.bn_mean;
+    epi.bn_inv_std = ops.bn_inv_std;
+    epi.bn_gamma = ops.bn_gamma;
+    epi.bn_beta = ops.bn_beta;
+    epi.relu = ops.relu;
+    epi.mask_ld = g.OutPixels();
+    EXACLIM_CHECK(ops.bn_norm == nullptr || ops.bn_mean != nullptr,
+                  name() << ": x_hat writeback without BN vectors");
+  }
   const std::int64_t batch = input.shape().n();
   const std::int64_t shards = ConvGradShards(batch);
+  // The implicit path's headline: no col buffer at all on the forward
+  // hot path — only the kIm2Col reference still materializes patches.
   const std::int64_t col_elems =
-      algo == ConvAlgorithm::kImplicitGemm ? g.PatchSize() * g.OutPixels()
-                                           : 0;
+      algo == ConvAlgorithm::kIm2Col ? g.PatchSize() * g.OutPixels() : 0;
   workspace_.Configure(shards, col_elems, /*grad_col_elems=*/0,
                        /*weight_elems=*/0, /*bias_elems=*/0);
+  const GemmImplicitRow* rows = algo == ConvAlgorithm::kImplicitGemm ||
+                                        algo == ConvAlgorithm::kIm2Col
+                                    ? workspace_.ImplicitRows(g)
+                                    : nullptr;
   const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_stride = opts_.out_c * g.OutPixels();
+  const std::int64_t out_h = g.OutH();
+  const std::int64_t out_w = g.OutW();
   // Pack the weight into the GEMM engine's A-panel layout once; every
   // shard then reuses the panels read-only instead of re-packing W per
   // image inside the per-image GEMMs (DESIGN §10).
   const bool prepacked = GemmUsesPackedEngine() &&
                          (algo == ConvAlgorithm::kImplicitGemm ||
-                          UsePointwiseFastPath());
+                          algo == ConvAlgorithm::kIm2Col || pointwise);
   if (prepacked) {
     const std::int64_t kk =
-        algo == ConvAlgorithm::kImplicitGemm ? g.PatchSize() : g.in_c;
+        algo == ConvAlgorithm::kDirect ? g.in_c : g.PatchSize();
     packed_weight_.Pack(false, opts_.out_c, kk, 1.0f, w.Raw());
   }
   RunConvShards(shards, [&](std::int64_t s) {
     const ConvShardRange images = ShardImageRange(batch, shards, s);
     for (std::int64_t n = images.lo; n < images.hi; ++n) {
+      // Per-image epilogue view: only the mask/x_hat pointers move with n.
+      GemmEpilogue epi_n = epi;
+      if (ops.relu_mask != nullptr) {
+        epi_n.relu_mask = ops.relu_mask + n * out_stride;
+      }
+      if (ops.bn_norm != nullptr) {
+        epi_n.bn_norm = ops.bn_norm + n * out_stride;
+      }
+      const GemmEpilogue* epi_ptr = use_epilogue ? &epi_n : nullptr;
       if (algo == ConvAlgorithm::kImplicitGemm) {
+        // out[out_c, P] = W[out_c, patch] @ implicit-im2col(x) — the
+        // B-panel packer gathers straight from the image (DESIGN §15).
+        GemmImplicitB bsrc;
+        bsrc.image = input.Raw() + n * in_stride;
+        bsrc.rows = rows;
+        bsrc.out_h = out_h;
+        bsrc.out_w = out_w;
+        bsrc.in_row_stride = g.in_w;
+        bsrc.stride = g.stride;
+        GemmPackedImplicit(packed_weight_, bsrc, 0.0f,
+                           output.Raw() + n * out_stride, epi_ptr);
+      } else if (algo == ConvAlgorithm::kIm2Col) {
         float* col = workspace_.Col(s);
-        Im2Col(g, input.Raw() + n * in_stride, col);
+        Im2ColFromRows(g, rows, input.Raw() + n * in_stride, col);
         // out[out_c, P] = W[out_c, patch] @ col[patch, P]
         if (prepacked) {
           GemmPackedWithA(packed_weight_, false, g.OutPixels(), col, 0.0f,
-                          output.Raw() + n * out_stride);
+                          output.Raw() + n * out_stride, epi_ptr);
         } else {
           Gemm(false, false, opts_.out_c, g.OutPixels(), g.PatchSize(), 1.0f,
                w.Raw(), col, 0.0f, output.Raw() + n * out_stride);
         }
-      } else if (UsePointwiseFastPath()) {
+      } else if (pointwise) {
         // 1x1/stride-1: the activation map already IS the patch matrix.
         if (prepacked) {
           GemmPackedWithA(packed_weight_, false, g.OutPixels(),
                           input.Raw() + n * in_stride, 0.0f,
-                          output.Raw() + n * out_stride);
+                          output.Raw() + n * out_stride, epi_ptr);
         } else {
           Gemm(false, false, opts_.out_c, g.OutPixels(), g.in_c, 1.0f,
                w.Raw(), input.Raw() + n * in_stride, 0.0f,
@@ -193,7 +298,7 @@ Tensor Conv2d::Forward(const Tensor& input, bool /*train*/) {
         DirectConvImage(g, opts_.out_c, input.Raw() + n * in_stride,
                         w.Raw(), output.Raw() + n * out_stride);
       }
-      if (bias_) {
+      if (bias_ && !use_epilogue) {
         float* out_n = output.Raw() + n * out_stride;
         for (std::int64_t c = 0; c < opts_.out_c; ++c) {
           const float b = bias_->value[static_cast<std::size_t>(c)];
@@ -232,6 +337,11 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
                        weight_.grad.NumElements(),
                        bias_ ? opts_.out_c : 0);
   workspace_.ZeroGradAccumulators();
+  // Geometry-dependent im2col setup hoisted out of the n-loop: the table
+  // is shared read-only by all shards (and is already warm whenever the
+  // forward pass ran the implicit path on the same geometry).
+  const GemmImplicitRow* rows =
+      pointwise ? nullptr : workspace_.ImplicitRows(g);
   const std::int64_t in_stride = g.in_c * g.in_h * g.in_w;
   const std::int64_t out_stride = opts_.out_c * g.OutPixels();
   // The data gradient multiplies by W^T for every image; prepack the
@@ -267,7 +377,7 @@ Tensor Conv2d::Backward(const Tensor& grad_output) {
         // Weight gradient: gW[out_c, patch] += gout[out_c, P] @ col^T.
         float* col = workspace_.Col(s);
         float* grad_col = workspace_.GradCol(s);
-        Im2Col(g, cached_input_.Raw() + n * in_stride, col);
+        Im2ColFromRows(g, rows, cached_input_.Raw() + n * in_stride, col);
         Gemm(false, true, opts_.out_c, g.PatchSize(), g.OutPixels(), 1.0f,
              gout, col, 1.0f, wgrad);
         // Data gradient: gcol[patch, P] = W^T @ gout; scatter back.
@@ -433,6 +543,10 @@ Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
   if (prepacked) {
     packed_weight_bwd_.Pack(false, opts_.in_c, g.PatchSize(), 1.0f, w.Raw());
   }
+  // The fix for the per-batch-element Im2Col: all geometry-dependent
+  // setup (bounds, offsets) is computed once per geometry here; the
+  // n-loop below does pure data movement through the row table.
+  const GemmImplicitRow* rows = workspace_.ImplicitRows(g);
 
   RunConvShards(shards, [&](std::int64_t s) {
     const ConvShardRange images = ShardImageRange(batch, shards, s);
@@ -441,7 +555,7 @@ Tensor ConvTranspose2d::Backward(const Tensor& grad_output) {
     float* bgrad = bias_ ? workspace_.BiasGrad(s) : nullptr;
     for (std::int64_t n = images.lo; n < images.hi; ++n) {
       const float* gout = grad_output.Raw() + n * out_stride;
-      Im2Col(g, gout, col);
+      Im2ColFromRows(g, rows, gout, col);
       // Data gradient: gx[in_c, P] = W[in_c, patch] @ col[patch, P]
       if (prepacked) {
         GemmPackedWithA(packed_weight_bwd_, false, pixels, col, 0.0f,

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 
 #include "nn/conv_engine.hpp"
 #include "nn/im2col.hpp"
@@ -11,14 +12,56 @@ namespace exaclim {
 
 /// Convolution algorithm selection — the stand-in for cuDNN's dynamic
 /// algorithm tuning that Sec VI traces ("all convolutions were performed
-/// using either implicit GEMMs or direct convolutions"). kImplicitGemm
-/// lowers through im2col; kDirect computes the convolution in place (for
-/// 1×1/stride-1 this is a pure GEMM on the activation map with no patch
-/// buffer — the same FLOPs, less memory traffic). kAuto picks kDirect
-/// where it is never worse.
-enum class ConvAlgorithm { kAuto, kImplicitGemm, kDirect };
+/// using either implicit GEMMs or direct convolutions"). kIm2Col lowers
+/// through a materialized patch buffer; kImplicitGemm runs the packed
+/// GEMM engine's implicit-B path, gathering panels straight from the
+/// input tensor with no col buffer (DESIGN §15); kDirect computes the
+/// convolution in place (for 1×1/stride-1 this is a pure GEMM on the
+/// activation map — the same FLOPs, less memory traffic). kAuto picks
+/// kDirect for pointwise geometries and kImplicitGemm elsewhere.
+/// kImplicitGemm needs the packed engine, so under
+/// EXACLIM_GEMM_KERNEL=reference it resolves to kIm2Col. All algorithms
+/// produce bit-identical forward outputs (the sweep in
+/// tests/test_conv_algorithms.cpp holds them to it).
+enum class ConvAlgorithm { kAuto, kIm2Col, kImplicitGemm, kDirect };
 
 const char* ToString(ConvAlgorithm algo);
+
+/// Parses "auto" / "im2col" / "implicit" (or "implicit-gemm") / "direct";
+/// nullopt on anything else.
+std::optional<ConvAlgorithm> ParseConvAlgorithm(std::string_view value);
+
+/// The process-wide default that layers constructed with kAuto resolve
+/// through: EXACLIM_CONV_ALGO (parsed once) unless overridden, kAuto when
+/// unset or unparsable (= the pointwise→direct, else→implicit policy).
+ConvAlgorithm DefaultConvAlgorithm();
+
+/// Programmatic override of the EXACLIM_CONV_ALGO default (benches and
+/// the algorithm A/B tests flip this per run).
+void SetDefaultConvAlgorithm(ConvAlgorithm algo);
+
+/// Pointwise epilogue ops a fused chain folds into the convolution's
+/// GEMM writeback (DESIGN §15). The conv's own bias is not listed here —
+/// Conv2d folds it in by itself whenever the epilogue path is active.
+/// bn_* are per-output-channel vectors (all set or all null) that must
+/// stay alive across the call; relu_mask, when non-null, is the ReLU
+/// layer's mask for the whole output tensor (layout == output, one byte
+/// per element) and is filled from the pre-ReLU values; bn_norm, when
+/// non-null, receives the normalised x_hat per element (BatchNorm2d's
+/// backward cache, same layout as the output).
+struct ConvFusedOps {
+  const float* bn_mean = nullptr;
+  const float* bn_inv_std = nullptr;
+  const float* bn_gamma = nullptr;
+  const float* bn_beta = nullptr;
+  float* bn_norm = nullptr;
+  bool relu = false;
+  unsigned char* relu_mask = nullptr;
+
+  bool Empty() const {
+    return bn_mean == nullptr && !relu && relu_mask == nullptr;
+  }
+};
 
 /// 2-D convolution (NCHW) with stride, zero padding and dilation (atrous).
 /// Weights are [out_c, in_c*k_h*k_w] with He initialisation, optional
@@ -43,9 +86,23 @@ class Conv2d : public Layer {
   TensorShape OutputShape(const TensorShape& input) const override;
   std::vector<Param*> Params() override;
 
+  /// Forward with extra epilogue ops fused into the GEMM writeback —
+  /// what Sequential's fusion pass calls for Conv2d→BN(→ReLU) chains.
+  /// Requires CanFuseEpilogue() when `ops` is non-empty; Forward() is
+  /// exactly ForwardFused(input, train, {}).
+  Tensor ForwardFused(const Tensor& input, bool train,
+                      const ConvFusedOps& ops);
+
+  /// Whether this layer's resolved configuration can fold epilogue ops
+  /// into the GEMM writeback: FP32 precision, the packed engine active,
+  /// and an algorithm that writes C through it (implicit, im2col-GEMM,
+  /// or the pointwise fast path — everything but naive direct loops).
+  bool CanFuseEpilogue() const;
+
   const Options& options() const { return opts_; }
   Param& weight() { return weight_; }
-  /// The algorithm actually used (kAuto resolved) — the equivalent of
+  /// The algorithm actually used (kAuto resolved through
+  /// DefaultConvAlgorithm, engine fallback applied) — the equivalent of
   /// the cuDNN API tracing of Sec VI.
   ConvAlgorithm chosen_algorithm() const;
 

@@ -20,6 +20,15 @@ std::atomic<bool>& BatchParallelFlag() {
   return flag;
 }
 
+std::atomic<bool>& FusionFlag() {
+  static std::atomic<bool> flag([] {
+    const char* env = std::getenv("EXACLIM_CONV_FUSE");
+    return env == nullptr ||
+           (std::strcmp(env, "0") != 0 && std::strcmp(env, "off") != 0);
+  }());
+  return flag;
+}
+
 std::int64_t MaxShardsKnob() {
   static const std::int64_t knob = [] {
     if (const char* env = std::getenv("EXACLIM_CONV_SHARDS")) {
@@ -42,6 +51,14 @@ bool ConvBatchParallelEnabled() {
 
 void SetConvBatchParallel(bool enabled) {
   BatchParallelFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool ConvFusionEnabled() {
+  return FusionFlag().load(std::memory_order_relaxed);
+}
+
+void SetConvFusion(bool enabled) {
+  FusionFlag().store(enabled, std::memory_order_relaxed);
 }
 
 std::int64_t ConvGradShards(std::int64_t n) {
@@ -157,6 +174,24 @@ void ConvWorkspace::ReduceWeightGradInto(float* dst) {
 
 void ConvWorkspace::ReduceBiasGradInto(float* dst) {
   TreeReduceInto(dst, bias_grad_.data(), shards_, bias_elems_);
+}
+
+const GemmImplicitRow* ConvWorkspace::ImplicitRows(const ConvGeometry& g) {
+  if (!(g == rows_geometry_) || rows_.null()) {
+    const std::int64_t n_rows = g.PatchSize();
+    // Row descriptors overlay the float pool block; PoolBuffer payloads
+    // are at least 16-byte aligned, which covers the int64 members.
+    const std::size_t floats =
+        (static_cast<std::size_t>(n_rows) * sizeof(GemmImplicitRow) +
+         sizeof(float) - 1) /
+        sizeof(float);
+    if (rows_.capacity() < floats || rows_.null()) {
+      rows_ = AcquirePoolBuffer(floats > 0 ? floats : 1);
+    }
+    BuildImplicitRows(g, reinterpret_cast<GemmImplicitRow*>(rows_.data()));
+    rows_geometry_ = g;
+  }
+  return reinterpret_cast<const GemmImplicitRow*>(rows_.data());
 }
 
 }  // namespace exaclim

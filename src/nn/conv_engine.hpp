@@ -14,6 +14,7 @@
 
 #include "common/function_ref.hpp"
 #include "common/pool.hpp"
+#include "nn/im2col.hpp"
 
 namespace exaclim {
 
@@ -26,6 +27,15 @@ bool ConvBatchParallelEnabled();
 /// Programmatic override of the EXACLIM_CONV_SERIAL default (benches and
 /// the serial-vs-parallel bit-exactness tests flip this per run).
 void SetConvBatchParallel(bool enabled);
+
+/// Whether Sequential fuses Conv2d→BatchNorm2d→ReLU chains and the conv
+/// layers fold their bias into the packed GEMM epilogue (DESIGN §15).
+/// Defaults to on; EXACLIM_CONV_FUSE=off (or "0") disables. Fused and
+/// unfused execution are bit-identical — this is a pure perf A/B knob.
+bool ConvFusionEnabled();
+
+/// Programmatic override of the EXACLIM_CONV_FUSE default.
+void SetConvFusion(bool enabled);
 
 /// Number of shards a batch of `n` images is decomposed into:
 /// min(n, EXACLIM_CONV_SHARDS), knob default 16. Fixed for a given batch
@@ -79,6 +89,13 @@ class ConvWorkspace {
   void ReduceWeightGradInto(float* dst);
   void ReduceBiasGradInto(float* dst);
 
+  /// The implicit-GEMM row-descriptor table for `g` (DESIGN §15), built
+  /// on first use and rebuilt only when the geometry changes — repeat
+  /// calls with the layer's steady-state geometry touch neither the heap
+  /// nor the arena. The table is shared read-only by every batch shard
+  /// (and by the forward/backward passes, whose geometries coincide).
+  const GemmImplicitRow* ImplicitRows(const ConvGeometry& g);
+
   std::int64_t shards() const { return shards_; }
 
  private:
@@ -91,6 +108,8 @@ class ConvWorkspace {
   PoolBuffer grad_col_;
   PoolBuffer weight_grad_;
   PoolBuffer bias_grad_;
+  ConvGeometry rows_geometry_;  // geometry rows_ was built for
+  PoolBuffer rows_;             // GemmImplicitRow[PatchSize()] overlay
 };
 
 }  // namespace exaclim

@@ -1,8 +1,24 @@
 #include "nn/im2col.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace exaclim {
+namespace {
+
+// Valid output coordinates along one axis for an input displacement `d`
+// (= k*dilation - pad): the o with 0 <= o*stride + d < in_sz, clamped to
+// [0, out_sz]. Matches the per-element bound checks in Im2Col exactly.
+void ValidOutRange(std::int64_t d, std::int64_t stride, std::int64_t in_sz,
+                   std::int64_t out_sz, std::int64_t* lo, std::int64_t* hi) {
+  *lo = d >= 0 ? 0 : (-d + stride - 1) / stride;
+  *hi = in_sz > d ? (in_sz - d - 1) / stride + 1 : 0;
+  *lo = std::min(*lo, out_sz);
+  *hi = std::min(*hi, out_sz);
+  if (*hi < *lo) *hi = *lo;
+}
+
+}  // namespace
 
 void Im2Col(const ConvGeometry& g, const float* image, float* col) {
   const std::int64_t out_h = g.OutH();
@@ -44,6 +60,57 @@ void Im2Col(const ConvGeometry& g, const float* image, float* col) {
           }
         }
       }
+    }
+  }
+}
+
+void BuildImplicitRows(const ConvGeometry& g, GemmImplicitRow* rows) {
+  const std::int64_t out_h = g.OutH();
+  const std::int64_t out_w = g.OutW();
+  std::int64_t r = 0;
+  for (std::int64_t c = 0; c < g.in_c; ++c) {
+    for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+      for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++r) {
+        const std::int64_t dy = kh * g.dilation - g.pad;
+        const std::int64_t dx = kw * g.dilation - g.pad;
+        GemmImplicitRow& rd = rows[r];
+        rd.offset = c * g.in_h * g.in_w + dy * g.in_w + dx;
+        ValidOutRange(dy, g.stride, g.in_h, out_h, &rd.oy_lo, &rd.oy_hi);
+        ValidOutRange(dx, g.stride, g.in_w, out_w, &rd.ox_lo, &rd.ox_hi);
+      }
+    }
+  }
+}
+
+void Im2ColFromRows(const ConvGeometry& g, const GemmImplicitRow* rows,
+                    const float* image, float* col) {
+  const std::int64_t out_h = g.OutH();
+  const std::int64_t out_w = g.OutW();
+  const std::int64_t patch = g.PatchSize();
+  for (std::int64_t r = 0; r < patch; ++r) {
+    const GemmImplicitRow& rd = rows[r];
+    float* dst = col + r * out_h * out_w;
+    for (std::int64_t oy = 0; oy < out_h; ++oy, dst += out_w) {
+      if (oy < rd.oy_lo || oy >= rd.oy_hi) {
+        std::memset(dst, 0, sizeof(float) * out_w);
+        continue;
+      }
+      // Full int64 element index before pointer arithmetic — rd.offset
+      // alone may be negative (padding), but base + ox*stride is in
+      // bounds for every ox in [ox_lo, ox_hi).
+      const std::int64_t base = rd.offset + oy * g.stride * g.in_w;
+      std::int64_t ox = 0;
+      for (; ox < rd.ox_lo; ++ox) dst[ox] = 0.0f;
+      if (g.stride == 1) {
+        if (rd.ox_hi > ox) {
+          std::memcpy(dst + ox, image + (base + ox),
+                      sizeof(float) * (rd.ox_hi - ox));
+        }
+        ox = std::max(ox, rd.ox_hi);
+      } else {
+        for (; ox < rd.ox_hi; ++ox) dst[ox] = image[base + ox * g.stride];
+      }
+      for (; ox < out_w; ++ox) dst[ox] = 0.0f;
     }
   }
 }

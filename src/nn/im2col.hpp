@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "tensor/gemm_kernel.hpp"
+
 namespace exaclim {
 
 /// Parameters of a 2-D convolution window (square-independent: separate
@@ -28,6 +30,9 @@ struct ConvGeometry {
   /// Rows of the im2col matrix (= columns of the weight matrix).
   std::int64_t PatchSize() const { return in_c * k_h * k_w; }
   std::int64_t OutPixels() const { return OutH() * OutW(); }
+
+  /// Geometry identity keys the per-workspace implicit row-table cache.
+  bool operator==(const ConvGeometry&) const = default;
 };
 
 /// Expands one image (C,H,W row-major) into the patch matrix
@@ -40,5 +45,20 @@ void Im2Col(const ConvGeometry& g, const float* image, float* col);
 /// image buffer (which the caller must zero first). Used for the
 /// data-gradient of Conv2d and the forward pass of ConvTranspose2d.
 void Col2Im(const ConvGeometry& g, const float* col, float* image);
+
+/// Builds the PatchSize() implicit-GEMM row descriptors for `g` into
+/// `rows` (DESIGN §15): per (ci, kh, kw) the image offset plus the valid
+/// output-pixel rectangle, everything the engine's B-panel gather and
+/// Im2ColFromRows need. Geometry-dependent setup done once per geometry
+/// (into pooled scratch — ConvWorkspace::ImplicitRows caches it), not
+/// once per batch element.
+void BuildImplicitRows(const ConvGeometry& g, GemmImplicitRow* rows);
+
+/// Table-driven Im2Col: identical output to Im2Col(g, image, col) (bit
+/// for bit — copies and zeros only), but all geometry/bounds decisions
+/// come precomputed from the row table, so per-image work is pure data
+/// movement. The backward paths use this with the workspace-cached table.
+void Im2ColFromRows(const ConvGeometry& g, const GemmImplicitRow* rows,
+                    const float* image, float* col);
 
 }  // namespace exaclim

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/thread_pool.hpp"
+#include "nn/activation.hpp"
+#include "tensor/epilogue.hpp"
 
 namespace exaclim {
 namespace {
@@ -45,7 +47,8 @@ TensorShape BatchNorm2d::OutputShape(const TensorShape& input) const {
   return input;
 }
 
-Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
+void BatchNorm2d::RunForwardInto(const Tensor& input, Tensor& output,
+                                 bool train, ReLU* relu) {
   (void)OutputShape(input.shape());
   input_shape_ = input.shape();
   last_was_train_ = train;
@@ -54,9 +57,10 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
   const std::int64_t count = n * hw;
   const std::int64_t chw = channels_ * hw;
 
-  Tensor output(input.shape());
   cached_norm_ = Tensor(input.shape());
   batch_inv_std_ = Tensor(TensorShape{channels_});
+  unsigned char* mask =
+      relu != nullptr ? relu->BeginFusedForward(input.shape()) : nullptr;
 
   ForEachChannel(channels_, [&](std::int64_t c) {
     float mean, var;
@@ -90,15 +94,53 @@ Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
       const float* in_plane = input.Raw() + b * chw + c * hw;
       float* norm_plane = cached_norm_.Raw() + b * chw + c * hw;
       float* out_plane = output.Raw() + b * chw + c * hw;
+      unsigned char* mask_plane =
+          mask != nullptr ? mask + b * chw + c * hw : nullptr;
       for (std::int64_t i = 0; i < hw; ++i) {
-        const float x_hat = (in_plane[i] - mean) * inv_std;
+        // The stats pass above read the whole channel before any write, so
+        // `output` may alias `input`; x_hat goes to the separate cache.
+        const float x_hat = BnNormalise(in_plane[i], mean, inv_std);
         norm_plane[i] = x_hat;
-        out_plane[i] = g * x_hat + bta;
+        float y = BnAffine(x_hat, g, bta);
+        if (mask_plane != nullptr) {
+          mask_plane[i] = ReluActive(y) ? 1 : 0;
+          y = ReluValue(y);
+        }
+        out_plane[i] = y;
       }
     }
   });
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input, bool train) {
+  Tensor output(input.shape());
+  RunForwardInto(input, output, train, /*relu=*/nullptr);
   MaybeQuantise(output);
   return output;
+}
+
+void BatchNorm2d::ForwardFusedInPlace(Tensor& x, bool train, ReLU* relu) {
+  // Fused chains are FP32-only (Sequential never builds one under FP16
+  // emulation), so there is no MaybeQuantise step to replicate here.
+  RunForwardInto(x, x, train, relu);
+}
+
+BatchNorm2d::FoldedAffine BatchNorm2d::FoldInferenceParams(
+    const TensorShape& out_shape) {
+  (void)OutputShape(out_shape);
+  batch_inv_std_ = Tensor(TensorShape{channels_});
+  for (std::int64_t c = 0; c < channels_; ++c) {
+    // Exactly the eval-mode forward's per-channel scale.
+    batch_inv_std_[static_cast<std::size_t>(c)] =
+        1.0f / std::sqrt(running_var_[static_cast<std::size_t>(c)] + epsilon_);
+  }
+  // The GEMM epilogue fills cached_norm_ through norm_out, leaving the
+  // layer exactly as an unfused eval Forward would.
+  cached_norm_ = Tensor(out_shape);
+  input_shape_ = out_shape;
+  last_was_train_ = false;
+  return {running_mean_.Raw(), batch_inv_std_.Raw(), gamma_.value.Raw(),
+          beta_.value.Raw(), cached_norm_.Raw()};
 }
 
 Tensor BatchNorm2d::Backward(const Tensor& grad_output) {

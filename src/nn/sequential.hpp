@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "nn/conv_engine.hpp"
+#include "nn/fusion.hpp"
 #include "nn/layer.hpp"
 
 namespace exaclim {
@@ -27,7 +29,20 @@ class Sequential : public Layer {
 
   Tensor Forward(const Tensor& input, bool train) override {
     Tensor x = input;
-    for (auto& layer : layers_) x = layer->Forward(x, train);
+    const bool fuse = ConvFusionEnabled();
+    for (std::size_t i = 0; i < layers_.size();) {
+      // Conv2d→BN(→ReLU) chains collapse into one fused pass (DESIGN
+      // §15) — bit-identical output and backward caches, so Backward
+      // below stays a plain reverse walk.
+      const std::size_t fused = fuse ? FusableChainAt(layers_, i) : 0;
+      if (fused >= 2) {
+        x = ForwardFusedChain(layers_, i, fused, x, train);
+        i += fused;
+      } else {
+        x = layers_[i]->Forward(x, train);
+        ++i;
+      }
+    }
     return x;
   }
 

@@ -107,6 +107,96 @@ void GemmMicroKernelNeon(std::int64_t kc, const float* a, const float* b,
 /// The variant the packed engine uses on this machine (resolved once).
 GemmMicroKernelFn ActiveGemmMicroKernel();
 
+// ---------------------------------------------------- fused epilogues ---
+
+/// Pointwise work folded into the C-writeback of the FINAL KC panel —
+/// DESIGN §15. Per C element (row = conv output channel) the merge
+/// computes, in order:
+///
+///   v = beta*C + Acc            (beta restricted to {0, 1})
+///   if bias:       v += bias[row]
+///   if bn_mean:    x_hat = (v - bn_mean[row]) * bn_inv_std[row]
+///                  if bn_norm: bn_norm[row*mask_ld + col] = x_hat
+///                  v = bn_gamma[row] * x_hat + bn_beta[row]
+///   if relu_mask:  relu_mask[row*mask_ld + col] = (v > 0)
+///   if relu:       v = v > 0 ? v : 0
+///   C = v
+///
+/// via the shared helpers in tensor/epilogue.hpp, so the result is
+/// bit-identical to running the unfused GEMM followed by the standalone
+/// bias / BatchNorm2d / ReLU passes. All pointers are per-output-channel
+/// arrays of length m (bn_* are all set or all null); relu_mask and
+/// bn_norm (BatchNorm2d's x_hat backward cache, so a GEMM-folded eval
+/// forward still supports Backward), when non-null, have C's layout
+/// (row stride mask_ld == the GEMM's n).
+struct GemmEpilogue {
+  const float* bias = nullptr;
+  const float* bn_mean = nullptr;
+  const float* bn_inv_std = nullptr;
+  const float* bn_gamma = nullptr;
+  const float* bn_beta = nullptr;
+  float* bn_norm = nullptr;
+  bool relu = false;
+  unsigned char* relu_mask = nullptr;
+  std::int64_t mask_ld = 0;
+
+  bool Empty() const {
+    return bias == nullptr && bn_mean == nullptr && !relu &&
+           relu_mask == nullptr;
+  }
+};
+
+/// SIMD fast path for the epilogue merge of one full MRxNR tile:
+/// C = beta*C + Acc (+ bias[row]) (ReLU'd when `relu`). Only the
+/// bias/ReLU subset — BN and mask tiles take the scalar path. `bias`,
+/// when non-null, points at the tile's first row's entry. Must match the
+/// scalar merge bit-for-bit (adds are exact; the ReLU mirrors the
+/// ternary's NaN/-0.0 behaviour).
+using GemmMergeBiasReluFn = void (*)(const float* acc, float* c,
+                                     std::int64_t ldc, float beta,
+                                     const float* bias, bool relu);
+#if defined(EXACLIM_GEMM_AVX2)
+void GemmMergeBiasReluAvx2(const float* acc, float* c, std::int64_t ldc,
+                           float beta, const float* bias, bool relu);
+#endif
+#if defined(__aarch64__) && defined(__ARM_NEON)
+void GemmMergeBiasReluNeon(const float* acc, float* c, std::int64_t ldc,
+                           float beta, const float* bias, bool relu);
+#endif
+
+// ------------------------------------------------------- implicit B -----
+
+/// One row of the implicit im2col matrix: B[r] covers input channel ci
+/// and kernel tap (kh, kw) of a convolution, r = (ci*KH + kh)*KW + kw.
+/// The element at output pixel (oy, ox) is
+///
+///   image[offset + oy*stride*in_row_stride + ox*stride]
+///
+/// when oy in [oy_lo, oy_hi) and ox in [ox_lo, ox_hi), else 0 (padding).
+/// offset = ci*in_h*in_w + dy*in_w + dx with dy = kh*dilation - pad,
+/// dx = kw*dilation - pad; it may be negative, so gathers must form the
+/// full int64 element index before touching the pointer. Built once per
+/// geometry by BuildImplicitRows (nn/im2col.*) into pooled scratch.
+struct GemmImplicitRow {
+  std::int64_t offset = 0;
+  std::int64_t oy_lo = 0;
+  std::int64_t oy_hi = 0;
+  std::int64_t ox_lo = 0;
+  std::int64_t ox_hi = 0;
+};
+
+/// A conv input image viewed as the k x n im2col matrix (k = rows per
+/// patch, n = out_h*out_w) without materializing it: the B-panel packer
+/// gathers KCxNC panels straight from `image` via the row table.
+struct GemmImplicitB {
+  const float* image = nullptr;       // one image, [in_c, in_h, in_w]
+  const GemmImplicitRow* rows = nullptr;  // k entries
+  std::int64_t out_h = 0;
+  std::int64_t out_w = 0;
+  std::int64_t in_row_stride = 0;     // elements per input image row
+  std::int64_t stride = 1;            // conv stride (shared h/w)
+};
+
 // ------------------------------------------------------ prepacked A -----
 
 /// A matrix packed once into the engine's A-panel layout for reuse across
@@ -153,7 +243,21 @@ void GemmPacked(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
                 float beta, float* c);
 
 /// Same, with the left operand prepacked (alpha folded at Pack time).
+/// A non-empty `epi` folds the epilogue into the final-KC-panel merge;
+/// it requires beta in {0, 1} and k > 0.
 void GemmPackedWithA(const PackedGemmA& a, bool trans_b, std::int64_t n,
-                     const float* b, float beta, float* c);
+                     const float* b, float beta, float* c,
+                     const GemmEpilogue* epi = nullptr);
+
+/// Implicit-GEMM convolution forward: C(m, out_h*out_w) = A * B + beta*C
+/// where A is the prepacked weight matrix [out_c, patch] and B is the
+/// image's implicit im2col matrix (b.rows must have a.k() entries). No
+/// col buffer is ever materialized — the B packer gathers panels from
+/// the image on the fly. Bit-identical to packing the same panels from a
+/// materialized Im2Col buffer, since the contraction order is fixed by
+/// the KC walk regardless of where B's bytes come from.
+void GemmPackedImplicit(const PackedGemmA& a, const GemmImplicitB& b,
+                        float beta, float* c,
+                        const GemmEpilogue* epi = nullptr);
 
 }  // namespace exaclim

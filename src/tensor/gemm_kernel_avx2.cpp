@@ -81,6 +81,34 @@ void GemmMicroKernelAvx2(std::int64_t kc, const float* a, const float* b,
   }
 }
 
+// SIMD half of the fused epilogue merge (DESIGN §15): one full 6x16 tile,
+// C = beta*C + Acc (+bias[row]) with optional ReLU, beta in {0, 1}. Adds
+// are exact, and the masked-AND ReLU (keep v only where v > 0, ordered
+// compare) reproduces the scalar ternary exactly — NaN and -0.0 inputs
+// both yield +0.0 — so this path is bit-identical to the scalar merge.
+// No BN math lives in this TU: -mfma would contract it differently from
+// the baseline-ISA TUs that define the unfused reference.
+void GemmMergeBiasReluAvx2(const float* acc, float* c, std::int64_t ldc,
+                           float beta, const float* bias, bool relu) {
+  // hot-path: begin
+  const __m256 zero = _mm256_setzero_ps();
+  for (int i = 0; i < kGemmMR; ++i) {
+    const float* arow = acc + i * kGemmNR;
+    float* crow = c + i * ldc;
+    const __m256 bv = bias != nullptr ? _mm256_set1_ps(bias[i]) : zero;
+    for (int h = 0; h < 2; ++h) {
+      __m256 v = _mm256_loadu_ps(arow + 8 * h);
+      if (beta != 0.0f) v = _mm256_add_ps(_mm256_loadu_ps(crow + 8 * h), v);
+      if (bias != nullptr) v = _mm256_add_ps(v, bv);
+      if (relu) {
+        v = _mm256_and_ps(v, _mm256_cmp_ps(v, zero, _CMP_GT_OQ));
+      }
+      _mm256_storeu_ps(crow + 8 * h, v);
+    }
+  }
+  // hot-path: end
+}
+
 }  // namespace exaclim
 
 #endif  // EXACLIM_GEMM_AVX2 && __AVX2__ && __FMA__

@@ -97,6 +97,7 @@ INSTANTIATE_TEST_SUITE_P(
             GeometryCase{3, 3, 7, 2, 3, 1, 14, 14},  // stem 7x7/2
             GeometryCase{2, 2, 3, 1, 6, 6, 9, 9}),   // extreme dilation
         ::testing::Values(static_cast<int>(ConvAlgorithm::kAuto),
+                          static_cast<int>(ConvAlgorithm::kIm2Col),
                           static_cast<int>(ConvAlgorithm::kImplicitGemm),
                           static_cast<int>(ConvAlgorithm::kDirect))));
 
@@ -119,7 +120,7 @@ TEST(ConvAlgorithm, BackwardAgreesAcrossForwardAlgorithms) {
   // which forward algorithm ran.
   std::vector<std::vector<float>> weight_grads;
   for (const auto algo : {ConvAlgorithm::kImplicitGemm,
-                          ConvAlgorithm::kDirect}) {
+                          ConvAlgorithm::kIm2Col, ConvAlgorithm::kDirect}) {
     Rng rng(5);
     Conv2d conv("c",
                 {.in_c = 3, .out_c = 2, .kernel = 3, .bias = false,
@@ -135,16 +136,29 @@ TEST(ConvAlgorithm, BackwardAgreesAcrossForwardAlgorithms) {
     weight_grads.emplace_back(conv.weight().grad.Data().begin(),
                               conv.weight().grad.Data().end());
   }
-  ASSERT_EQ(weight_grads[0].size(), weight_grads[1].size());
-  for (std::size_t i = 0; i < weight_grads[0].size(); ++i) {
-    EXPECT_NEAR(weight_grads[0][i], weight_grads[1][i], 1e-4f);
+  for (std::size_t v = 1; v < weight_grads.size(); ++v) {
+    ASSERT_EQ(weight_grads[0].size(), weight_grads[v].size());
+    for (std::size_t i = 0; i < weight_grads[0].size(); ++i) {
+      EXPECT_NEAR(weight_grads[0][i], weight_grads[v][i], 1e-4f);
+    }
   }
 }
 
 TEST(ConvAlgorithm, ToStringNames) {
   EXPECT_STREQ(ToString(ConvAlgorithm::kAuto), "auto");
+  EXPECT_STREQ(ToString(ConvAlgorithm::kIm2Col), "im2col");
   EXPECT_STREQ(ToString(ConvAlgorithm::kImplicitGemm), "implicit-gemm");
   EXPECT_STREQ(ToString(ConvAlgorithm::kDirect), "direct");
+}
+
+TEST(ConvAlgorithm, ParseNames) {
+  EXPECT_EQ(ParseConvAlgorithm("auto"), ConvAlgorithm::kAuto);
+  EXPECT_EQ(ParseConvAlgorithm("im2col"), ConvAlgorithm::kIm2Col);
+  EXPECT_EQ(ParseConvAlgorithm("implicit"), ConvAlgorithm::kImplicitGemm);
+  EXPECT_EQ(ParseConvAlgorithm("implicit-gemm"),
+            ConvAlgorithm::kImplicitGemm);
+  EXPECT_EQ(ParseConvAlgorithm("direct"), ConvAlgorithm::kDirect);
+  EXPECT_EQ(ParseConvAlgorithm("winograd"), std::nullopt);
 }
 
 }  // namespace

@@ -9,13 +9,20 @@
 #include <cstdint>
 #include <cstring>
 #include <limits>
+#include <string>
+#include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "nn/activation.hpp"
 #include "nn/conv.hpp"
 #include "nn/conv_engine.hpp"
+#include "nn/norm.hpp"
+#include "nn/sequential.hpp"
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_kernel.hpp"
 
 namespace exaclim {
 namespace {
@@ -229,6 +236,257 @@ TEST(GemmEdge, WideNMatchesNaiveReference) {
           << i << "," << j;
     }
   }
+}
+
+// ------------- implicit GEMM + fused epilogues (DESIGN §15) -------------
+
+/// Restores the fusion knob on scope exit.
+struct FusionGuard {
+  bool saved = ConvFusionEnabled();
+  ~FusionGuard() { SetConvFusion(saved); }
+};
+
+/// Restores the GEMM kernel mode on scope exit.
+struct KernelModeGuard {
+  GemmKernelMode saved = GemmKernelModeInUse();
+  ~KernelModeGuard() { SetGemmKernelMode(saved); }
+};
+
+std::vector<float> Snapshot(const Tensor& t) {
+  return {t.Data().begin(), t.Data().end()};
+}
+
+struct ImplicitGeo {
+  std::int64_t in_c, out_c, kernel, stride, pad, dilation;
+  std::int64_t h, w;
+};
+
+class ConvImplicitBitExact : public ::testing::TestWithParam<ImplicitGeo> {};
+
+// The implicit B-panel gather must reproduce the materialized im2col
+// lowering bit-for-bit — same packed panels, same contraction order —
+// with and without the bias epilogue fold.
+TEST_P(ConvImplicitBitExact, ForwardMatchesIm2ColBitwise) {
+  FusionGuard guard;
+  const ImplicitGeo g = GetParam();
+  for (const bool fuse : {false, true}) {
+    SetConvFusion(fuse);
+    Conv2d::Options opts{.in_c = g.in_c, .out_c = g.out_c,
+                         .kernel = g.kernel, .stride = g.stride,
+                         .pad = g.pad, .dilation = g.dilation,
+                         .bias = true,
+                         .algorithm = ConvAlgorithm::kImplicitGemm};
+    Rng r1(71);
+    Conv2d implicit_conv("i", opts, r1);
+    opts.algorithm = ConvAlgorithm::kIm2Col;
+    Rng r2(71);
+    Conv2d col_conv("c", opts, r2);
+    Rng xrng(73);
+    const Tensor x = Tensor::Uniform(
+        TensorShape::NCHW(2, g.in_c, g.h, g.w), xrng, -1.0f, 1.0f);
+    const Tensor yi = implicit_conv.Forward(x, false);
+    const Tensor yc = col_conv.Forward(x, false);
+    ASSERT_EQ(yi.shape(), yc.shape());
+    ExpectBitIdentical(Snapshot(yi), Snapshot(yc),
+                       fuse ? "fused forward" : "unfused forward");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometrySweep, ConvImplicitBitExact,
+    ::testing::Values(ImplicitGeo{3, 4, 3, 1, 1, 1, 8, 9},   // plain 3x3
+                      ImplicitGeo{2, 5, 1, 1, 0, 1, 7, 7},   // pointwise
+                      ImplicitGeo{4, 2, 3, 2, 1, 1, 9, 10},  // strided
+                      ImplicitGeo{2, 3, 3, 2, 0, 1, 9, 9},   // stride 2 pad 0
+                      ImplicitGeo{2, 3, 3, 1, 2, 2, 8, 8},   // atrous d=2
+                      ImplicitGeo{2, 3, 3, 1, -1, 2, 8, 8},  // dilated same
+                      ImplicitGeo{2, 2, 3, 1, -1, 4, 10, 9},
+                      ImplicitGeo{1, 2, 5, 2, 2, 1, 11, 10},  // 5x5 strided
+                      ImplicitGeo{3, 3, 7, 2, 3, 1, 14, 14},  // stem 7x7/2
+                      ImplicitGeo{2, 2, 3, 1, 6, 6, 9, 9}));  // extreme d=6
+
+/// Runs one forward+backward step through a Conv2d(→BN)(→ReLU) chain with
+/// fusion on or off, returning bitwise-comparable results. All RNG seeds
+/// are fixed, so two calls differ only in the knobs under test.
+GradSnapshot RunChainStep(bool fuse, bool with_bn, bool with_relu,
+                          const Conv2d::Options& copts, bool train) {
+  FusionGuard guard;
+  SetConvFusion(fuse);
+  Rng rng(91);
+  Sequential seq("chain");
+  seq.Emplace<Conv2d>("c", copts, rng);
+  if (with_bn) seq.Emplace<BatchNorm2d>("bn", copts.out_c);
+  if (with_relu) seq.Emplace<ReLU>("r");
+
+  // Warm the BN running stats (and every pooled buffer) with a training
+  // step, then measure the step under test.
+  Rng wrng(93);
+  const Tensor warm = Tensor::Uniform(
+      TensorShape::NCHW(2, copts.in_c, 8, 8), wrng, -1.0f, 1.0f);
+  (void)seq.Forward(warm, true);
+
+  Rng xrng(95);
+  const Tensor x = Tensor::Uniform(TensorShape::NCHW(2, copts.in_c, 8, 8),
+                                   xrng, -1.0f, 1.0f);
+  for (Param* p : seq.Params()) p->grad.SetZero();
+  const Tensor y = seq.Forward(x, train);
+  Rng grng(97);
+  const Tensor g = Tensor::Uniform(y.shape(), grng, -1.0f, 1.0f);
+  const Tensor gx = seq.Backward(g);
+
+  GradSnapshot snap;
+  snap.output = Snapshot(y);
+  snap.grad_input = Snapshot(gx);
+  for (Param* p : seq.Params()) snap.param_grads.push_back(Snapshot(p->grad));
+  return snap;
+}
+
+constexpr Conv2d::Options kChain3x3{.in_c = 3, .out_c = 4};
+constexpr Conv2d::Options kChainPointwise{.in_c = 3, .out_c = 4,
+                                          .kernel = 1, .pad = 0};
+constexpr Conv2d::Options kChainDirect{.in_c = 3, .out_c = 4,
+                                       .algorithm = ConvAlgorithm::kDirect};
+constexpr Conv2d::Options kChainIm2Col{.in_c = 3, .out_c = 4,
+                                       .algorithm = ConvAlgorithm::kIm2Col};
+
+void ExpectChainBitIdentical(bool with_bn, bool with_relu,
+                             const Conv2d::Options& copts, bool train) {
+  const GradSnapshot fused =
+      RunChainStep(/*fuse=*/true, with_bn, with_relu, copts, train);
+  const GradSnapshot unfused =
+      RunChainStep(/*fuse=*/false, with_bn, with_relu, copts, train);
+  ExpectBitIdentical(unfused, fused);
+}
+
+// Training: the conv's bias folds into the GEMM epilogue and the BN+ReLU
+// collapse into one in-place sweep that still fills every backward cache.
+TEST(ConvFusion, TrainChainMatchesUnfusedBitwise) {
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true, kChain3x3,
+                          /*train=*/true);
+}
+
+// Inference: the whole BN affine (from running stats) plus the ReLU fold
+// into the GEMM epilogue — and Backward after the folded eval forward
+// (the gradcheck pattern) still matches bitwise.
+TEST(ConvFusion, EvalFoldMatchesUnfusedBitwise) {
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true, kChain3x3,
+                          /*train=*/false);
+}
+
+TEST(ConvFusion, ConvBnChainWithoutReluMatchesUnfused) {
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/false, kChain3x3,
+                          /*train=*/true);
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/false, kChain3x3,
+                          /*train=*/false);
+}
+
+TEST(ConvFusion, ConvReluChainMatchesUnfused) {
+  ExpectChainBitIdentical(/*with_bn=*/false, /*with_relu=*/true, kChain3x3,
+                          /*train=*/true);
+  ExpectChainBitIdentical(/*with_bn=*/false, /*with_relu=*/true, kChain3x3,
+                          /*train=*/false);
+}
+
+// The pointwise fast path (auto → direct 1x1) writes C through the packed
+// engine too, so the full eval fold applies there.
+TEST(ConvFusion, PointwiseFastPathFusesBitExact) {
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true,
+                          kChainPointwise, /*train=*/true);
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true,
+                          kChainPointwise, /*train=*/false);
+}
+
+// The materialized-col algorithm writes C through the same packed engine,
+// so the epilogue fold must hold there too.
+TEST(ConvFusion, Im2ColAlgorithmFusesBitExact) {
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true,
+                          kChainIm2Col, /*train=*/true);
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true,
+                          kChainIm2Col, /*train=*/false);
+}
+
+// A forced-direct 3x3 conv has no GEMM epilogue: fusion reduces to the
+// in-place BN+ReLU sweep, which must still be bit-identical.
+TEST(ConvFusion, DirectAlgorithmFallsBackToBnSweep) {
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true,
+                          kChainDirect, /*train=*/true);
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true,
+                          kChainDirect, /*train=*/false);
+}
+
+// Under EXACLIM_GEMM_KERNEL=reference there is no packed engine: fusion
+// degrades to the BN-sweep path (no GEMM epilogue) and must still be
+// bit-identical — the ci.sh A/B runs this whole suite in that mode.
+TEST(ConvFusion, ReferenceKernelFallbackMatchesUnfused) {
+  KernelModeGuard guard;
+  SetGemmKernelMode(GemmKernelMode::kReference);
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true, kChain3x3,
+                          /*train=*/true);
+  ExpectChainBitIdentical(/*with_bn=*/true, /*with_relu=*/true, kChain3x3,
+                          /*train=*/false);
+}
+
+// ------------- TSan stress: the fused path's threaded writebacks --------
+//
+// The fused eval fold writes four output streams from the GEMM's parallel
+// MR-strip tasks (C, the bias add, BatchNorm's x_hat cache and the ReLU
+// mask); the train path layers an in-place BN sweep over plane-parallel
+// loops. Any cross-strip overlap in those writebacks is TSan-visible
+// here — this binary carries the `stress` label the TSan preset runs —
+// and every round must reproduce round 0 bitwise.
+TEST(ConvFusionStress, HammeredFusedChainIsRaceFreeAndBitStable) {
+  for (const bool train : {true, false}) {
+    GradSnapshot reference;
+    for (int round = 0; round < 15; ++round) {
+      GradSnapshot snap = RunChainStep(/*fuse=*/true, /*with_bn=*/true,
+                                       /*with_relu=*/true, kChain3x3, train);
+      if (round == 0) {
+        reference = std::move(snap);
+      } else {
+        ExpectBitIdentical(reference, snap);
+      }
+    }
+  }
+}
+
+// Several fused chains training and folding concurrently from caller
+// threads, all sharding onto the one global pool (the multi-tower usage
+// pattern). Each chain owns its layers and workspaces; nothing may bleed
+// across, and each thread's eval fold must be bit-stable round to round.
+TEST(ConvFusionStress, ConcurrentFusedChainsShareGlobalPool) {
+  FusionGuard guard;
+  SetConvFusion(true);
+  constexpr int kChains = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kChains);
+  std::vector<std::vector<float>> firsts(kChains);
+  for (int t = 0; t < kChains; ++t) {
+    threads.emplace_back([&firsts, t] {
+      Rng rng(120 + static_cast<std::uint64_t>(t));
+      Sequential seq("chain" + std::to_string(t));
+      seq.Emplace<Conv2d>("c", kChain3x3, rng);
+      seq.Emplace<BatchNorm2d>("bn", kChain3x3.out_c);
+      seq.Emplace<ReLU>("r");
+      Rng xrng(130 + static_cast<std::uint64_t>(t));
+      const Tensor x = Tensor::Uniform(TensorShape::NCHW(2, kChain3x3.in_c,
+                                                         8, 8),
+                                       xrng, -1.0f, 1.0f);
+      (void)seq.Forward(x, /*train=*/true);  // warm BN stats + buffers
+      std::vector<float> first;
+      for (int round = 0; round < 10; ++round) {
+        const Tensor y = seq.Forward(x, /*train=*/false);  // eval fold
+        if (round == 0) {
+          first = Snapshot(y);
+        } else {
+          EXPECT_TRUE(Snapshot(y) == first)
+              << "chain " << t << " diverged at round " << round;
+        }
+      }
+      firsts[static_cast<std::size_t>(t)] = std::move(first);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto& f : firsts) EXPECT_FALSE(f.empty());
 }
 
 // A conv issued while the engine is batch-parallel must keep its nested

@@ -300,6 +300,40 @@ TEST_F(PoolTest, WarmedTrainingStepPerformsZeroHeapAllocations) {
   SetAllocTracking(false);
 }
 
+// Geometry churn on one conv layer (multi-scale evaluation pattern): the
+// implicit-GEMM row tables and workspace panels are rebuilt in place on a
+// geometry change — after one warm cycle through all geometries, ping-
+// ponging between them must allocate nothing (DESIGN §15 ratchet: the
+// implicit path adds zero steady-state allocations on top of im2col).
+TEST_F(PoolTest, ConvGeometryChurnAllocatesNothingWhenWarm) {
+  Rng rng(53);
+  Conv2d conv("c", {.in_c = 3, .out_c = 4, .kernel = 3}, rng);
+  std::vector<Tensor> inputs;
+  for (const auto& [h, w, batch] :
+       {std::tuple{10, 12, 2}, {14, 8, 3}, {10, 12, 2}}) {
+    Rng xrng(static_cast<std::uint64_t>(h * 100 + w));
+    inputs.push_back(Tensor::Uniform(TensorShape::NCHW(batch, 3, h, w),
+                                     xrng, -1.0f, 1.0f));
+  }
+  // Two warm cycles: the first sizes every buffer family, the second
+  // proves the sizes reached a fixed point before the measured region.
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (const Tensor& x : inputs) (void)conv.Forward(x, false);
+  }
+
+  SetAllocTracking(true);
+  {
+    ScopedAllocCheck census(EXACLIM_ALLOC_SITE("test.conv_geom_churn"),
+                            ScopedAllocCheck::Mode::kCensus,
+                            ScopedAllocCheck::Scope::kGlobal);
+    for (int cycle = 0; cycle < 2; ++cycle) {
+      for (const Tensor& x : inputs) (void)conv.Forward(x, false);
+    }
+    EXPECT_EQ(census.count(), 0) << census.bytes() << " bytes allocated";
+  }
+  SetAllocTracking(false);
+}
+
 // ------------------------------------------------------------- stress --
 
 // Concurrent acquire/write/release across threads and size classes;
